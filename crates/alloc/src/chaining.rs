@@ -1,0 +1,243 @@
+//! Packet chaining allocator (*SameInput, anyVC*), after Michelogiannakis
+//! et al., MICRO-44, as described in §4.4 of the VIX paper.
+
+use crate::separable::SeparableAllocator;
+use crate::{AllocatorConfig, SwitchAllocator};
+use vix_arbiter::Arbiter;
+use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+
+/// Packet-chaining switch allocator ("PC").
+///
+/// Connections that carried a flit in the previous cycle are *inherited*:
+/// if any VC of the same input port (`anyVC`) still requests the same
+/// output, the connection is kept and bypasses allocation entirely. Only
+/// the remaining inputs and outputs go through the underlying input-first
+/// separable allocator.
+///
+/// The paper's reading (§4.4): chaining works *by elimination* — held
+/// connections remove requests from the matrix, reducing uncoordinated
+/// input/output arbiter decisions — whereas VIX works by *exposing more*
+/// non-conflicting requests. PC inherits the input-port constraint: at most
+/// one flit per input port per cycle.
+///
+/// Call [`SwitchAllocator::observe_traversals`] with the flits that
+/// actually crossed the switch each cycle; chains form only from real
+/// traversals.
+#[derive(Debug)]
+pub struct PacketChainingAllocator {
+    cfg: AllocatorConfig,
+    inner: SeparableAllocator,
+    /// `held[out] = Some(input)`: the connection that carried a flit last
+    /// cycle and is eligible for inheritance.
+    held: Vec<Option<PortId>>,
+    /// Champion VC selection for inherited connections, one per input port.
+    vc_selectors: Vec<Box<dyn Arbiter>>,
+}
+
+impl PacketChainingAllocator {
+    /// Creates the allocator over a separable core.
+    #[must_use]
+    pub fn new(cfg: AllocatorConfig) -> Self {
+        let inner = SeparableAllocator::new(cfg);
+        let vc_selectors = (0..cfg.ports).map(|_| cfg.arbiter.build(cfg.partition.vcs())).collect();
+        PacketChainingAllocator { cfg, inner, held: vec![None; cfg.ports], vc_selectors }
+    }
+
+    /// Number of currently-held connections (exposed for tests).
+    #[must_use]
+    pub fn held_connections(&self) -> usize {
+        self.held.iter().filter(|h| h.is_some()).count()
+    }
+}
+
+impl SwitchAllocator for PacketChainingAllocator {
+    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        let ports = self.cfg.ports;
+        let vcs = self.cfg.partition.vcs();
+        let mut grants = GrantSet::new();
+        let mut input_taken = vec![false; ports];
+        let mut output_taken = vec![false; ports];
+
+        // Phase 1: inherit surviving chains.
+        for out in 0..ports {
+            let Some(input) = self.held[out] else { continue };
+            if input_taken[input.0] {
+                self.held[out] = None;
+                continue;
+            }
+            // anyVC: any VC of the same input requesting the same output,
+            // non-speculative preferred.
+            let mut chosen = None;
+            for speculative in [false, true] {
+                let lines: Vec<bool> = (0..vcs)
+                    .map(|v| {
+                        requests.get(input, VcId(v)).is_some_and(|r| {
+                            r.out_port == PortId(out) && r.speculative == speculative
+                        })
+                    })
+                    .collect();
+                let sel = &mut self.vc_selectors[input.0];
+                if let Some(v) = sel.peek(&lines) {
+                    sel.commit(v);
+                    chosen = Some(VcId(v));
+                    break;
+                }
+            }
+            match chosen {
+                Some(vc) => {
+                    input_taken[input.0] = true;
+                    output_taken[out] = true;
+                    grants.add(Grant { port: input, vc, out_port: PortId(out) });
+                }
+                None => self.held[out] = None,
+            }
+        }
+
+        // Phase 2: separable allocation over the remaining requests.
+        let mut residual = RequestSet::new(ports, vcs);
+        for r in requests.active_requests() {
+            if !input_taken[r.port.0] && !output_taken[r.out_port.0] {
+                residual.push(*r);
+            }
+        }
+        grants.extend(self.inner.allocate(&residual).iter().copied());
+        grants
+    }
+
+    fn partition(&self) -> &VixPartition {
+        &self.cfg.partition
+    }
+
+    fn name(&self) -> &'static str {
+        "PC"
+    }
+
+    fn observe_traversals(&mut self, traversed: &GrantSet) {
+        self.held.iter_mut().for_each(|h| *h = None);
+        for g in traversed {
+            self.held[g.out_port.0] = Some(g.port);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(ports: usize, vcs: usize) -> PacketChainingAllocator {
+        PacketChainingAllocator::new(AllocatorConfig::new(ports, VixPartition::baseline(vcs)))
+    }
+
+    #[test]
+    fn without_history_behaves_like_separable() {
+        let mut alloc = pc(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(2), VcId(3), PortId(4));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 2);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn chain_inherited_when_same_input_requests_same_output() {
+        let mut alloc = pc(3, 2);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.request(PortId(0), VcId(0), PortId(2));
+        reqs.request(PortId(1), VcId(0), PortId(2));
+        let g1 = alloc.allocate(&reqs);
+        alloc.observe_traversals(&g1);
+        let winner = g1.iter().next().unwrap().port;
+        assert_eq!(alloc.held_connections(), 1);
+
+        // Next cycle both still request; the chain keeps the same winner
+        // even though round-robin would have rotated.
+        let g2 = alloc.allocate(&reqs);
+        assert_eq!(g2.iter().next().unwrap().port, winner, "chain must persist");
+    }
+
+    #[test]
+    fn chain_may_switch_vc_anyvc_policy() {
+        let mut alloc = pc(3, 2);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.request(PortId(0), VcId(0), PortId(2));
+        let g1 = alloc.allocate(&reqs);
+        alloc.observe_traversals(&g1);
+
+        // Same input, different VC, same output: chain survives on VC 1.
+        let mut reqs2 = RequestSet::new(3, 2);
+        reqs2.request(PortId(0), VcId(1), PortId(2));
+        let g2 = alloc.allocate(&reqs2);
+        assert_eq!(g2.len(), 1);
+        assert_eq!(g2.iter().next().unwrap().vc, VcId(1));
+    }
+
+    #[test]
+    fn chain_broken_when_input_goes_idle() {
+        let mut alloc = pc(3, 2);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.request(PortId(0), VcId(0), PortId(2));
+        let g1 = alloc.allocate(&reqs);
+        alloc.observe_traversals(&g1);
+        assert_eq!(alloc.held_connections(), 1);
+
+        // Input 0 has nothing this cycle: connection must be released and
+        // the output becomes available to input 1.
+        let mut reqs2 = RequestSet::new(3, 2);
+        reqs2.request(PortId(1), VcId(0), PortId(2));
+        let g2 = alloc.allocate(&reqs2);
+        assert_eq!(g2.len(), 1);
+        assert_eq!(g2.iter().next().unwrap().port, PortId(1));
+    }
+
+    #[test]
+    fn chains_reduce_rearbitration_conflicts() {
+        // Two inputs alternate contending for two outputs. With chaining,
+        // once each input owns an output the pairing is stable and both
+        // outputs stay busy every cycle.
+        let mut alloc = pc(3, 2);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(0), VcId(1), PortId(2));
+        reqs.request(PortId(1), VcId(0), PortId(1));
+        reqs.request(PortId(1), VcId(1), PortId(2));
+        let mut total = 0;
+        let mut g = alloc.allocate(&reqs);
+        for _ in 0..10 {
+            alloc.observe_traversals(&g);
+            total += g.len();
+            g = alloc.allocate(&reqs);
+        }
+        assert!(total >= 18, "chained steady state must keep both outputs busy, got {total}");
+    }
+
+    #[test]
+    fn observe_traversals_replaces_history() {
+        let mut alloc = pc(3, 2);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.request(PortId(0), VcId(0), PortId(2));
+        let g = alloc.allocate(&reqs);
+        alloc.observe_traversals(&g);
+        assert_eq!(alloc.held_connections(), 1);
+        alloc.observe_traversals(&GrantSet::new());
+        assert_eq!(alloc.held_connections(), 0);
+    }
+
+    #[test]
+    fn grants_remain_conflict_free_with_chains() {
+        let mut alloc = pc(4, 2);
+        let mut g = GrantSet::new();
+        for cycle in 0..16 {
+            let mut reqs = RequestSet::new(4, 2);
+            for p in 0..4 {
+                for v in 0..2 {
+                    reqs.request(PortId(p), VcId(v), PortId((p + v + cycle) % 4));
+                }
+            }
+            alloc.observe_traversals(&g);
+            g = alloc.allocate(&reqs);
+            g.validate_against(&reqs, alloc.partition()).unwrap();
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Iterative separable allocator (iSLIP-style), included as an extension
+//! baseline beyond the paper's evaluated schemes.
+
+use crate::{AllocatorConfig, SwitchAllocator};
+use vix_arbiter::Arbiter;
+use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+
+/// Iterative grant–accept allocator after McKeown's iSLIP.
+///
+/// Each iteration runs two rounds over the *unmatched* ports:
+///
+/// 1. **Grant:** every free output picks one requesting free input with a
+///    rotating grant pointer.
+/// 2. **Accept:** every free input that received grants accepts one with a
+///    rotating accept pointer.
+///
+/// Pointers advance only for pairs matched in the **first** iteration —
+/// the property that gives iSLIP its 100 %-throughput guarantee under
+/// uniform traffic. More iterations recover matches lost to grant/accept
+/// conflicts; the paper's related work (§1) notes that such iterative
+/// allocators cannot meet a router's single-cycle timing, which is why the
+/// paper proposes VIX instead.
+#[derive(Debug)]
+pub struct IslipAllocator {
+    cfg: AllocatorConfig,
+    iterations: usize,
+    grant_pointers: Vec<usize>,
+    accept_pointers: Vec<usize>,
+    /// Champion VC selection per input port.
+    vc_selectors: Vec<Box<dyn Arbiter>>,
+}
+
+impl IslipAllocator {
+    /// Creates the allocator with the given iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    #[must_use]
+    pub fn new(cfg: AllocatorConfig, iterations: usize) -> Self {
+        assert!(iterations >= 1, "iSLIP needs at least one iteration");
+        let vc_selectors = (0..cfg.ports).map(|_| cfg.arbiter.build(cfg.partition.vcs())).collect();
+        IslipAllocator {
+            cfg,
+            iterations,
+            grant_pointers: vec![0; cfg.ports],
+            accept_pointers: vec![0; cfg.ports],
+            vc_selectors,
+        }
+    }
+
+    /// Configured iteration count.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+impl SwitchAllocator for IslipAllocator {
+    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        let ports = self.cfg.ports;
+        let vcs = self.cfg.partition.vcs();
+
+        // Port-level request matrix (ignore speculation for the matching;
+        // the VC champion prefers non-speculative below).
+        let mut wants = vec![false; ports * ports];
+        for r in requests.active_requests() {
+            wants[r.port.0 * ports + r.out_port.0] = true;
+        }
+
+        let mut matched_out_of_in: Vec<Option<usize>> = vec![None; ports];
+        let mut out_matched = vec![false; ports];
+
+        for iter in 0..self.iterations {
+            // Grant round.
+            let mut grants_to_input: Vec<Vec<usize>> = vec![Vec::new(); ports];
+            for out in 0..ports {
+                if out_matched[out] {
+                    continue;
+                }
+                let ptr = self.grant_pointers[out];
+                let pick = (0..ports)
+                    .map(|k| (ptr + k) % ports)
+                    .find(|&i| matched_out_of_in[i].is_none() && wants[i * ports + out]);
+                if let Some(i) = pick {
+                    grants_to_input[i].push(out);
+                }
+            }
+            // Accept round.
+            for input in 0..ports {
+                if matched_out_of_in[input].is_some() || grants_to_input[input].is_empty() {
+                    continue;
+                }
+                let ptr = self.accept_pointers[input];
+                let accepted = (0..ports)
+                    .map(|k| (ptr + k) % ports)
+                    .find(|o| grants_to_input[input].contains(o))
+                    .expect("non-empty grant list must contain an acceptable output");
+                matched_out_of_in[input] = Some(accepted);
+                out_matched[accepted] = true;
+                if iter == 0 {
+                    // Pointer update rule: one past the matched partner,
+                    // first iteration only.
+                    self.grant_pointers[accepted] = (input + 1) % ports;
+                    self.accept_pointers[input] = (accepted + 1) % ports;
+                }
+            }
+        }
+
+        // VC champions for matched pairs.
+        let mut grants = GrantSet::new();
+        for input in 0..ports {
+            let Some(out) = matched_out_of_in[input] else { continue };
+            let mut chosen = None;
+            for speculative in [false, true] {
+                let lines: Vec<bool> = (0..vcs)
+                    .map(|v| {
+                        requests.get(PortId(input), VcId(v)).is_some_and(|r| {
+                            r.out_port == PortId(out) && r.speculative == speculative
+                        })
+                    })
+                    .collect();
+                let sel = &mut self.vc_selectors[input];
+                if let Some(v) = sel.peek(&lines) {
+                    sel.commit(v);
+                    chosen = Some(VcId(v));
+                    break;
+                }
+            }
+            let vc = chosen.expect("matched pair implies a requesting VC");
+            grants.add(Grant { port: PortId(input), vc, out_port: PortId(out) });
+        }
+        grants
+    }
+
+    fn partition(&self) -> &VixPartition {
+        &self.cfg.partition
+    }
+
+    fn name(&self) -> &'static str {
+        "iSLIP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn islip(ports: usize, vcs: usize, iters: usize) -> IslipAllocator {
+        IslipAllocator::new(AllocatorConfig::new(ports, VixPartition::baseline(vcs)), iters)
+    }
+
+    #[test]
+    fn single_iteration_resolves_simple_requests() {
+        let mut alloc = islip(4, 2, 1);
+        let mut reqs = RequestSet::new(4, 2);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(2), VcId(0), PortId(3));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 2);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn second_iteration_recovers_lost_matches() {
+        // Input 0 requests {0, 1}; input 1 requests {1}. In iteration 1
+        // both outputs grant input 0 (grant pointers at 0); input 0 accepts
+        // output 0, wasting output 1's grant. Iteration 2 lets output 1
+        // re-grant to input 1.
+        let mut reqs = RequestSet::new(2, 2);
+        reqs.request(PortId(0), VcId(0), PortId(0));
+        reqs.request(PortId(0), VcId(1), PortId(1));
+        reqs.request(PortId(1), VcId(0), PortId(1));
+        let g1 = islip(2, 2, 1).allocate(&reqs);
+        assert_eq!(g1.len(), 1, "one iteration loses output 1 to the grant conflict");
+        let g2 = islip(2, 2, 2).allocate(&reqs);
+        assert_eq!(g2.len(), 2, "two iterations must find the full matching");
+    }
+
+    #[test]
+    fn desynchronized_pointers_give_full_throughput() {
+        // Classic iSLIP property: persistent all-to-all requests reach one
+        // grant per output per cycle after pointers desynchronise.
+        let mut alloc = islip(4, 1, 1);
+        let mut reqs = RequestSet::new(4, 1);
+        for p in 0..4 {
+            reqs.request(PortId(p), VcId(0), PortId((p + 1) % 4));
+        }
+        let mut total = 0;
+        for _ in 0..8 {
+            total += alloc.allocate(&reqs).len();
+        }
+        assert_eq!(total, 32, "non-conflicting persistent requests must all be served");
+    }
+
+    #[test]
+    fn pointer_update_only_first_iteration() {
+        let alloc = islip(4, 2, 3);
+        assert_eq!(alloc.iterations(), 3);
+        // Behavioural check: repeated contention alternates fairly.
+        let mut alloc = islip(2, 1, 3);
+        let mut wins = [0u32; 2];
+        for _ in 0..10 {
+            let mut reqs = RequestSet::new(2, 1);
+            reqs.request(PortId(0), VcId(0), PortId(0));
+            reqs.request(PortId(1), VcId(0), PortId(0));
+            wins[alloc.allocate(&reqs).iter().next().unwrap().port.0] += 1;
+        }
+        assert!(wins[0] > 0 && wins[1] > 0, "rotating pointers must share the output");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = islip(4, 2, 0);
+    }
+
+    #[test]
+    fn respects_input_port_constraint() {
+        let mut alloc = islip(4, 4, 4);
+        let mut reqs = RequestSet::new(4, 4);
+        for v in 0..4 {
+            reqs.request(PortId(0), VcId(v), PortId(v));
+        }
+        assert_eq!(alloc.allocate(&reqs).len(), 1);
+    }
+}

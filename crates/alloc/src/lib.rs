@@ -1,0 +1,230 @@
+//! Switch allocators for virtual-channel NoC routers.
+//!
+//! This crate implements every allocation scheme evaluated in the VIX paper
+//! (§4.1, §4.4) plus an iterative extension:
+//!
+//! | Scheme | Type | Paper role |
+//! |--------|------|-----------|
+//! | [`SeparableAllocator`] (k = 1) | input-first separable ("IF") | baseline |
+//! | [`SeparableAllocator`] (k ≥ 2) | separable over virtual inputs ("VIX") | **the contribution** |
+//! | [`WavefrontAllocator`] | wavefront ("WF") | quality baseline, 39 % slower circuit |
+//! | [`MaxMatchingAllocator`] (k = 1) | augmented-path maximum matching ("AP") | upper bound on port-level matching |
+//! | [`MaxMatchingAllocator`] (k = v) | ideal VC-level matching | upper bound used in Fig. 7/12 |
+//! | [`PacketChainingAllocator`] | *SameInput, anyVC* chaining ("PC") | §4.4 comparison |
+//! | [`IslipAllocator`] | iterative separable (iSLIP) | extension baseline |
+//!
+//! The unification at the heart of the crate: *a baseline router is a VIX
+//! router with one virtual input per port.* Every allocator therefore works
+//! on the [`VixPartition`] granularity — at most one grant per VC sub-group
+//! — and the baseline behaviour falls out of `groups == 1`.
+//!
+//! # Example
+//!
+//! ```
+//! use vix_alloc::{AllocatorConfig, SwitchAllocator, SeparableAllocator};
+//! use vix_core::{PortId, VcId, RequestSet, VixPartition};
+//!
+//! // A 5-port VIX router: 6 VCs in 2 sub-groups of 3.
+//! let cfg = AllocatorConfig::new(5, VixPartition::even(6, 2)?);
+//! let mut alloc = SeparableAllocator::new(cfg);
+//!
+//! let mut reqs = RequestSet::new(5, 6);
+//! reqs.request(PortId(0), VcId(0), PortId(1)); // sub-group 0
+//! reqs.request(PortId(0), VcId(3), PortId(2)); // sub-group 1
+//! let grants = alloc.allocate(&reqs);
+//! assert_eq!(grants.len(), 2, "VIX sends two flits from one port");
+//! # Ok::<(), vix_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chaining;
+mod islip;
+mod matching;
+mod max_matching;
+mod output_first;
+mod separable;
+mod wavefront;
+
+pub use chaining::PacketChainingAllocator;
+pub use islip::IslipAllocator;
+pub use matching::{max_bipartite_matching, max_bipartite_matching_from};
+pub use max_matching::MaxMatchingAllocator;
+pub use output_first::OutputFirstAllocator;
+pub use separable::SeparableAllocator;
+pub use wavefront::WavefrontAllocator;
+
+use vix_arbiter::ArbiterKind;
+use vix_core::{AllocatorKind, GrantSet, RequestSet, RouterConfig, VixPartition};
+
+/// How separable stages break ties between simultaneous requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PriorityPolicy {
+    /// Pure rotating/matrix arbitration (the paper's configuration).
+    #[default]
+    Rotating,
+    /// Prefer the oldest request ([`vix_core::SwitchRequest::age`]), with
+    /// the arbiter breaking age ties — the prioritisation optimisation of
+    /// Kumar et al.'s SPAROFLO that §5 notes "can be easily integrated
+    /// with VIX". Trades a wider comparator for lower tail latency.
+    OldestFirst,
+}
+
+/// Static parameters shared by all allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocatorConfig {
+    /// Physical ports (inputs == outputs == radix).
+    pub ports: usize,
+    /// VC → virtual-input partition (`groups == 1` for a baseline router).
+    pub partition: VixPartition,
+    /// Arbiter circuit used by separable stages.
+    pub arbiter: ArbiterKind,
+    /// Tie-break policy of the separable stages.
+    pub priority: PriorityPolicy,
+}
+
+impl AllocatorConfig {
+    /// Creates a configuration with round-robin arbiters.
+    #[must_use]
+    pub fn new(ports: usize, partition: VixPartition) -> Self {
+        AllocatorConfig {
+            ports,
+            partition,
+            arbiter: ArbiterKind::RoundRobin,
+            priority: PriorityPolicy::Rotating,
+        }
+    }
+
+    /// Overrides the arbiter circuit.
+    #[must_use]
+    pub fn with_arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Overrides the tie-break priority policy.
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityPolicy) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Derives the allocator configuration from a router configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router configuration is invalid; call
+    /// [`RouterConfig::validate`] first.
+    #[must_use]
+    pub fn from_router(router: &RouterConfig) -> Self {
+        let partition = router.partition().expect("router config must be valid");
+        AllocatorConfig::new(router.ports(), partition)
+    }
+}
+
+/// A switch allocator: turns one cycle's [`RequestSet`] into a conflict-free
+/// [`GrantSet`].
+///
+/// Implementations must uphold the crossbar invariants checked by
+/// [`GrantSet::validate_against`]: one grant per output port, one per input
+/// VC, one per virtual-input sub-group.
+pub trait SwitchAllocator: std::fmt::Debug {
+    /// Allocates the switch for one cycle.
+    fn allocate(&mut self, requests: &RequestSet) -> GrantSet;
+
+    /// The VC → virtual-input partition this allocator enforces.
+    fn partition(&self) -> &VixPartition;
+
+    /// Short display name (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Hook called at the end of every router cycle with the grants that
+    /// actually traversed the switch (some grants may be dropped, e.g.
+    /// failed speculation). Stateful allocators — packet chaining — use it;
+    /// the default is a no-op.
+    fn observe_traversals(&mut self, _traversed: &GrantSet) {}
+}
+
+/// Builds the allocator named by `kind` for a router described by `router`.
+///
+/// For [`AllocatorKind::Vix`] the router's own virtual-input setting
+/// determines the partition; for every other kind the partition is forced to
+/// the baseline single-group layout, matching the paper's configurations
+/// (only VIX routers have virtual inputs).
+///
+/// # Panics
+///
+/// Panics if the router configuration is invalid.
+#[must_use]
+pub fn build_allocator(kind: AllocatorKind, router: &RouterConfig) -> Box<dyn SwitchAllocator> {
+    router.validate().expect("router config must be valid");
+    let vcs = router.vcs_per_port();
+    let priority =
+        if router.age_based_sa { PriorityPolicy::OldestFirst } else { PriorityPolicy::Rotating };
+    let baseline =
+        AllocatorConfig::new(router.ports(), VixPartition::baseline(vcs)).with_priority(priority);
+    let vix_cfg = AllocatorConfig::from_router(router).with_priority(priority);
+    match kind {
+        AllocatorKind::InputFirst => Box::new(SeparableAllocator::new(baseline)),
+        AllocatorKind::Vix => Box::new(SeparableAllocator::new(vix_cfg)),
+        AllocatorKind::WavefrontVix => Box::new(WavefrontAllocator::new(vix_cfg)),
+        AllocatorKind::OutputFirst => Box::new(OutputFirstAllocator::new(baseline)),
+        AllocatorKind::Wavefront => Box::new(WavefrontAllocator::new(baseline)),
+        AllocatorKind::AugmentingPath => Box::new(MaxMatchingAllocator::new(baseline)),
+        AllocatorKind::PacketChaining => Box::new(PacketChainingAllocator::new(baseline)),
+        AllocatorKind::Islip(iters) => Box::new(IslipAllocator::new(baseline, iters)),
+    }
+}
+
+/// Builds the *ideal* allocator for a router: maximum matching at the
+/// granularity of the router's own partition (used for the "ideal VIX"
+/// series of Figs. 7 and 12).
+///
+/// # Panics
+///
+/// Panics if the router configuration is invalid.
+#[must_use]
+pub fn build_ideal_allocator(router: &RouterConfig) -> Box<dyn SwitchAllocator> {
+    router.validate().expect("router config must be valid");
+    Box::new(MaxMatchingAllocator::new(AllocatorConfig::from_router(router)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_core::VirtualInputs;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let router = RouterConfig::paper_default(5);
+        let vix_router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
+        assert_eq!(build_allocator(AllocatorKind::InputFirst, &router).name(), "IF");
+        assert_eq!(build_allocator(AllocatorKind::Vix, &vix_router).name(), "VIX");
+        assert_eq!(build_allocator(AllocatorKind::Wavefront, &router).name(), "WF");
+        assert_eq!(build_allocator(AllocatorKind::AugmentingPath, &router).name(), "AP");
+        assert_eq!(build_allocator(AllocatorKind::PacketChaining, &router).name(), "PC");
+        assert_eq!(build_allocator(AllocatorKind::Islip(2), &router).name(), "iSLIP");
+    }
+
+    #[test]
+    fn vix_allocator_inherits_router_partition() {
+        let router = RouterConfig::paper_default(5).with_virtual_inputs(VirtualInputs::PerPort(2));
+        let alloc = build_allocator(AllocatorKind::Vix, &router);
+        assert_eq!(alloc.partition().groups(), 2);
+    }
+
+    #[test]
+    fn non_vix_allocators_use_baseline_partition() {
+        let router = RouterConfig::paper_default(5).with_virtual_inputs(VirtualInputs::PerPort(2));
+        let alloc = build_allocator(AllocatorKind::InputFirst, &router);
+        assert_eq!(alloc.partition().groups(), 1);
+    }
+
+    #[test]
+    fn ideal_allocator_matches_at_vc_level() {
+        let router = RouterConfig::paper_default(5).with_virtual_inputs(VirtualInputs::Ideal);
+        let alloc = build_ideal_allocator(&router);
+        assert_eq!(alloc.partition().groups(), 6);
+    }
+}

@@ -1,0 +1,178 @@
+//! Maximum bipartite matching via augmenting paths.
+//!
+//! This is the computational core of the paper's "AP" allocator (§4.1,
+//! attributed to Ford & Fulkerson) and of the ideal VC-level allocator.
+//! Kuhn's algorithm: repeatedly search for an augmenting path from each
+//! unmatched left vertex. Runs in `O(V · E)`, far too slow for a router
+//! cycle — which is exactly the paper's point (Table 3 lists AP as
+//! *infeasible* in hardware) — but fine for simulation.
+
+/// Computes a maximum matching in a bipartite graph.
+///
+/// `adjacency[l]` lists the right-side vertices reachable from left vertex
+/// `l`. Returns `match_of_left` where `match_of_left[l]` is the right vertex
+/// matched to `l`, or `None`.
+///
+/// Left vertices are scanned in index order, and adjacency lists are tried
+/// in the order given. Ties between equally-maximal matchings are therefore
+/// resolved in favour of low indices — the fixed scan order of a
+/// combinational augmenting-path circuit. The paper's network-level
+/// unfairness result for AP (Fig. 9) emerges from this determinism.
+///
+/// # Panics
+///
+/// Panics if an adjacency entry is `>= rights`.
+///
+/// # Example
+///
+/// ```
+/// use vix_alloc::max_bipartite_matching;
+///
+/// // Two left vertices both reach right 0; left 1 also reaches right 1.
+/// let m = max_bipartite_matching(2, 2, &[vec![0], vec![0, 1]]);
+/// assert_eq!(m, vec![Some(0), Some(1)]);
+/// ```
+#[must_use]
+pub fn max_bipartite_matching(
+    lefts: usize,
+    rights: usize,
+    adjacency: &[Vec<usize>],
+) -> Vec<Option<usize>> {
+    max_bipartite_matching_from(lefts, rights, adjacency, 0)
+}
+
+/// [`max_bipartite_matching`] with a rotated left-vertex scan start.
+///
+/// The matching size is identical for any `offset` (maximum is maximum);
+/// only the tie-break between equally-maximal matchings changes. Allocators
+/// rotate the offset every cycle so that no port enjoys *permanent*
+/// tie-break priority — the residual bias of greedy maximum matching is
+/// what the paper measures as AP's network-level unfairness (Fig. 9).
+///
+/// # Panics
+///
+/// Panics if an adjacency entry is `>= rights`.
+#[must_use]
+pub fn max_bipartite_matching_from(
+    lefts: usize,
+    rights: usize,
+    adjacency: &[Vec<usize>],
+    offset: usize,
+) -> Vec<Option<usize>> {
+    assert_eq!(adjacency.len(), lefts, "adjacency must have one entry per left vertex");
+    for adj in adjacency {
+        for &r in adj {
+            assert!(r < rights, "right vertex {r} out of range ({rights})");
+        }
+    }
+    let mut match_of_right: Vec<Option<usize>> = vec![None; rights];
+    let mut match_of_left: Vec<Option<usize>> = vec![None; lefts];
+
+    fn try_augment(
+        l: usize,
+        adjacency: &[Vec<usize>],
+        visited: &mut [bool],
+        match_of_right: &mut [Option<usize>],
+        match_of_left: &mut [Option<usize>],
+    ) -> bool {
+        for &r in &adjacency[l] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            let free = match match_of_right[r] {
+                None => true,
+                Some(other) => {
+                    try_augment(other, adjacency, visited, match_of_right, match_of_left)
+                }
+            };
+            if free {
+                match_of_right[r] = Some(l);
+                match_of_left[l] = Some(r);
+                return true;
+            }
+        }
+        false
+    }
+
+    for i in 0..lefts {
+        let l = (i + offset) % lefts;
+        let mut visited = vec![false; rights];
+        try_augment(l, adjacency, &mut visited, &mut match_of_right, &mut match_of_left);
+    }
+    match_of_left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matching_size(m: &[Option<usize>]) -> usize {
+        m.iter().filter(|x| x.is_some()).count()
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        // 3×3 with a permutation available.
+        let m = max_bipartite_matching(3, 3, &[vec![0, 1], vec![0], vec![1, 2]]);
+        assert_eq!(matching_size(&m), 3);
+        assert_eq!(m[1], Some(0));
+    }
+
+    #[test]
+    fn augmenting_path_reassigns_earlier_match() {
+        // Left 0 grabs right 0 first; left 1 only reaches right 0, forcing
+        // the augmenting path to move left 0 to right 1.
+        let m = max_bipartite_matching(2, 2, &[vec![0, 1], vec![0]]);
+        assert_eq!(m, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn empty_graph_matches_nothing() {
+        let m = max_bipartite_matching(3, 3, &[vec![], vec![], vec![]]);
+        assert_eq!(matching_size(&m), 0);
+    }
+
+    #[test]
+    fn star_graph_matches_one() {
+        // All lefts want right 0.
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| vec![0]).collect();
+        let m = max_bipartite_matching(4, 3, &adj);
+        assert_eq!(matching_size(&m), 1);
+        assert_eq!(m[0], Some(0), "fixed scan order favours left 0");
+    }
+
+    #[test]
+    fn rectangular_graphs_work() {
+        let m = max_bipartite_matching(2, 5, &[vec![4], vec![4, 1]]);
+        assert_eq!(m, vec![Some(4), Some(1)]);
+    }
+
+    #[test]
+    fn no_right_vertex_matched_twice() {
+        let adj: Vec<Vec<usize>> = (0..6).map(|l| vec![l % 3, (l + 1) % 3]).collect();
+        let m = max_bipartite_matching(6, 3, &adj);
+        let mut used = [false; 3];
+        for r in m.into_iter().flatten() {
+            assert!(!used[r], "right {r} matched twice");
+            used[r] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_adjacency_panics() {
+        let _ = max_bipartite_matching(1, 1, &[vec![3]]);
+    }
+
+    #[test]
+    fn maximality_matches_greedy_lower_bound() {
+        // On a known hard instance the matching must beat plain greedy.
+        // Greedy (no augmenting) would match left0→right0 and stop at 1 on
+        // `augmenting_path_reassigns_earlier_match`; here verify a chain of
+        // forced reassignments resolves to the full matching.
+        let adj = vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3]];
+        let m = max_bipartite_matching(4, 4, &adj);
+        assert_eq!(matching_size(&m), 4);
+    }
+}

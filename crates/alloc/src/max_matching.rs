@@ -1,0 +1,255 @@
+//! Maximum-matching allocators: the paper's "AP" scheme and the ideal
+//! VC-level matcher, unified over the virtual-input partition.
+
+use crate::{AllocatorConfig, SwitchAllocator};
+use vix_arbiter::Arbiter;
+use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
+
+/// Augmented-path maximum-matching allocator.
+///
+/// Builds a bipartite graph between *virtual inputs* (`ports × groups` left
+/// vertices) and output ports, with an edge wherever any VC of the
+/// sub-group requests the output, and computes a maximum matching with
+/// Kuhn's augmenting-path algorithm ([`crate::max_bipartite_matching`]).
+///
+/// * With the baseline partition (1 group/port) this is the paper's **AP**
+///   allocator: provably maximum *port-level* matching, but — like any
+///   matching on ports — still subject to the input-port constraint.
+/// * With the ideal partition (1 group/VC) it is the paper's **ideal VIX**:
+///   a maximum matching at VC granularity, the upper bound of Figs. 7 & 12.
+///
+/// Greedy maximum matching has no fairness mechanism: it maximises this
+/// cycle's transfer count with no regard for who waited. A rotating scan
+/// offset removes *permanent* tie-break priority, but the residual
+/// position-dependent bias is what the paper measures as AP's
+/// network-level unfairness (Fig. 9). Within a matched sub-group the
+/// champion VC is selected by a round-robin arbiter so multi-VC sub-groups
+/// do not starve internally.
+#[derive(Debug)]
+pub struct MaxMatchingAllocator {
+    cfg: AllocatorConfig,
+    /// Champion selection within a matched sub-group, one per virtual input.
+    vc_selectors: Vec<Box<dyn Arbiter>>,
+    /// Rotating scan-start offset: removes *permanent* tie-break priority
+    /// while keeping the greedy maximum-matching structure.
+    offset: usize,
+}
+
+impl MaxMatchingAllocator {
+    /// Creates the allocator.
+    #[must_use]
+    pub fn new(cfg: AllocatorConfig) -> Self {
+        let groups = cfg.partition.groups();
+        let vc_selectors =
+            (0..cfg.ports * groups).map(|_| cfg.arbiter.build(cfg.partition.group_size())).collect();
+        MaxMatchingAllocator { cfg, vc_selectors, offset: 0 }
+    }
+
+    fn vi_index(&self, port: usize, group: usize) -> usize {
+        port * self.cfg.partition.groups() + group
+    }
+}
+
+impl SwitchAllocator for MaxMatchingAllocator {
+    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
+        let ports = self.cfg.ports;
+        let part = self.cfg.partition;
+        let groups = part.groups();
+
+        // Edge (virtual input → output) iff some VC of the sub-group
+        // requests the output. Adjacency in ascending output order: the
+        // fixed tie-break of a hardware matching network.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); ports * groups];
+        for port in 0..ports {
+            for group in 0..groups {
+                let vi = self.vi_index(port, group);
+                let mut outs: Vec<usize> = part
+                    .vcs_in_group(VirtualInputId(group))
+                    .filter_map(|vc| requests.get(PortId(port), vc).map(|r| r.out_port.0))
+                    .collect();
+                outs.sort_unstable();
+                outs.dedup();
+                adjacency[vi] = outs;
+            }
+        }
+
+        let matching =
+            crate::matching::max_bipartite_matching_from(ports * groups, ports, &adjacency, self.offset);
+        self.offset = (self.offset + 1) % (ports * groups);
+
+        let mut grants = GrantSet::new();
+        for port in 0..ports {
+            for group in 0..groups {
+                let vi = self.vi_index(port, group);
+                let Some(out) = matching[vi] else { continue };
+                // Champion among the sub-group's VCs that request `out`.
+                let vcs: Vec<VcId> = part.vcs_in_group(VirtualInputId(group)).collect();
+                let lines: Vec<bool> = vcs
+                    .iter()
+                    .map(|&vc| {
+                        requests.get(PortId(port), vc).is_some_and(|r| r.out_port.0 == out)
+                    })
+                    .collect();
+                let selector = &mut self.vc_selectors[vi];
+                let local = selector.peek(&lines).expect("matched edge implies a requesting VC");
+                selector.commit(local);
+                grants.add(Grant { port: PortId(port), vc: vcs[local], out_port: PortId(out) });
+            }
+        }
+        grants
+    }
+
+    fn partition(&self) -> &VixPartition {
+        &self.cfg.partition
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.partition.groups() == self.cfg.partition.vcs() {
+            "Ideal"
+        } else if self.cfg.partition.groups() > 1 {
+            "AP-VIX"
+        } else {
+            "AP"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(ports: usize, vcs: usize) -> MaxMatchingAllocator {
+        MaxMatchingAllocator::new(AllocatorConfig::new(ports, VixPartition::baseline(vcs)))
+    }
+
+    fn ideal(ports: usize, vcs: usize) -> MaxMatchingAllocator {
+        MaxMatchingAllocator::new(AllocatorConfig::new(
+            ports,
+            VixPartition::even(vcs, vcs).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn ap_achieves_maximum_port_matching() {
+        // Separable IF can miss this matching; AP must find it.
+        // Port 0 wants {1, 2}; port 1 wants {1}. Maximum matching: 0→2, 1→1.
+        let mut alloc = ap(3, 2);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(0), VcId(1), PortId(2));
+        reqs.request(PortId(1), VcId(0), PortId(1));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 2);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn ap_respects_input_port_constraint() {
+        // Only requests in the network come from one port: even a maximum
+        // matcher can grant just one (the paper's second problem).
+        let mut alloc = ap(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(0), VcId(3), PortId(2));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 1);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn ideal_lifts_input_port_constraint() {
+        let mut alloc = ideal(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(0), VcId(3), PortId(2));
+        reqs.request(PortId(0), VcId(5), PortId(4));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 3, "ideal VIX transfers one flit per requesting VC");
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn ideal_is_optimal_no_requested_output_idles() {
+        // The paper's definition of optimal allocation: every output with
+        // ≥1 requesting VC is busy. With per-VC virtual inputs a maximum
+        // matching achieves it whenever requests ≥ outputs demanded.
+        let mut alloc = ideal(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        for p in 0..5 {
+            for v in 0..6 {
+                reqs.request(PortId(p), VcId(v), PortId((p + v) % 5));
+            }
+        }
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 5, "all 5 outputs must be allocated");
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn ap_matching_never_smaller_than_separable() {
+        use crate::SeparableAllocator;
+        // Exhaustive-ish sweep of small request patterns.
+        let patterns: Vec<Vec<(usize, usize, usize)>> = vec![
+            vec![(0, 0, 1), (1, 0, 1), (2, 0, 1)],
+            vec![(0, 0, 1), (0, 1, 2), (1, 0, 2), (2, 1, 0)],
+            vec![(0, 0, 2), (1, 1, 2), (2, 0, 0), (2, 1, 1)],
+        ];
+        for pat in patterns {
+            let mut reqs = RequestSet::new(3, 2);
+            for &(p, v, o) in &pat {
+                reqs.request(PortId(p), VcId(v), PortId(o));
+            }
+            let mut ap_alloc = ap(3, 2);
+            let mut sep = SeparableAllocator::new(AllocatorConfig::new(
+                3,
+                VixPartition::baseline(2),
+            ));
+            assert!(
+                ap_alloc.allocate(&reqs).len() >= sep.allocate(&reqs).len(),
+                "AP must never under-match separable on {pat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotating_offset_shares_contended_output() {
+        // Ports 0 and 1 contend for output 2 forever; the rotating scan
+        // offset must not let either starve permanently.
+        let mut alloc = ap(3, 2);
+        let mut wins = [0u32; 3];
+        for _ in 0..12 {
+            let mut reqs = RequestSet::new(3, 2);
+            reqs.request(PortId(0), VcId(0), PortId(2));
+            reqs.request(PortId(1), VcId(0), PortId(2));
+            wins[alloc.allocate(&reqs).iter().next().unwrap().port.0] += 1;
+        }
+        assert!(wins[0] > 0 && wins[1] > 0, "both contenders must win sometimes: {wins:?}");
+    }
+
+    #[test]
+    fn vc_selector_rotates_within_subgroup() {
+        // Both VCs of port 0 request output 1; grants alternate VCs.
+        let mut alloc = ap(3, 2);
+        let mut winners = Vec::new();
+        for _ in 0..4 {
+            let mut reqs = RequestSet::new(3, 2);
+            reqs.request(PortId(0), VcId(0), PortId(1));
+            reqs.request(PortId(0), VcId(1), PortId(1));
+            winners.push(alloc.allocate(&reqs).iter().next().unwrap().vc);
+        }
+        assert_eq!(winners, vec![VcId(0), VcId(1), VcId(0), VcId(1)]);
+    }
+
+    #[test]
+    fn names_reflect_partition() {
+        assert_eq!(ap(5, 6).name(), "AP");
+        assert_eq!(ideal(5, 6).name(), "Ideal");
+        let hybrid = MaxMatchingAllocator::new(AllocatorConfig::new(
+            5,
+            VixPartition::even(6, 2).unwrap(),
+        ));
+        assert_eq!(hybrid.name(), "AP-VIX");
+    }
+}

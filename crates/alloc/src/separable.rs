@@ -1,0 +1,444 @@
+//! The input-first separable allocator, over virtual inputs.
+//!
+//! This single implementation covers both the paper's baseline "IF"
+//! allocator and the VIX allocator of Fig. 3: the only difference is the
+//! [`VixPartition`] — one sub-group per port for IF, `k` sub-groups for a
+//! 1:k VIX router.
+
+use crate::{AllocatorConfig, PriorityPolicy, SwitchAllocator};
+use vix_arbiter::Arbiter;
+use vix_core::{Grant, GrantSet, PortId, RequestSet, SwitchRequest, VcId, VixPartition};
+
+/// Input-first separable switch allocator (Fig. 3 of the paper).
+///
+/// **Stage 1 (input arbitration):** one `v/k : 1` arbiter per virtual input
+/// selects a champion VC among the requesting VCs of its sub-group.
+///
+/// **Stage 2 (output arbitration):** one `P·k : 1` arbiter per output port
+/// selects one champion among the virtual inputs requesting it.
+///
+/// Non-speculative requests are prioritised over speculative ones in both
+/// stages, per the pessimistic-masking scheme of Becker & Dally that the
+/// paper cites: speculative requests only see outputs that no
+/// non-speculative request claimed. With
+/// [`PriorityPolicy::OldestFirst`] both stages additionally
+/// prefer the request with the largest age, the arbiter only breaking
+/// ties (the SPAROFLO-style optimisation of §5).
+///
+/// Input-arbiter priority pointers advance only when the champion also wins
+/// output arbitration (grant-aware update), which preserves round-robin
+/// fairness end to end.
+#[derive(Debug)]
+pub struct SeparableAllocator {
+    cfg: AllocatorConfig,
+    /// One per (port × sub-group), each over the sub-group's VCs.
+    input_arbiters: Vec<Box<dyn Arbiter>>,
+    /// One per output port, each over all `ports × groups` virtual inputs.
+    output_arbiters: Vec<Box<dyn Arbiter>>,
+}
+
+impl SeparableAllocator {
+    /// Creates the allocator for `cfg.ports` ports and the given partition.
+    #[must_use]
+    pub fn new(cfg: AllocatorConfig) -> Self {
+        let groups = cfg.partition.groups();
+        let group_size = cfg.partition.group_size();
+        let input_arbiters =
+            (0..cfg.ports * groups).map(|_| cfg.arbiter.build(group_size)).collect();
+        let output_arbiters =
+            (0..cfg.ports).map(|_| cfg.arbiter.build(cfg.ports * groups)).collect();
+        SeparableAllocator { cfg, input_arbiters, output_arbiters }
+    }
+
+    /// Number of virtual inputs (`ports × groups`).
+    fn virtual_inputs(&self) -> usize {
+        self.cfg.ports * self.cfg.partition.groups()
+    }
+
+    /// Flat index of virtual input `(port, group)`.
+    fn vi_index(&self, port: usize, group: usize) -> usize {
+        port * self.cfg.partition.groups() + group
+    }
+
+    /// Stage 1 for one virtual input: pick a champion VC among requesting
+    /// VCs of the sub-group, preferring non-speculative requests.
+    ///
+    /// Returns the champion's request and its *local* index within the
+    /// sub-group (needed for the grant-aware pointer update).
+    fn input_stage<'r>(
+        &self,
+        requests: &'r RequestSet,
+        port: usize,
+        group: usize,
+    ) -> Option<(&'r SwitchRequest, usize)> {
+        let part = &self.cfg.partition;
+        let vcs: Vec<VcId> = part.vcs_in_group(vix_core::VirtualInputId(group)).collect();
+        let arb = &self.input_arbiters[self.vi_index(port, group)];
+        // Pessimistic masking: non-speculative first.
+        for speculative in [false, true] {
+            let mut lines: Vec<bool> = vcs
+                .iter()
+                .map(|&vc| {
+                    requests
+                        .get(PortId(port), vc)
+                        .is_some_and(|r| r.speculative == speculative)
+                })
+                .collect();
+            if self.cfg.priority == PriorityPolicy::OldestFirst {
+                let ages: Vec<u64> = vcs
+                    .iter()
+                    .map(|&vc| requests.get(PortId(port), vc).map_or(0, |r| r.age))
+                    .collect();
+                mask_to_oldest(&mut lines, &ages);
+            }
+            if let Some(local) = arb.peek(&lines) {
+                let req = requests.get(PortId(port), vcs[local]).expect("line implies request");
+                return Some((req, local));
+            }
+        }
+        None
+    }
+}
+
+/// Clears every asserted line whose age is below the maximum asserted age,
+/// leaving the arbiter to break ties among the oldest.
+fn mask_to_oldest(lines: &mut [bool], ages: &[u64]) {
+    debug_assert_eq!(lines.len(), ages.len());
+    let Some(max) = lines.iter().zip(ages).filter(|(l, _)| **l).map(|(_, a)| *a).max() else {
+        return;
+    };
+    for (line, age) in lines.iter_mut().zip(ages) {
+        if *age < max {
+            *line = false;
+        }
+    }
+}
+
+impl SwitchAllocator for SeparableAllocator {
+    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
+        let ports = self.cfg.ports;
+        let groups = self.cfg.partition.groups();
+
+        // Stage 1: champions[vi] = (request, local VC index in sub-group).
+        let mut champions: Vec<Option<(SwitchRequest, usize)>> = vec![None; self.virtual_inputs()];
+        for port in 0..ports {
+            for group in 0..groups {
+                champions[self.vi_index(port, group)] =
+                    self.input_stage(requests, port, group).map(|(r, l)| (*r, l));
+            }
+        }
+
+        // Stage 2: per-output arbitration among champion virtual inputs,
+        // non-speculative pass first.
+        let mut grants = GrantSet::new();
+        let mut output_taken = vec![false; ports];
+        let mut vi_taken = vec![false; self.virtual_inputs()];
+        for speculative in [false, true] {
+            for out in 0..ports {
+                if output_taken[out] {
+                    continue;
+                }
+                let mut lines: Vec<bool> = (0..self.virtual_inputs())
+                    .map(|vi| {
+                        !vi_taken[vi]
+                            && champions[vi].as_ref().is_some_and(|(r, _)| {
+                                r.out_port == PortId(out) && r.speculative == speculative
+                            })
+                    })
+                    .collect();
+                if self.cfg.priority == PriorityPolicy::OldestFirst {
+                    let ages: Vec<u64> = (0..self.virtual_inputs())
+                        .map(|vi| champions[vi].as_ref().map_or(0, |(r, _)| r.age))
+                        .collect();
+                    mask_to_oldest(&mut lines, &ages);
+                }
+                let Some(winner_vi) = self.output_arbiters[out].peek(&lines) else {
+                    continue;
+                };
+                let (req, local) = champions[winner_vi].expect("winner implies champion");
+                output_taken[out] = true;
+                vi_taken[winner_vi] = true;
+                self.output_arbiters[out].commit(winner_vi);
+                // Grant-aware input pointer update.
+                self.input_arbiters[winner_vi].commit(local);
+                grants.add(Grant { port: req.port, vc: req.vc, out_port: out.into() });
+            }
+        }
+        grants
+    }
+
+    fn partition(&self) -> &VixPartition {
+        &self.cfg.partition
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.partition.groups() > 1 {
+            "VIX"
+        } else {
+            "IF"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_core::VcId;
+
+    fn baseline(ports: usize, vcs: usize) -> SeparableAllocator {
+        SeparableAllocator::new(AllocatorConfig::new(ports, VixPartition::baseline(vcs)))
+    }
+
+    fn vix(ports: usize, vcs: usize, groups: usize) -> SeparableAllocator {
+        SeparableAllocator::new(AllocatorConfig::new(
+            ports,
+            VixPartition::even(vcs, groups).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn single_request_is_granted() {
+        let mut alloc = baseline(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        reqs.request(PortId(2), VcId(4), PortId(0));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.output_of(PortId(2), VcId(4)), Some(PortId(0)));
+    }
+
+    #[test]
+    fn baseline_port_sends_at_most_one_flit() {
+        let mut alloc = baseline(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        // Two VCs of port 0 want different outputs — the input-port
+        // constraint (no virtual inputs) allows only one transfer.
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.request(PortId(0), VcId(3), PortId(2));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 1);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn vix_port_sends_two_flits_from_different_subgroups() {
+        // The paper's Fig. 4 scenario: VC0 → Local, VC2 → East from the
+        // same (West) input port; with virtual inputs both transfer.
+        let mut alloc = vix(5, 4, 2);
+        let mut reqs = RequestSet::new(5, 4);
+        reqs.request(PortId(1), VcId(0), PortId(4)); // sub-group 0 → Local
+        reqs.request(PortId(1), VcId(2), PortId(2)); // sub-group 1 → East
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 2, "VIX must allocate both outputs");
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn vix_same_subgroup_still_conflicts() {
+        let mut alloc = vix(5, 4, 2);
+        let mut reqs = RequestSet::new(5, 4);
+        reqs.request(PortId(1), VcId(0), PortId(4));
+        reqs.request(PortId(1), VcId(1), PortId(2)); // same sub-group as VC0
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 1, "one virtual input serves one VC per cycle");
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn vix_exposes_more_requests_to_output_arbitration() {
+        // The paper's Fig. 5 scenario. Baseline: West and South champions
+        // both pick East → 1 transfer + whatever West's other VC lost.
+        // VIX: South's two sub-groups expose North and East → 3 transfers.
+        // Ports: 0=N 1=E 2=S 3=W 4=L (any consistent naming works).
+        let mut reqs = RequestSet::new(5, 4);
+        reqs.request(PortId(3), VcId(0), PortId(1)); // West vc0 → East
+        reqs.request(PortId(2), VcId(0), PortId(1)); // South vc0 → East
+        reqs.request(PortId(2), VcId(2), PortId(0)); // South vc2 → North
+
+        let mut base = baseline(5, 4);
+        let gb = base.allocate(&reqs);
+        // Baseline input arbiters (fresh round-robin) pick VC0 at both
+        // ports: both champion East, so only one wins; North idles.
+        assert_eq!(gb.len(), 1);
+
+        let mut v = vix(5, 4, 2);
+        let gv = v.allocate(&reqs);
+        assert_eq!(gv.len(), 2, "VIX serves East and North in the same cycle");
+        gv.validate_against(&reqs, v.partition()).unwrap();
+    }
+
+    #[test]
+    fn output_conflict_resolved_round_robin_over_cycles() {
+        let mut alloc = baseline(3, 2);
+        let mut winners = Vec::new();
+        for _ in 0..4 {
+            let mut reqs = RequestSet::new(3, 2);
+            reqs.request(PortId(0), VcId(0), PortId(2));
+            reqs.request(PortId(1), VcId(0), PortId(2));
+            let g = alloc.allocate(&reqs);
+            assert_eq!(g.len(), 1);
+            winners.push(g.iter().next().unwrap().port);
+        }
+        // Round-robin output arbiter alternates the two contenders.
+        assert_eq!(winners, vec![PortId(0), PortId(1), PortId(0), PortId(1)]);
+    }
+
+    #[test]
+    fn non_speculative_beats_speculative() {
+        let mut alloc = baseline(5, 2);
+        let mut reqs = RequestSet::new(5, 2);
+        reqs.push(SwitchRequest {
+            port: PortId(0),
+            vc: VcId(0),
+            out_port: PortId(4),
+            speculative: true,
+            age: 0,
+        });
+        reqs.push(SwitchRequest {
+            port: PortId(1),
+            vc: VcId(0),
+            out_port: PortId(4),
+            speculative: false,
+            age: 0,
+        });
+        for _ in 0..3 {
+            let g = alloc.allocate(&reqs);
+            assert_eq!(g.len(), 1);
+            assert_eq!(
+                g.iter().next().unwrap().port,
+                PortId(1),
+                "non-speculative must always preempt speculative"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_request_wins_uncontested_output() {
+        let mut alloc = baseline(5, 2);
+        let mut reqs = RequestSet::new(5, 2);
+        reqs.push(SwitchRequest {
+            port: PortId(0),
+            vc: VcId(1),
+            out_port: PortId(3),
+            speculative: true,
+            age: 0,
+        });
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn speculative_and_nonspeculative_from_same_port_respect_capacity() {
+        // Baseline port: even mixing speculation, at most one grant/port.
+        let mut alloc = baseline(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        reqs.request(PortId(0), VcId(0), PortId(1));
+        reqs.push(SwitchRequest {
+            port: PortId(0),
+            vc: VcId(5),
+            out_port: PortId(2),
+            speculative: true,
+            age: 0,
+        });
+        let g = alloc.allocate(&reqs);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn empty_request_set_grants_nothing() {
+        let mut alloc = vix(5, 6, 2);
+        let g = alloc.allocate(&RequestSet::new(5, 6));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn full_uniform_contention_fills_all_outputs() {
+        // Every port's every VC requests output (port+1) mod 5: each output
+        // has 4 requesting ports ⇒ all 5 outputs must be granted.
+        let mut alloc = baseline(5, 6);
+        let mut reqs = RequestSet::new(5, 6);
+        for p in 0..5 {
+            for v in 0..6 {
+                reqs.request(PortId(p), VcId(v), PortId((p + 1) % 5));
+            }
+        }
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 5);
+        g.validate_against(&reqs, alloc.partition()).unwrap();
+    }
+
+    #[test]
+    fn name_reflects_partition() {
+        assert_eq!(baseline(5, 6).name(), "IF");
+        assert_eq!(vix(5, 6, 2).name(), "VIX");
+    }
+
+    fn aged_request(p: usize, v: usize, o: usize, age: u64) -> SwitchRequest {
+        SwitchRequest { port: PortId(p), vc: VcId(v), out_port: PortId(o), speculative: false, age }
+    }
+
+    #[test]
+    fn oldest_first_wins_output_contention() {
+        use crate::PriorityPolicy;
+        let cfg = AllocatorConfig::new(3, VixPartition::baseline(2))
+            .with_priority(PriorityPolicy::OldestFirst);
+        let mut alloc = SeparableAllocator::new(cfg);
+        for _ in 0..4 {
+            let mut reqs = RequestSet::new(3, 2);
+            reqs.push(aged_request(0, 0, 2, 1));
+            reqs.push(aged_request(1, 0, 2, 9)); // older
+            let g = alloc.allocate(&reqs);
+            assert_eq!(g.iter().next().unwrap().port, PortId(1), "oldest must always win");
+        }
+    }
+
+    #[test]
+    fn oldest_first_wins_input_stage_too() {
+        use crate::PriorityPolicy;
+        let cfg = AllocatorConfig::new(3, VixPartition::baseline(3))
+            .with_priority(PriorityPolicy::OldestFirst);
+        let mut alloc = SeparableAllocator::new(cfg);
+        let mut reqs = RequestSet::new(3, 3);
+        reqs.push(aged_request(0, 0, 1, 2));
+        reqs.push(aged_request(0, 2, 2, 40)); // older VC of the same port
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.iter().next().unwrap().vc, VcId(2));
+    }
+
+    #[test]
+    fn age_ties_fall_back_to_arbiter_rotation() {
+        use crate::PriorityPolicy;
+        let cfg = AllocatorConfig::new(3, VixPartition::baseline(2))
+            .with_priority(PriorityPolicy::OldestFirst);
+        let mut alloc = SeparableAllocator::new(cfg);
+        let mut winners = Vec::new();
+        for _ in 0..4 {
+            let mut reqs = RequestSet::new(3, 2);
+            reqs.push(aged_request(0, 0, 2, 5));
+            reqs.push(aged_request(1, 0, 2, 5));
+            winners.push(alloc.allocate(&reqs).iter().next().unwrap().port);
+        }
+        assert!(winners.contains(&PortId(0)) && winners.contains(&PortId(1)),
+            "equal ages must share via the arbiter: {winners:?}");
+    }
+
+    #[test]
+    fn oldest_first_never_beats_speculation_masking() {
+        use crate::PriorityPolicy;
+        // An old speculative request still loses to a young non-speculative
+        // one: speculation masking is the outer priority.
+        let cfg = AllocatorConfig::new(3, VixPartition::baseline(2))
+            .with_priority(PriorityPolicy::OldestFirst);
+        let mut alloc = SeparableAllocator::new(cfg);
+        let mut reqs = RequestSet::new(3, 2);
+        reqs.push(SwitchRequest {
+            port: PortId(0), vc: VcId(0), out_port: PortId(2), speculative: true, age: 99,
+        });
+        reqs.push(aged_request(1, 0, 2, 0));
+        let g = alloc.allocate(&reqs);
+        assert_eq!(g.iter().next().unwrap().port, PortId(1));
+    }
+}

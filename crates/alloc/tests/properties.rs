@@ -1,0 +1,126 @@
+//! Property-based tests spanning all switch allocators.
+//!
+//! Random request sets are thrown at freshly-built allocators; every grant
+//! set must satisfy the crossbar invariants, and the documented dominance
+//! relations between allocators must hold instance by instance.
+
+use proptest::prelude::*;
+use vix_alloc::{
+    AllocatorConfig, IslipAllocator, MaxMatchingAllocator, PacketChainingAllocator,
+    PriorityPolicy, SeparableAllocator, SwitchAllocator, WavefrontAllocator,
+};
+use vix_core::{PortId, RequestSet, VcId, VixPartition};
+
+const PORTS: usize = 5;
+const VCS: usize = 6;
+
+/// Strategy: an arbitrary request set for a 5-port, 6-VC router. Each VC
+/// independently requests a random output or stays idle.
+fn request_sets() -> impl Strategy<Value = RequestSet> {
+    prop::collection::vec(prop::option::of(0..PORTS), PORTS * VCS).prop_map(|cells| {
+        let mut rs = RequestSet::new(PORTS, VCS);
+        for (i, out) in cells.into_iter().enumerate() {
+            if let Some(o) = out {
+                rs.request(PortId(i / VCS), VcId(i % VCS), PortId(o));
+            }
+        }
+        rs
+    })
+}
+
+fn all_allocators() -> Vec<Box<dyn SwitchAllocator>> {
+    let baseline = AllocatorConfig::new(PORTS, VixPartition::baseline(VCS));
+    let vix2 = AllocatorConfig::new(PORTS, VixPartition::even(VCS, 2).unwrap());
+    let ideal = AllocatorConfig::new(PORTS, VixPartition::even(VCS, VCS).unwrap());
+    vec![
+        Box::new(SeparableAllocator::new(baseline)),
+        Box::new(SeparableAllocator::new(vix2)),
+        Box::new(SeparableAllocator::new(vix2.with_priority(PriorityPolicy::OldestFirst))),
+        Box::new(WavefrontAllocator::new(baseline)),
+        Box::new(WavefrontAllocator::new(vix2)),
+        Box::new(MaxMatchingAllocator::new(baseline)),
+        Box::new(MaxMatchingAllocator::new(ideal)),
+        Box::new(PacketChainingAllocator::new(baseline)),
+        Box::new(IslipAllocator::new(baseline, 2)),
+    ]
+}
+
+proptest! {
+    /// Every allocator produces a structurally valid grant set on any
+    /// request set (one grant per output / VC / sub-group).
+    #[test]
+    fn every_allocator_produces_valid_grants(reqs in request_sets()) {
+        for mut alloc in all_allocators() {
+            let grants = alloc.allocate(&reqs);
+            if let Err(v) = grants.validate_against(&reqs, alloc.partition()) {
+                prop_assert!(false, "{} violated crossbar invariant: {v}", alloc.name());
+            }
+        }
+    }
+
+    /// Grant sets stay valid across stateful multi-cycle operation
+    /// (arbitration pointers, chains).
+    #[test]
+    fn statefulness_never_breaks_invariants(trace in prop::collection::vec(request_sets(), 1..12)) {
+        for mut alloc in all_allocators() {
+            for reqs in &trace {
+                let grants = alloc.allocate(reqs);
+                prop_assert!(
+                    grants.validate_against(reqs, alloc.partition()).is_ok(),
+                    "{} broke an invariant mid-trace", alloc.name()
+                );
+                alloc.observe_traversals(&grants);
+            }
+        }
+    }
+
+    /// The augmented-path allocator finds a maximum port-level matching:
+    /// no port-level allocator may ever beat it.
+    #[test]
+    fn ap_dominates_all_port_level_allocators(reqs in request_sets()) {
+        let baseline = AllocatorConfig::new(PORTS, VixPartition::baseline(VCS));
+        let ap = MaxMatchingAllocator::new(baseline).allocate(&reqs).len();
+        let seps = SeparableAllocator::new(baseline).allocate(&reqs).len();
+        let wf = WavefrontAllocator::new(baseline).allocate(&reqs).len();
+        let islip = IslipAllocator::new(baseline, 4).allocate(&reqs).len();
+        prop_assert!(ap >= seps, "AP {ap} < IF {seps}");
+        prop_assert!(ap >= wf, "AP {ap} < WF {wf}");
+        prop_assert!(ap >= islip, "AP {ap} < iSLIP {islip}");
+    }
+
+    /// The ideal VC-level matcher dominates everything, including VIX.
+    #[test]
+    fn ideal_dominates_everything(reqs in request_sets()) {
+        let ideal_cfg = AllocatorConfig::new(PORTS, VixPartition::even(VCS, VCS).unwrap());
+        let ideal = MaxMatchingAllocator::new(ideal_cfg).allocate(&reqs).len();
+        for mut alloc in all_allocators() {
+            let n = alloc.allocate(&reqs).len();
+            prop_assert!(ideal >= n, "ideal {ideal} < {} {n}", alloc.name());
+        }
+    }
+
+    /// Wavefront produces a *maximal* matching: no request is left with
+    /// both its input port and output port free.
+    #[test]
+    fn wavefront_matching_is_maximal(reqs in request_sets()) {
+        let baseline = AllocatorConfig::new(PORTS, VixPartition::baseline(VCS));
+        let grants = WavefrontAllocator::new(baseline).allocate(&reqs);
+        for r in reqs.active_requests() {
+            let input_free = grants.count_for_input(r.port) == 0;
+            let output_free = grants.for_output(r.out_port).is_none();
+            prop_assert!(!(input_free && output_free),
+                "request ({}, {}) unmatched though both sides free", r.port, r.out_port);
+        }
+    }
+
+    /// Work conservation at the single-output level: if exactly one VC
+    /// requests exactly one output, every allocator grants it.
+    #[test]
+    fn lone_request_always_granted(port in 0..PORTS, vc in 0..VCS, out in 0..PORTS) {
+        let mut reqs = RequestSet::new(PORTS, VCS);
+        reqs.request(PortId(port), VcId(vc), PortId(out));
+        for mut alloc in all_allocators() {
+            prop_assert_eq!(alloc.allocate(&reqs).len(), 1, "{} dropped a lone request", alloc.name());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Hardware arbiter models used by separable NoC switch allocators.
+//!
+//! An arbiter picks one winner from a set of simultaneous requestors. The
+//! implementations here mirror the circuits used in on-chip routers:
+//!
+//! * [`RoundRobinArbiter`] — rotating-priority arbiter, the workhorse of
+//!   separable allocators (strong fairness, cheap hardware).
+//! * [`MatrixArbiter`] — least-recently-granted priority matrix (Dally &
+//!   Towles §18.5), slightly fairer under bursty requests.
+//! * [`StaticArbiter`] — fixed-priority (lowest index wins); useful as an
+//!   adversarial baseline and for modelling unfair allocators.
+//!
+//! All arbiters implement the [`Arbiter`] trait, which separates the pure
+//! decision ([`Arbiter::peek`]) from the state update
+//! ([`Arbiter::commit`]) so that allocators can evaluate a matching
+//! before committing priority updates.
+//!
+//! # Example
+//!
+//! ```
+//! use vix_arbiter::{Arbiter, RoundRobinArbiter};
+//!
+//! let mut arb = RoundRobinArbiter::new(4);
+//! assert_eq!(arb.arbitrate(&[true, false, true, false]), Some(0));
+//! // Priority rotated past the winner: requestor 2 wins next.
+//! assert_eq!(arb.arbitrate(&[true, false, true, false]), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod matrix;
+mod round_robin;
+mod static_priority;
+
+pub use matrix::MatrixArbiter;
+pub use round_robin::RoundRobinArbiter;
+pub use static_priority::StaticArbiter;
+
+/// A single-winner arbiter over `size()` requestors.
+///
+/// This trait is object-safe; allocators store arbiters as
+/// `Box<dyn Arbiter>` when the policy is configurable.
+pub trait Arbiter: std::fmt::Debug {
+    /// Number of requestors this arbiter serves.
+    fn size(&self) -> usize;
+
+    /// The requestor that *would* win, without updating priority state.
+    ///
+    /// Returns `None` when no line is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `requests.len() != self.size()`.
+    fn peek(&self, requests: &[bool]) -> Option<usize>;
+
+    /// Commits a grant to `winner`, updating the priority state exactly as
+    /// the hardware would on a granted cycle.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `winner >= self.size()`.
+    fn commit(&mut self, winner: usize);
+
+    /// Picks a winner and updates priority state: `peek` + `commit`.
+    fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
+        let winner = self.peek(requests)?;
+        self.commit(winner);
+        Some(winner)
+    }
+
+    /// Restores the power-on priority state.
+    fn reset(&mut self);
+}
+
+/// Arbitration policy selector for configurable allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbiterKind {
+    /// Rotating priority ([`RoundRobinArbiter`]).
+    RoundRobin,
+    /// Least-recently-granted matrix ([`MatrixArbiter`]).
+    Matrix,
+    /// Fixed priority, lowest index first ([`StaticArbiter`]).
+    Static,
+}
+
+impl ArbiterKind {
+    /// Builds an arbiter of this kind over `size` requestors.
+    #[must_use]
+    pub fn build(self, size: usize) -> Box<dyn Arbiter> {
+        match self {
+            ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::new(size)),
+            ArbiterKind::Matrix => Box::new(MatrixArbiter::new(size)),
+            ArbiterKind::Static => Box::new(StaticArbiter::new(size)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn boxed_arbiters() -> Vec<Box<dyn Arbiter>> {
+        vec![
+            ArbiterKind::RoundRobin.build(4),
+            ArbiterKind::Matrix.build(4),
+            ArbiterKind::Static.build(4),
+        ]
+    }
+
+    #[test]
+    fn all_arbiters_grant_only_requestors() {
+        for mut arb in boxed_arbiters() {
+            for pattern in 0u32..16 {
+                let reqs: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+                match arb.arbitrate(&reqs) {
+                    Some(w) => assert!(reqs[w], "granted a silent requestor"),
+                    None => assert_eq!(pattern, 0, "no grant despite requests"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_arbiters_are_work_conserving() {
+        for mut arb in boxed_arbiters() {
+            assert!(arb.arbitrate(&[false, true, false, false]).is_some());
+            assert!(arb.arbitrate(&[true, true, true, true]).is_some());
+            assert!(arb.arbitrate(&[false, false, false, false]).is_none());
+        }
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        for arb in boxed_arbiters() {
+            let reqs = [true, true, true, true];
+            let first = arb.peek(&reqs);
+            let second = arb.peek(&reqs);
+            assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn reset_restores_power_on_order() {
+        for mut arb in boxed_arbiters() {
+            let all = [true, true, true, true];
+            let first = arb.arbitrate(&all).unwrap();
+            arb.arbitrate(&all);
+            arb.reset();
+            assert_eq!(arb.arbitrate(&all), Some(first));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Least-recently-granted matrix arbiter.
+
+use crate::Arbiter;
+
+/// A matrix arbiter (Dally & Towles, *Principles and Practices of
+/// Interconnection Networks*, §18.5).
+///
+/// State is a priority matrix `w` where `w[i][j] == true` means requestor
+/// `i` beats requestor `j`. A requestor wins when it beats every other
+/// asserted requestor; the winner then drops below everyone (least recently
+/// granted becomes highest priority). Unlike round-robin, relative priority
+/// among *losers* is preserved, which improves fairness for bursty request
+/// patterns.
+///
+/// # Example
+///
+/// ```
+/// use vix_arbiter::{Arbiter, MatrixArbiter};
+///
+/// let mut arb = MatrixArbiter::new(3);
+/// assert_eq!(arb.arbitrate(&[true, true, false]), Some(0));
+/// // 0 dropped to the bottom; between 1 and 2, 1 still leads.
+/// assert_eq!(arb.arbitrate(&[true, true, true]), Some(1));
+/// assert_eq!(arb.arbitrate(&[true, false, true]), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixArbiter {
+    size: usize,
+    /// Row-major `size × size`; `beats[i * size + j]` ⇔ i beats j.
+    beats: Vec<bool>,
+}
+
+impl MatrixArbiter {
+    /// Creates a matrix arbiter with power-on priority 0 > 1 > … > n−1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "arbiter must serve at least one requestor");
+        let mut arb = MatrixArbiter { size, beats: vec![false; size * size] };
+        arb.reset();
+        arb
+    }
+
+    fn beats(&self, i: usize, j: usize) -> bool {
+        self.beats[i * self.size + j]
+    }
+
+    fn set_beats(&mut self, i: usize, j: usize, v: bool) {
+        self.beats[i * self.size + j] = v;
+    }
+}
+
+impl Arbiter for MatrixArbiter {
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn peek(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.size, "request vector width mismatch");
+        (0..self.size).find(|&i| {
+            requests[i]
+                && (0..self.size).all(|j| j == i || !requests[j] || self.beats(i, j))
+        })
+    }
+
+    fn commit(&mut self, winner: usize) {
+        assert!(winner < self.size, "winner index out of range");
+        for j in 0..self.size {
+            if j != winner {
+                self.set_beats(winner, j, false);
+                self.set_beats(j, winner, true);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for i in 0..self.size {
+            for j in 0..self.size {
+                self.set_beats(i, j, i < j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_priority_is_index_order() {
+        let arb = MatrixArbiter::new(4);
+        assert_eq!(arb.peek(&[true; 4]), Some(0));
+        assert_eq!(arb.peek(&[false, true, true, true]), Some(1));
+    }
+
+    #[test]
+    fn winner_drops_to_bottom() {
+        let mut arb = MatrixArbiter::new(3);
+        assert_eq!(arb.arbitrate(&[true; 3]), Some(0));
+        assert_eq!(arb.arbitrate(&[true; 3]), Some(1));
+        assert_eq!(arb.arbitrate(&[true; 3]), Some(2));
+        assert_eq!(arb.arbitrate(&[true; 3]), Some(0));
+    }
+
+    #[test]
+    fn loser_priority_preserved() {
+        let mut arb = MatrixArbiter::new(3);
+        // 2 wins alone, dropping below 0 and 1 — their order is untouched.
+        assert_eq!(arb.arbitrate(&[false, false, true]), Some(2));
+        assert_eq!(arb.peek(&[true, true, true]), Some(0));
+        assert_eq!(arb.peek(&[false, true, true]), Some(1));
+    }
+
+    #[test]
+    fn exactly_one_winner_exists_for_any_pattern() {
+        // The matrix invariant (total order) guarantees a unique winner.
+        let mut arb = MatrixArbiter::new(4);
+        for round in 0..32 {
+            let pattern = (round * 7 + 3) % 16;
+            let reqs: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+            let winners: Vec<usize> = (0..4)
+                .filter(|&i| {
+                    reqs[i] && (0..4).all(|j| j == i || !reqs[j] || arb.beats(i, j))
+                })
+                .collect();
+            if reqs.iter().any(|&r| r) {
+                assert_eq!(winners.len(), 1, "pattern {reqs:?} must have one winner");
+                arb.commit(winners[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_least_recently_granted() {
+        let mut arb = MatrixArbiter::new(4);
+        // Grant 3, 1, 0 in that order; then 2 (never granted) beats all.
+        arb.commit(3);
+        arb.commit(1);
+        arb.commit(0);
+        assert_eq!(arb.peek(&[true; 4]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requestor")]
+    fn zero_size_rejected() {
+        let _ = MatrixArbiter::new(0);
+    }
+
+    #[test]
+    fn reset_restores_index_order() {
+        let mut arb = MatrixArbiter::new(3);
+        arb.commit(0);
+        arb.commit(1);
+        arb.reset();
+        assert_eq!(arb.peek(&[true; 3]), Some(0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for all arbiter implementations.
+
+use proptest::prelude::*;
+use vix_arbiter::{Arbiter, ArbiterKind, MatrixArbiter, RoundRobinArbiter};
+
+fn request_vectors(size: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), size), 1..64)
+}
+
+proptest! {
+    /// No arbiter ever grants a silent requestor, for any request trace.
+    #[test]
+    fn grants_are_always_requested(trace in request_vectors(6)) {
+        for kind in [ArbiterKind::RoundRobin, ArbiterKind::Matrix, ArbiterKind::Static] {
+            let mut arb = kind.build(6);
+            for reqs in &trace {
+                if let Some(w) = arb.arbitrate(reqs) {
+                    prop_assert!(reqs[w], "{kind:?} granted silent requestor {w}");
+                }
+            }
+        }
+    }
+
+    /// Every arbiter is work-conserving: a grant is issued whenever at
+    /// least one requestor is asserted.
+    #[test]
+    fn work_conservation(trace in request_vectors(5)) {
+        for kind in [ArbiterKind::RoundRobin, ArbiterKind::Matrix, ArbiterKind::Static] {
+            let mut arb = kind.build(5);
+            for reqs in &trace {
+                let any = reqs.iter().any(|&r| r);
+                prop_assert_eq!(arb.arbitrate(reqs).is_some(), any);
+            }
+        }
+    }
+
+    /// Round-robin strong fairness: under persistent contention, any two
+    /// requestors' grant counts never differ by more than one.
+    #[test]
+    fn round_robin_strong_fairness(size in 2usize..8, cycles in 1usize..200) {
+        let mut arb = RoundRobinArbiter::new(size);
+        let reqs = vec![true; size];
+        let mut counts = vec![0i64; size];
+        for _ in 0..cycles {
+            counts[arb.arbitrate(&reqs).unwrap()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "counts {counts:?} not within 1");
+    }
+
+    /// Matrix arbiter: a winner exists for every non-empty request vector
+    /// (the priority matrix stays a total order across arbitrary grant
+    /// sequences).
+    #[test]
+    fn matrix_total_order_invariant(trace in request_vectors(7)) {
+        let mut arb = MatrixArbiter::new(7);
+        for reqs in &trace {
+            let any = reqs.iter().any(|&r| r);
+            prop_assert_eq!(arb.arbitrate(reqs).is_some(), any);
+        }
+    }
+
+    /// Matrix arbiter never grants the same requestor twice in a row while
+    /// another requestor is waiting.
+    #[test]
+    fn matrix_no_double_grant_under_contention(size in 2usize..8, cycles in 2usize..100) {
+        let mut arb = MatrixArbiter::new(size);
+        let reqs = vec![true; size];
+        let mut last = None;
+        for _ in 0..cycles {
+            let w = arb.arbitrate(&reqs).unwrap();
+            if let Some(prev) = last {
+                prop_assert_ne!(w, prev, "matrix arbiter granted {} twice in a row", w);
+            }
+            last = Some(w);
+        }
+    }
+}

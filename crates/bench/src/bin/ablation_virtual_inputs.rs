@@ -1,0 +1,20 @@
+//! Ablation: number of virtual inputs per port k in {1, 2, 3, 6} for the
+//! 6-VC mesh router — a finer-grained version of Fig. 12.
+
+use vix_bench::{pct, router_for, saturation_throughput};
+use vix_core::{AllocatorKind, TopologyKind};
+
+fn main() {
+    println!("Ablation: virtual inputs per port, 8x8 mesh, 6 VCs (saturation pkt/node/cycle)");
+    let mut base = 0.0;
+    for k in [1usize, 2, 3, 6] {
+        let alloc = if k == 1 { AllocatorKind::InputFirst } else { AllocatorKind::Vix };
+        let thr = saturation_throughput(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, k), 4);
+        if k == 1 {
+            base = thr;
+        }
+        println!("  k={k}  {:.4}  ({})", thr, pct(thr, base));
+    }
+    println!();
+    println!("the paper limits production designs to k=2: most of the benefit at bounded crossbar cost.");
+}

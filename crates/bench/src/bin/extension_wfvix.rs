@@ -1,0 +1,36 @@
+//! Extension: WF-VIX — wavefront allocation over virtual inputs, combining
+//! WF's intra-cycle conflict resolution with VIX's lifted input-port
+//! constraint. Not in the paper; included as the natural next point in the
+//! design space.
+
+use vix_bench::{pct, router_for, saturation_throughput};
+use vix_core::{AllocatorKind, TopologyKind};
+use vix_delay::allocator_delay;
+
+fn main() {
+    println!("Extensions: OF and WF-VIX vs the paper's schemes (8x8 mesh, 6 VCs, 4-flit packets)");
+    let mut base = 0.0;
+    for (alloc, vi) in [
+        (AllocatorKind::InputFirst, 1),
+        (AllocatorKind::OutputFirst, 1),
+        (AllocatorKind::Wavefront, 1),
+        (AllocatorKind::Vix, 2),
+        (AllocatorKind::WavefrontVix, 2),
+    ] {
+        let thr = saturation_throughput(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), 4);
+        if alloc == AllocatorKind::InputFirst {
+            base = thr;
+        }
+        let delay = allocator_delay(alloc, 5, 6, vi);
+        println!(
+            "  {:<7} {:.4} pkt/n/c  ({} vs IF)   circuit {}",
+            alloc.label(),
+            thr,
+            pct(thr, base),
+            delay
+        );
+    }
+    println!();
+    println!("WF-VIX buys a little more throughput than VIX but inherits WF's slow circuit —");
+    println!("the paper's separable VIX remains the better delay/efficiency trade.");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 11: network energy per bit for the mesh at
+//! 0.1 packets/cycle/node, baseline vs VIX.
+
+use vix_bench::{router_for, run_network};
+use vix_core::{AllocatorKind, TopologyKind};
+use vix_power::{EnergyBreakdown, EnergyModel};
+
+fn main() {
+    println!("Figure 11: network energy per bit, 8x8 mesh @ 0.1 pkt/cycle/node");
+    let model = EnergyModel::cmos45();
+    let mut totals = Vec::new();
+    for (label, alloc, vi) in [("IF", AllocatorKind::InputFirst, 1), ("VIX", AllocatorKind::Vix, 2)] {
+        let router = router_for(TopologyKind::Mesh, 6, vi);
+        let stats = run_network(TopologyKind::Mesh, alloc, router, 0.10, 4, 42);
+        let span = EnergyModel::span_factor(&router);
+        let e = EnergyBreakdown::from_activity(&model, stats.activity(), span);
+        println!("\n  {label} (crossbar span factor {span:.2}):");
+        let total = e.total_pj();
+        for (name, pj) in e.components() {
+            println!("    {:<12} {:>12.0} pJ  ({:>4.1}%)", name, pj, 100.0 * pj / total);
+        }
+        let per_bit = e.energy_per_bit().expect("traffic flowed");
+        println!("    {:<12} {:>12.0} pJ  -> {:.3} pJ/bit", "total", total, per_bit);
+        totals.push(per_bit);
+    }
+    println!("\n  VIX energy/bit vs IF: {}", vix_bench::pct(totals[1], totals[0]));
+    println!("  paper: total network energy per bit increases ~4% with VIX.");
+}

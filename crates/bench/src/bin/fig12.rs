@@ -1,0 +1,56 @@
+//! Regenerates Figure 12: impact of increasing virtual inputs — no VIX,
+//! 1:2 VIX, ideal VIX for 4 and 6 VCs per port, on all three topologies.
+//! Also prints the §4.6 buffer-reduction claim (4-VC VIX vs 6-VC no-VIX).
+
+use vix_bench::{pct, router_for, saturation_throughput};
+use vix_core::{AllocatorKind, TopologyKind};
+
+fn sat(topo: TopologyKind, vcs: usize, vi: usize) -> f64 {
+    let alloc = if vi > 1 { AllocatorKind::Vix } else { AllocatorKind::InputFirst };
+    saturation_throughput(topo, alloc, router_for(topo, vcs, vi), 4)
+}
+
+fn main() {
+    println!("Figure 12: saturation throughput (pkt/node/cycle) vs virtual inputs");
+    println!(
+        "{:<8} {:>4} | {:>8} {:>8} {:>8} | 1:2 vs none, ideal vs none",
+        "Topo", "VCs", "no VIX", "1:2 VIX", "ideal"
+    );
+    let mut four_vc_vix = Vec::new();
+    let mut six_vc_base = Vec::new();
+    for topo in [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::CMesh] {
+        for vcs in [4usize, 6] {
+            let none = sat(topo, vcs, 1);
+            let two = sat(topo, vcs, 2);
+            let ideal = sat(topo, vcs, vcs);
+            println!(
+                "{:<8} {:>4} | {:>8.4} {:>8.4} {:>8.4} | {} , {}",
+                format!("{topo:?}").chars().take(8).collect::<String>(),
+                vcs,
+                none,
+                two,
+                ideal,
+                pct(two, none),
+                pct(ideal, none)
+            );
+            if vcs == 4 {
+                four_vc_vix.push(two);
+            } else {
+                six_vc_base.push(none);
+            }
+        }
+    }
+    println!();
+    println!("buffer-reduction claim (4-VC 1:2 VIX vs 6-VC baseline, 33% fewer buffers):");
+    for (i, topo) in ["Mesh", "FBfly", "CMesh"].iter().enumerate() {
+        println!(
+            "  {:<6} 4-VC VIX {:.4} vs 6-VC no-VIX {:.4}  ({})",
+            topo,
+            four_vc_vix[i],
+            six_vc_base[i],
+            pct(four_vc_vix[i], six_vc_base[i])
+        );
+    }
+    println!();
+    println!("paper: 1:2 VIX +21% (4 VCs) / +16% (6 VCs) on average; 4-VC VIX beats 6-VC baseline by >10%.");
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 9: fairness (max/min per-node accepted throughput)
+//! for the mesh at saturation.
+
+use vix_bench::{router_for, run_network};
+use vix_core::{AllocatorKind, TopologyKind};
+
+fn main() {
+    println!("Figure 9: fairness at saturation, 8x8 mesh (max/min node throughput; 1.0 = perfectly fair)");
+    for alloc in [
+        AllocatorKind::InputFirst,
+        AllocatorKind::Wavefront,
+        AllocatorKind::AugmentingPath,
+        AllocatorKind::Vix,
+        AllocatorKind::PacketChaining,
+    ] {
+        let vi = if alloc == AllocatorKind::Vix { 2 } else { 1 };
+        let s = run_network(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), 0.12, 4, 42);
+        println!(
+            "  {:<4} max/min = {:>6.2}   (accepted {:.4} pkt/n/c)",
+            alloc.label(),
+            s.fairness_ratio(),
+            s.accepted_packets_per_node_cycle()
+        );
+    }
+    println!();
+    println!("paper: AP = 6.4, VIX = 1.99.");
+}

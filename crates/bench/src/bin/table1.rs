@@ -1,0 +1,40 @@
+//! Regenerates Table 1: router pipeline stage delays (45 nm models).
+
+use vix_delay::RouterDesign;
+
+fn main() {
+    // (design, paper VA, paper SA, paper Xbar) for side-by-side printing.
+    let paper: [(f64, f64, f64); 6] = [
+        (300.0, 280.0, 167.0),
+        (300.0, 290.0, 205.0),
+        (340.0, 315.0, 205.0),
+        (340.0, 330.0, 289.0),
+        (360.0, 340.0, 238.0),
+        (360.0, 345.0, 359.0),
+    ];
+    println!("Table 1: Router pipeline stage delays (model vs paper, ps)");
+    println!(
+        "{:<16} {:>5} {:>9} | {:>8} {:>8} | {:>8} {:>8} | {:>9} {:>9}",
+        "Design", "Radix", "Xbar", "VA", "paper", "SA", "paper", "Xbar", "paper"
+    );
+    for (design, (pva, psa, pxb)) in RouterDesign::table1().into_iter().zip(paper) {
+        let d = design.stage_delays();
+        let (xi, xo) = design.crossbar_shape();
+        println!(
+            "{:<16} {:>5} {:>6}x{:<2} | {:>8.0} {:>8.0} | {:>8.0} {:>8.0} | {:>9.0} {:>9.0}",
+            design.name, design.radix, xi, xo, d.va.0, pva, d.sa.0, psa, d.crossbar.0, pxb
+        );
+    }
+    println!();
+    println!("critical-path check (the paper's §2.4 argument):");
+    for design in RouterDesign::table1() {
+        let d = design.stage_delays();
+        println!(
+            "  {:<16} cycle time {:>6.0} ps, crossbar at {:>4.0}% of cycle ({})",
+            design.name,
+            d.cycle_time().0,
+            100.0 * d.crossbar.0 / d.cycle_time().0,
+            if d.crossbar_off_critical_path() { "off critical path" } else { "CRITICAL" }
+        );
+    }
+}

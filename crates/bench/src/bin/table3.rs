@@ -1,0 +1,24 @@
+//! Regenerates Table 3: delay of different switch allocation schemes.
+
+use vix_core::AllocatorKind;
+use vix_delay::allocator_delay;
+
+fn main() {
+    println!("Table 3: Delay of switch allocation schemes (radix-5 mesh router, 6 VCs)");
+    println!("{:<16} {:>12} {:>12}", "Scheme", "model", "paper");
+    let rows: [(AllocatorKind, &str); 3] = [
+        (AllocatorKind::InputFirst, "280 ps"),
+        (AllocatorKind::Wavefront, "390 ps"),
+        (AllocatorKind::AugmentingPath, "Infeasible"),
+    ];
+    for (kind, paper) in rows {
+        let d = allocator_delay(kind, 5, 6, 1);
+        println!("{:<16} {:>12} {:>12}", kind.label(), d.to_string(), paper);
+    }
+    println!();
+    println!("extras beyond the table:");
+    for (kind, vi) in [(AllocatorKind::Vix, 2), (AllocatorKind::Islip(2), 1), (AllocatorKind::PacketChaining, 1)] {
+        let d = allocator_delay(kind, 5, 6, vi);
+        println!("  {:<14} {:>12}", kind.label(), d.to_string());
+    }
+}

@@ -1,0 +1,75 @@
+//! Activity counters collected by the cycle-accurate simulator and consumed
+//! by the energy model (§3, Fig. 11 of the paper).
+//!
+//! The simulator increments these counters as events happen; the
+//! `vix-power` crate multiplies them by per-event energies and adds
+//! clock/leakage terms proportional to `cycles`.
+
+/// Raw event counts for one simulation run (whole network or one router).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Simulated cycles (drives clock + leakage energy).
+    pub cycles: u64,
+    /// Routers in the network (scales static energy).
+    pub routers: u64,
+    /// Flit writes into input buffers.
+    pub buffer_writes: u64,
+    /// Flit reads out of input buffers (switch traversals start here).
+    pub buffer_reads: u64,
+    /// Flits that traversed a crossbar.
+    pub crossbar_traversals: u64,
+    /// Flits that traversed an inter-router link.
+    pub link_traversals: u64,
+    /// Flits delivered to a terminal (ejection link traversals).
+    pub ejections: u64,
+    /// Switch-allocation attempts (arbitration energy).
+    pub sa_arbitrations: u64,
+    /// VC-allocation attempts.
+    pub va_arbitrations: u64,
+    /// Total payload bits moved end-to-end (denominator of energy/bit).
+    pub bits_delivered: u64,
+}
+
+impl ActivityCounters {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        ActivityCounters::default()
+    }
+
+    /// Element-wise accumulation (e.g. summing per-router counters).
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.routers += other.routers;
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.link_traversals += other.link_traversals;
+        self.ejections += other.ejections;
+        self.sa_arbitrations += other.sa_arbitrations;
+        self.va_arbitrations += other.va_arbitrations;
+        self.bits_delivered += other.bits_delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_events_and_maxes_cycles() {
+        let mut a = ActivityCounters { cycles: 100, buffer_writes: 5, ..Default::default() };
+        let b = ActivityCounters { cycles: 80, buffer_writes: 7, link_traversals: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.buffer_writes, 12);
+        assert_eq!(a.link_traversals, 3);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let c = ActivityCounters::new();
+        assert_eq!(c, ActivityCounters::default());
+        assert_eq!(c.bits_delivered, 0);
+    }
+}

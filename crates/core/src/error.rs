@@ -1,0 +1,112 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reason a router/network/simulation configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The number of ports must be at least 2 (one in, one out).
+    TooFewPorts {
+        /// Offending port count.
+        ports: usize,
+    },
+    /// There must be at least one VC per port.
+    NoVirtualChannels,
+    /// Buffers must hold at least one flit.
+    ZeroBufferDepth,
+    /// The number of virtual inputs per port must be in `1 ..= vcs_per_port`.
+    BadVirtualInputs {
+        /// Requested virtual inputs per port.
+        virtual_inputs: usize,
+        /// Configured VCs per port.
+        vcs: usize,
+    },
+    /// VCs must divide evenly into virtual-input sub-groups.
+    UnevenPartition {
+        /// Configured VCs per port.
+        vcs: usize,
+        /// Requested virtual inputs per port.
+        virtual_inputs: usize,
+    },
+    /// The topology does not support the requested node count.
+    BadNodeCount {
+        /// Requested node count.
+        nodes: usize,
+        /// Human-readable constraint, e.g. "must be a perfect square".
+        requirement: &'static str,
+    },
+    /// An injection rate outside `0.0 ..= 1.0` flits/cycle/node.
+    BadInjectionRate {
+        /// Offending rate.
+        rate: f64,
+    },
+    /// Packet length must be at least one flit.
+    ZeroPacketLength,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewPorts { ports } => {
+                write!(f, "router needs at least 2 ports, got {ports}")
+            }
+            ConfigError::NoVirtualChannels => write!(f, "at least one virtual channel per port is required"),
+            ConfigError::ZeroBufferDepth => write!(f, "buffer depth must be at least one flit"),
+            ConfigError::BadVirtualInputs { virtual_inputs, vcs } => write!(
+                f,
+                "virtual inputs per port must be between 1 and the VC count ({vcs}), got {virtual_inputs}"
+            ),
+            ConfigError::UnevenPartition { vcs, virtual_inputs } => write!(
+                f,
+                "{vcs} VCs cannot be partitioned evenly into {virtual_inputs} virtual-input sub-groups"
+            ),
+            ConfigError::BadNodeCount { nodes, requirement } => {
+                write!(f, "unsupported node count {nodes}: {requirement}")
+            }
+            ConfigError::BadInjectionRate { rate } => {
+                write!(f, "injection rate must lie in [0, 1] flits/cycle/node, got {rate}")
+            }
+            ConfigError::ZeroPacketLength => write!(f, "packet length must be at least one flit"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = ConfigError::BadVirtualInputs { virtual_inputs: 4, vcs: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("virtual inputs"));
+        assert!(msg.contains('4'));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn all_variants_display_nonempty() {
+        let variants = [
+            ConfigError::TooFewPorts { ports: 1 },
+            ConfigError::NoVirtualChannels,
+            ConfigError::ZeroBufferDepth,
+            ConfigError::BadVirtualInputs { virtual_inputs: 3, vcs: 2 },
+            ConfigError::UnevenPartition { vcs: 5, virtual_inputs: 2 },
+            ConfigError::BadNodeCount { nodes: 63, requirement: "must be a perfect square" },
+            ConfigError::BadInjectionRate { rate: -0.5 },
+            ConfigError::ZeroPacketLength,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Flits and packet descriptors.
+//!
+//! A packet is the unit of routing; a flit is the unit of flow control and
+//! link traversal. Packets are segmented into flits at injection: one head
+//! flit (carrying the route), zero or more body flits, and one tail flit. A
+//! single-flit packet uses [`FlitKind::HeadTail`].
+
+use crate::ids::{Cycle, NodeId, PacketId, PortId, VcId};
+
+/// Position of a flit inside its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; triggers route computation and VC
+    /// allocation downstream.
+    Head,
+    /// Interior flit; follows the head on the same VC.
+    Body,
+    /// Last flit; frees the VC it traversed.
+    Tail,
+    /// Sole flit of a single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for flits that open a packet ([`Head`](FlitKind::Head) or
+    /// [`HeadTail`](FlitKind::HeadTail)).
+    #[must_use]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for flits that close a packet ([`Tail`](FlitKind::Tail) or
+    /// [`HeadTail`](FlitKind::HeadTail)).
+    #[must_use]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// Static description of a packet, shared by all of its flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketDescriptor {
+    /// Unique id assigned at injection.
+    pub id: PacketId,
+    /// Injecting terminal.
+    pub source: NodeId,
+    /// Destination terminal.
+    pub dest: NodeId,
+    /// Number of flits in the packet (≥ 1).
+    pub len_flits: usize,
+    /// Cycle the packet was created at the source queue (measures queuing
+    /// delay as well as network delay).
+    pub created_at: Cycle,
+    /// Opaque tag for upper layers (e.g. the manycore model stores a
+    /// transaction id here). Zero when unused.
+    pub tag: u64,
+}
+
+impl PacketDescriptor {
+    /// Creates a descriptor for a packet of `len_flits` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits` is zero.
+    #[must_use]
+    pub fn new(id: PacketId, source: NodeId, dest: NodeId, len_flits: usize, created_at: Cycle) -> Self {
+        assert!(len_flits >= 1, "a packet must contain at least one flit");
+        PacketDescriptor { id, source, dest, len_flits, created_at, tag: 0 }
+    }
+
+    /// Returns the descriptor with an upper-layer tag attached.
+    #[must_use]
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Kind of the flit at position `index` within this packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len_flits`.
+    #[must_use]
+    pub fn flit_kind(&self, index: usize) -> FlitKind {
+        assert!(index < self.len_flits, "flit index out of range");
+        match (self.len_flits, index) {
+            (1, _) => FlitKind::HeadTail,
+            (_, 0) => FlitKind::Head,
+            (n, i) if i + 1 == n => FlitKind::Tail,
+            _ => FlitKind::Body,
+        }
+    }
+}
+
+/// One flow-control unit in flight through the network.
+///
+/// The routing fields (`out_port`, `lookahead_port`) are *state*, rewritten
+/// hop by hop: `out_port` is the output port the flit requests at the router
+/// currently buffering it, and `lookahead_port` is the port it will request
+/// at the next router (computed one hop ahead, per lookahead routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// The packet this flit belongs to.
+    pub packet: PacketDescriptor,
+    /// Position of this flit within the packet, `0 .. len_flits`.
+    pub index: usize,
+    /// Output port requested at the current router.
+    pub out_port: PortId,
+    /// Output port that will be requested at the downstream router
+    /// (valid for head flits once lookahead route computation has run).
+    pub lookahead_port: PortId,
+    /// Output VC assigned by VC allocation at the current router; this is
+    /// the VC the flit will occupy at the *downstream* router.
+    pub out_vc: Option<VcId>,
+    /// Cycle the flit entered the network proper (left the source queue).
+    pub injected_at: Cycle,
+}
+
+impl Flit {
+    /// Kind of this flit (derived from its index and the packet length).
+    #[must_use]
+    pub fn kind(&self) -> FlitKind {
+        self.packet.flit_kind(self.index)
+    }
+
+    /// True if this flit opens its packet.
+    #[must_use]
+    pub fn is_head(&self) -> bool {
+        self.kind().is_head()
+    }
+
+    /// True if this flit closes its packet.
+    #[must_use]
+    pub fn is_tail(&self) -> bool {
+        self.kind().is_tail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descr(len: usize) -> PacketDescriptor {
+        PacketDescriptor::new(PacketId(1), NodeId(0), NodeId(5), len, Cycle(0))
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let d = descr(1);
+        assert_eq!(d.flit_kind(0), FlitKind::HeadTail);
+        assert!(d.flit_kind(0).is_head());
+        assert!(d.flit_kind(0).is_tail());
+    }
+
+    #[test]
+    fn four_flit_packet_kinds() {
+        let d = descr(4);
+        assert_eq!(d.flit_kind(0), FlitKind::Head);
+        assert_eq!(d.flit_kind(1), FlitKind::Body);
+        assert_eq!(d.flit_kind(2), FlitKind::Body);
+        assert_eq!(d.flit_kind(3), FlitKind::Tail);
+    }
+
+    #[test]
+    fn two_flit_packet_has_no_body() {
+        let d = descr(2);
+        assert_eq!(d.flit_kind(0), FlitKind::Head);
+        assert_eq!(d.flit_kind(1), FlitKind::Tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_rejected() {
+        let _ = descr(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit index out of range")]
+    fn flit_kind_bounds_checked() {
+        let _ = descr(2).flit_kind(2);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let d = descr(1).with_tag(42);
+        assert_eq!(d.tag, 42);
+    }
+
+    #[test]
+    fn flit_head_tail_predicates() {
+        let d = descr(3);
+        let mk = |i| Flit {
+            packet: d,
+            index: i,
+            out_port: PortId(0),
+            lookahead_port: PortId(0),
+            out_vc: None,
+            injected_at: Cycle(0),
+        };
+        assert!(mk(0).is_head());
+        assert!(!mk(0).is_tail());
+        assert!(!mk(1).is_head());
+        assert!(!mk(1).is_tail());
+        assert!(mk(2).is_tail());
+    }
+}

@@ -1,0 +1,157 @@
+//! Identifier newtypes used throughout the simulator.
+//!
+//! Each identifier wraps a `usize` (or `u64` for monotonically increasing
+//! ids) and exists so that the type system distinguishes, say, an input
+//! *port* index from a *virtual channel* index — the classic mix-up in NoC
+//! simulators. All newtypes expose their payload as a public field: they are
+//! plain data in the C struct spirit, with no invariant beyond their meaning.
+
+use std::fmt;
+
+/// Index of a terminal (core / cache bank / memory controller) attached to
+/// the network. A 64-node network has `NodeId(0) .. NodeId(63)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+/// Index of a router in the network. In a concentrated topology several
+/// [`NodeId`]s map onto one `RouterId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RouterId(pub usize);
+
+/// Index of a physical input or output port of a router, `0 .. radix`.
+///
+/// By convention the directional ports come first and the local
+/// (injection/ejection) ports last; topology crates define the exact layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(pub usize);
+
+/// Index of a virtual channel within one port, `0 .. vcs_per_port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VcId(pub usize);
+
+/// Index of a *virtual input* to the crossbar within one port,
+/// `0 .. virtual_inputs_per_port`. A baseline router has exactly one
+/// virtual input per port; a 1:2 VIX router has two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualInputId(pub usize);
+
+/// Unique identifier of a packet, assigned at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PacketId(pub u64);
+
+/// Simulation time in router clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the cycle `n` ticks after `self`.
+    #[must_use]
+    pub fn plus(self, n: u64) -> Cycle {
+        Cycle(self.0 + n)
+    }
+
+    /// Number of cycles elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        debug_assert!(earlier.0 <= self.0, "cycle arithmetic went backwards");
+        self.0 - earlier.0
+    }
+}
+
+macro_rules! impl_display {
+    ($($ty:ident => $prefix:literal),* $(,)?) => {
+        $(
+            impl fmt::Display for $ty {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    write!(f, concat!($prefix, "{}"), self.0)
+                }
+            }
+        )*
+    };
+}
+
+impl_display! {
+    NodeId => "n",
+    RouterId => "r",
+    PortId => "p",
+    VcId => "vc",
+    VirtualInputId => "vi",
+    PacketId => "pkt",
+    Cycle => "@",
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for RouterId {
+    fn from(v: usize) -> Self {
+        RouterId(v)
+    }
+}
+
+impl From<usize> for PortId {
+    fn from(v: usize) -> Self {
+        PortId(v)
+    }
+}
+
+impl From<usize> for VcId {
+    fn from(v: usize) -> Self {
+        VcId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_short_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(RouterId(7).to_string(), "r7");
+        assert_eq!(PortId(4).to_string(), "p4");
+        assert_eq!(VcId(5).to_string(), "vc5");
+        assert_eq!(VirtualInputId(1).to_string(), "vi1");
+        assert_eq!(PacketId(9).to_string(), "pkt9");
+        assert_eq!(Cycle(100).to_string(), "@100");
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle(10);
+        assert_eq!(c.plus(5), Cycle(15));
+        assert_eq!(c.plus(5).since(c), 5);
+        assert_eq!(Cycle::ZERO, Cycle(0));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_payload() {
+        assert!(PortId(1) < PortId(2));
+        assert!(VcId(0) < VcId(1));
+        assert!(Cycle(5) < Cycle(6));
+    }
+
+    #[test]
+    fn from_usize_conversions() {
+        assert_eq!(NodeId::from(4), NodeId(4));
+        assert_eq!(PortId::from(2), PortId(2));
+        assert_eq!(VcId::from(1), VcId(1));
+        assert_eq!(RouterId::from(8), RouterId(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle arithmetic went backwards")]
+    fn since_panics_when_backwards() {
+        let _ = Cycle(3).since(Cycle(5));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the core vocabulary types.
+
+use proptest::prelude::*;
+use vix_core::{
+    Grant, GrantSet, PacketDescriptor, PortId, RequestSet, RouterConfig, VcId, VirtualInputs,
+    VixPartition,
+};
+use vix_core::{Cycle, NodeId, PacketId};
+
+proptest! {
+    /// Every even partition is a true partition: each VC belongs to
+    /// exactly one sub-group, and sub-groups are contiguous and equal.
+    #[test]
+    fn partitions_partition(vcs in 1usize..24, divisor_index in 0usize..6) {
+        let divisors: Vec<usize> = (1..=vcs).filter(|g| vcs % g == 0).collect();
+        let groups = divisors[divisor_index % divisors.len()];
+        let p = VixPartition::even(vcs, groups).expect("divisor");
+        prop_assert_eq!(p.group_size() * p.groups(), p.vcs());
+        let mut counts = vec![0usize; groups];
+        for vc in 0..vcs {
+            counts[p.group_of(VcId(vc)).0] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == p.group_size()));
+    }
+
+    /// Request sets behave like a map keyed by (port, vc).
+    #[test]
+    fn request_set_is_a_map(ops in prop::collection::vec((0usize..5, 0usize..6, 0usize..5), 0..60)) {
+        let mut rs = RequestSet::new(5, 6);
+        let mut model = std::collections::HashMap::new();
+        for (p, v, o) in ops {
+            rs.request(PortId(p), VcId(v), PortId(o));
+            model.insert((p, v), o);
+        }
+        prop_assert_eq!(rs.len(), model.len());
+        for ((p, v), o) in &model {
+            prop_assert_eq!(rs.get(PortId(*p), VcId(*v)).map(|r| r.out_port), Some(PortId(*o)));
+        }
+        for r in rs.active_requests() {
+            prop_assert_eq!(model.get(&(r.port.0, r.vc.0)), Some(&r.out_port.0));
+        }
+    }
+
+    /// A manually constructed conflict-free grant set always validates;
+    /// injecting a duplicate output always fails.
+    #[test]
+    fn grant_validation_is_sound(perm in Just(()), seed in 0u64..500) {
+        let _ = perm;
+        let mut rs = RequestSet::new(5, 6);
+        // One request per port, each to a distinct output (a permutation).
+        let shift = (seed % 5) as usize;
+        let mut grants = GrantSet::new();
+        for p in 0..5 {
+            let o = (p + shift) % 5;
+            let v = (seed as usize + p) % 6;
+            rs.request(PortId(p), VcId(v), PortId(o));
+            grants.add(Grant { port: PortId(p), vc: VcId(v), out_port: PortId(o) });
+        }
+        let part = VixPartition::baseline(6);
+        prop_assert!(grants.validate_against(&rs, &part).is_ok());
+        // Duplicate one grant: must now fail.
+        let dup = *grants.iter().next().unwrap();
+        grants.add(dup);
+        prop_assert!(grants.validate_against(&rs, &part).is_err());
+    }
+
+    /// Router configuration validation accepts exactly the divisible
+    /// virtual-input counts.
+    #[test]
+    fn router_validation_matches_divisibility(ports in 2usize..12, vcs in 1usize..12, k in 1usize..12) {
+        let cfg = RouterConfig::new(ports, vcs, 5).with_virtual_inputs(VirtualInputs::PerPort(k));
+        let should_pass = k <= vcs && vcs % k == 0;
+        prop_assert_eq!(cfg.validate().is_ok(), should_pass, "vcs={} k={}", vcs, k);
+        if should_pass {
+            prop_assert_eq!(cfg.crossbar_inputs(), ports * k);
+        }
+    }
+
+    /// Flit kinds tile a packet: one head, one tail, bodies between.
+    #[test]
+    fn flit_kinds_tile_packets(len in 1usize..20) {
+        let d = PacketDescriptor::new(PacketId(1), NodeId(0), NodeId(1), len, Cycle(0));
+        let heads = (0..len).filter(|&i| d.flit_kind(i).is_head()).count();
+        let tails = (0..len).filter(|&i| d.flit_kind(i).is_tail()).count();
+        prop_assert_eq!(heads, 1);
+        prop_assert_eq!(tails, 1);
+        prop_assert!(d.flit_kind(0).is_head());
+        prop_assert!(d.flit_kind(len - 1).is_tail());
+    }
+}

@@ -1,0 +1,138 @@
+//! Circuit delay of whole switch-allocation schemes — the model behind
+//! Table 3.
+
+use crate::stages::sa_delay;
+use crate::units::Picoseconds;
+use vix_core::AllocatorKind;
+
+/// Wavefront model: the priority wave propagates across the `2P − 1`
+/// diagonals of the `P × P` cell array, each costing one cell delay, on
+/// top of a fixed setup/encode overhead.
+const WF_OVERHEAD_PS: f64 = 75.0;
+const WF_PER_DIAGONAL_PS: f64 = 35.0;
+
+/// The circuit delay of a switch allocation scheme, or the finding that no
+/// single-cycle circuit exists.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocatorDelay {
+    /// A single-cycle circuit with this delay.
+    Circuit(Picoseconds),
+    /// No practical single-cycle implementation (Table 3 lists the
+    /// augmented-path allocator as "Infeasible": augmenting paths are
+    /// inherently sequential, `O(P²·⁵)` iterations in the worst case).
+    Infeasible,
+}
+
+impl AllocatorDelay {
+    /// The delay if a circuit exists.
+    #[must_use]
+    pub fn picoseconds(self) -> Option<Picoseconds> {
+        match self {
+            AllocatorDelay::Circuit(ps) => Some(ps),
+            AllocatorDelay::Infeasible => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AllocatorDelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocatorDelay::Circuit(ps) => write!(f, "{ps}"),
+            AllocatorDelay::Infeasible => write!(f, "Infeasible"),
+        }
+    }
+}
+
+/// Models the delay of an allocation scheme for a router with `ports`
+/// ports and `vcs` VCs per port (Table 3 uses the radix-5, 6-VC mesh
+/// router).
+///
+/// * Separable schemes (IF, VIX, packet chaining) cost the separable SA
+///   stage; VIX adds its per-virtual-input mux term.
+/// * Wavefront costs a wave across `2P − 1` diagonals — 39 % slower than
+///   separable at radix 5, per Table 3.
+/// * iSLIP multiplies the separable delay by its iteration count.
+/// * Augmented-path maximum matching has no single-cycle circuit.
+///
+/// # Panics
+///
+/// Panics if the router shape is invalid.
+#[must_use]
+pub fn allocator_delay(kind: AllocatorKind, ports: usize, vcs: usize, virtual_inputs: usize) -> AllocatorDelay {
+    match kind {
+        AllocatorKind::InputFirst | AllocatorKind::OutputFirst | AllocatorKind::PacketChaining => {
+            // Output-first swaps the stage order but has the same total
+            // arbitration depth (log2(P·v) across its two stages).
+            AllocatorDelay::Circuit(sa_delay(ports, vcs, 1))
+        }
+        AllocatorKind::Vix => AllocatorDelay::Circuit(sa_delay(ports, vcs, virtual_inputs)),
+        AllocatorKind::Wavefront => AllocatorDelay::Circuit(Picoseconds(
+            WF_OVERHEAD_PS + WF_PER_DIAGONAL_PS * (2 * ports - 1) as f64,
+        )),
+        AllocatorKind::WavefrontVix => {
+            // The wave crosses the taller (P·k + P − 1)-diagonal array,
+            // plus the same per-virtual-input mux overhead as VIX.
+            let diagonals = (ports * virtual_inputs + ports - 1) as f64;
+            AllocatorDelay::Circuit(Picoseconds(
+                WF_OVERHEAD_PS
+                    + WF_PER_DIAGONAL_PS * diagonals
+                    + 10.0 * (virtual_inputs - 1) as f64,
+            ))
+        }
+        AllocatorKind::Islip(iters) => {
+            let base = sa_delay(ports, vcs, 1);
+            AllocatorDelay::Circuit(Picoseconds(base.0 * iters as f64))
+        }
+        AllocatorKind::AugmentingPath => AllocatorDelay::Infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3: separable 280 ps, wavefront 390 ps (+39 %), AP infeasible.
+    #[test]
+    fn matches_table3() {
+        let sep = allocator_delay(AllocatorKind::InputFirst, 5, 6, 1).picoseconds().unwrap();
+        let wf = allocator_delay(AllocatorKind::Wavefront, 5, 6, 1).picoseconds().unwrap();
+        assert!((sep.0 - 280.0).abs() / 280.0 < 0.05, "separable {sep}");
+        assert!((wf.0 - 390.0).abs() / 390.0 < 0.05, "wavefront {wf}");
+        assert!((wf.relative_to(sep) - 0.39).abs() < 0.05, "WF must be ~39% slower");
+        assert_eq!(allocator_delay(AllocatorKind::AugmentingPath, 5, 6, 1), AllocatorDelay::Infeasible);
+    }
+
+    #[test]
+    fn vix_stays_within_separable_envelope() {
+        // §4.2's premise: VIX allocation is complexity-comparable to
+        // separable — within a few percent, far below wavefront.
+        let sep = allocator_delay(AllocatorKind::InputFirst, 5, 6, 1).picoseconds().unwrap();
+        let vix = allocator_delay(AllocatorKind::Vix, 5, 6, 2).picoseconds().unwrap();
+        let wf = allocator_delay(AllocatorKind::Wavefront, 5, 6, 1).picoseconds().unwrap();
+        assert!(vix.relative_to(sep) < 0.05, "VIX {vix} vs separable {sep}");
+        assert!(vix < wf);
+    }
+
+    #[test]
+    fn wavefront_penalty_grows_with_radix() {
+        let r5 = allocator_delay(AllocatorKind::Wavefront, 5, 6, 1).picoseconds().unwrap();
+        let r10 = allocator_delay(AllocatorKind::Wavefront, 10, 6, 1).picoseconds().unwrap();
+        assert!(r10 > r5, "wave crosses more diagonals at higher radix");
+        // Separable grows only logarithmically; the gap widens.
+        let sep10 = allocator_delay(AllocatorKind::InputFirst, 10, 6, 1).picoseconds().unwrap();
+        assert!(r10.relative_to(sep10) > 0.5, "WF penalty at radix 10 exceeds 50%");
+    }
+
+    #[test]
+    fn islip_scales_with_iterations() {
+        let one = allocator_delay(AllocatorKind::Islip(1), 5, 6, 1).picoseconds().unwrap();
+        let two = allocator_delay(AllocatorKind::Islip(2), 5, 6, 1).picoseconds().unwrap();
+        assert!((two.0 - 2.0 * one.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AllocatorDelay::Infeasible.to_string(), "Infeasible");
+        assert_eq!(AllocatorDelay::Circuit(Picoseconds(280.0)).to_string(), "280 ps");
+    }
+}

@@ -1,0 +1,99 @@
+//! Wire-dominated crossbar delay model.
+
+use crate::units::Picoseconds;
+
+/// Fixed driver + latch overhead (flip-flop clk→Q, driving buffer, output
+/// register setup), from the SPICE-calibrated fit.
+const OVERHEAD_PS: f64 = 146.0;
+/// Linear wire/tri-state term per unit span.
+const LINEAR_PS: f64 = -0.4;
+/// Quadratic wire-RC term: an unrepeatered metal-3/4 wire's delay grows
+/// with the square of its length, and a matrix crossbar's wire length grows
+/// with the port-span `inputs + outputs`.
+const QUADRATIC_PS: f64 = 0.25;
+
+/// Delay of a 128-bit matrix crossbar with `inputs` row wires and
+/// `outputs` column wires, after the paper's SPICE methodology (tri-state
+/// cross-points, 2× wire spacing, optimally sized drivers).
+///
+/// The dominant term is quadratic in the span `inputs + outputs` because
+/// both the row and column wires lengthen with port count and wire RC
+/// delay is quadratic in length. Calibrated to Table 1: a 5×5 crossbar
+/// costs 167 ps, 10×10 costs 238 ps, 20×10 (FBfly with VIX) costs 359 ps.
+///
+/// # Panics
+///
+/// Panics if `inputs` or `outputs` is zero.
+///
+/// # Example
+///
+/// ```
+/// use vix_delay::crossbar_delay;
+///
+/// let base = crossbar_delay(5, 5);
+/// let vix = crossbar_delay(10, 5);
+/// assert!((vix.relative_to(base) - 0.22).abs() < 0.05, "mesh VIX: ~22% slower crossbar");
+/// ```
+#[must_use]
+pub fn crossbar_delay(inputs: usize, outputs: usize) -> Picoseconds {
+    assert!(inputs > 0 && outputs > 0, "crossbar needs ports");
+    let span = (inputs + outputs) as f64;
+    Picoseconds(OVERHEAD_PS + LINEAR_PS * span + QUADRATIC_PS * span * span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 crossbar column, all six designs, within 5 %.
+    #[test]
+    fn matches_table1_crossbar_delays() {
+        let rows: [(usize, usize, f64); 6] = [
+            (5, 5, 167.0),   // Mesh
+            (10, 5, 205.0),  // Mesh with VIX
+            (8, 8, 205.0),   // CMesh
+            (16, 8, 289.0),  // CMesh with VIX
+            (10, 10, 238.0), // FBfly
+            (20, 10, 359.0), // FBfly with VIX
+        ];
+        for (i, o, expect) in rows {
+            let got = crossbar_delay(i, o).0;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "{i}x{o}: model {got:.0} ps vs paper {expect} ps ({:.1}% off)", err * 100.0);
+        }
+    }
+
+    #[test]
+    fn delay_grows_monotonically_with_span() {
+        let mut last = Picoseconds::ZERO;
+        for p in 2..40 {
+            let d = crossbar_delay(p, p);
+            assert!(d > last, "crossbar delay must grow with size");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn doubling_inputs_is_cheaper_than_doubling_both() {
+        let base = crossbar_delay(8, 8);
+        let vix = crossbar_delay(16, 8);
+        let doubled = crossbar_delay(16, 16);
+        assert!(vix > base);
+        assert!(doubled > vix, "a 2Px P crossbar is cheaper than 2P x 2P");
+    }
+
+    #[test]
+    fn vix_growth_rates_match_paper_claims() {
+        // §2.4: mesh VIX crossbar +22 %, FBfly VIX +50 %.
+        let mesh = crossbar_delay(10, 5).relative_to(crossbar_delay(5, 5));
+        assert!((mesh - 0.22).abs() < 0.05, "mesh VIX growth {mesh:.2}");
+        let fbfly = crossbar_delay(20, 10).relative_to(crossbar_delay(10, 10));
+        assert!((fbfly - 0.50).abs() < 0.06, "fbfly VIX growth {fbfly:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ports")]
+    fn zero_ports_rejected() {
+        let _ = crossbar_delay(0, 5);
+    }
+}

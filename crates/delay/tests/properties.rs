@@ -1,0 +1,49 @@
+//! Property tests for the delay models: structural monotonicity.
+
+use proptest::prelude::*;
+use vix_delay::{allocator_delay, crossbar_delay, sa_delay, va_delay, RouterDesign};
+use vix_core::AllocatorKind;
+
+proptest! {
+    /// Crossbar delay grows monotonically in each dimension.
+    #[test]
+    fn crossbar_monotone(i in 2usize..32, o in 2usize..32) {
+        prop_assert!(crossbar_delay(i + 1, o) > crossbar_delay(i, o));
+        prop_assert!(crossbar_delay(i, o + 1) > crossbar_delay(i, o));
+    }
+
+    /// Allocation stage delays grow with the problem size.
+    #[test]
+    fn va_sa_monotone(ports in 2usize..16, vcs in 2usize..12) {
+        prop_assert!(va_delay(ports + 1, vcs) > va_delay(ports, vcs));
+        prop_assert!(va_delay(ports, vcs + 1) > va_delay(ports, vcs));
+        prop_assert!(sa_delay(ports + 1, vcs, 1) > sa_delay(ports, vcs, 1));
+    }
+
+    /// VIX's SA overhead is a fixed mux term: independent of radix.
+    #[test]
+    fn vix_sa_overhead_is_constant(ports in 2usize..16) {
+        let base = sa_delay(ports, 6, 1);
+        let vix = sa_delay(ports, 6, 2);
+        prop_assert!((vix.0 - base.0 - 10.0).abs() < 1e-9);
+    }
+
+    /// Wavefront is always slower than separable, at any radix.
+    #[test]
+    fn wavefront_always_slower(ports in 3usize..16) {
+        // (At radix 2 the log-depth separable stage is actually the
+        // slower circuit; the paper only considers radix >= 5.)
+        let sep = allocator_delay(AllocatorKind::InputFirst, ports, 6, 1).picoseconds().unwrap();
+        let wf = allocator_delay(AllocatorKind::Wavefront, ports, 6, 1).picoseconds().unwrap();
+        prop_assert!(wf > sep);
+    }
+
+    /// In the paper's radix range (≤ 10), a 1:2 VIX crossbar never becomes
+    /// the critical pipeline stage.
+    #[test]
+    fn vix_feasible_through_radix_ten(radix in 2usize..=10) {
+        let d = RouterDesign { name: "sweep", radix, vcs: 6, virtual_inputs: 2 }.stage_delays();
+        prop_assert!(d.crossbar_off_critical_path(),
+            "radix {radix}: crossbar {} vs VA {}", d.crossbar, d.va);
+    }
+}

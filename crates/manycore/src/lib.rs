@@ -1,0 +1,56 @@
+//! Trace-driven 64-core CMP substrate for application-level evaluation
+//! (§3, §4.7, Table 4 of the paper).
+//!
+//! The paper drives its NoC with traces of 35 SPEC CPU2006 / scientific /
+//! commercial benchmarks through a trace-driven manycore simulator (64
+//! 2-way out-of-order cores, private 32 KB L1s, a 64-bank 16 MB shared L2,
+//! 8 memory controllers — Table 2). Those traces are proprietary, so this
+//! crate substitutes *synthetic per-benchmark memory reference processes*
+//! parameterised by the benchmarks' miss intensities (MPKI), calibrated so
+//! every Table 4 mix reproduces its published average MPKI. The
+//! application-level result — VIX speedup grows with memory intensity —
+//! depends on miss traffic intensity and latency sensitivity, both of
+//! which the synthetic processes preserve.
+//!
+//! Components, each a real micro-architectural model:
+//!
+//! * [`SetAssocCache`] — LRU set-associative cache (used for the L2 banks);
+//! * [`MshrFile`] — miss-status holding registers with secondary-miss
+//!   merging;
+//! * [`CoreModel`] — a 2-wide core with a bounded-MLP stall model;
+//! * [`L2Bank`] — banked shared L2 with a 6-cycle pipeline;
+//! * [`MemoryController`] — fixed-latency, bandwidth-limited DRAM port;
+//! * [`ManycoreSystem`] — wires 64 of everything onto a [`NetworkSim`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vix_manycore::{ManycoreSystem, Mix};
+//! use vix_core::AllocatorKind;
+//!
+//! let mix = Mix::table4()[0].clone(); // Mix1
+//! let base = ManycoreSystem::build(&mix, AllocatorKind::InputFirst, 1).run(20_000);
+//! let vix = ManycoreSystem::build(&mix, AllocatorKind::Vix, 1).run(20_000);
+//! println!("speedup {:.3}", vix.total_ipc() / base.total_ipc());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmarks;
+mod cache;
+mod core_model;
+mod l2;
+mod memory;
+mod mshr;
+mod system;
+
+pub use benchmarks::{Benchmark, Mix, CATALOG};
+pub use cache::SetAssocCache;
+pub use core_model::CoreModel;
+pub use l2::{L2Bank, L2Response};
+pub use memory::MemoryController;
+pub use mshr::{MshrFile, MshrOutcome};
+pub use system::{ManycoreSystem, SystemResult};
+
+pub use vix_sim::NetworkSim;

@@ -1,0 +1,63 @@
+//! Property tests for the CMP substrate components.
+
+use proptest::prelude::*;
+use vix_manycore::{MshrFile, MshrOutcome, SetAssocCache};
+
+proptest! {
+    /// A cache never holds more blocks than its capacity, and a just-
+    /// inserted block is always resident.
+    #[test]
+    fn cache_capacity_respected(accesses in prop::collection::vec(0u64..64, 1..300)) {
+        let mut cache = SetAssocCache::new(16 * 64, 4, 64); // 16 blocks
+        for &block in &accesses {
+            cache.access(block);
+            cache.insert(block);
+            prop_assert!(cache.probe(block), "inserted block must be resident");
+        }
+        let resident = (0..64).filter(|&b| cache.probe(b)).count();
+        prop_assert!(resident <= 16, "capacity exceeded: {resident}");
+    }
+
+    /// A working set that fits never misses after the first pass,
+    /// regardless of access order.
+    #[test]
+    fn fitting_working_set_converges(order in Just(()), seed in 0u64..1000) {
+        let mut cache = SetAssocCache::new(64 * 64, 64, 64); // fully assoc., 64 blocks
+        let _ = order;
+        // Two passes over 32 blocks in a seed-dependent order.
+        let perm: Vec<u64> = (0..32).map(|i| (i * 7 + seed) % 32).collect();
+        for &b in &perm {
+            cache.access(b);
+            cache.insert(b);
+        }
+        for &b in &perm {
+            prop_assert!(cache.access(b), "second pass must hit");
+        }
+    }
+
+    /// The MSHR file never tracks more than its capacity in distinct
+    /// blocks, and completing always returns every merged waiter.
+    #[test]
+    fn mshr_bookkeeping(ops in prop::collection::vec((0u64..8, 0u64..1000), 1..100)) {
+        let mut mshr = MshrFile::new(4);
+        let mut expected: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for (block, txn) in ops {
+            match mshr.allocate(block, txn) {
+                MshrOutcome::Primary => {
+                    expected.insert(block, vec![txn]);
+                }
+                MshrOutcome::Secondary => {
+                    expected.get_mut(&block).expect("secondary implies primary").push(txn);
+                }
+                MshrOutcome::Full => {
+                    prop_assert!(expected.len() >= 4, "Full only when at capacity");
+                }
+            }
+            prop_assert!(mshr.in_flight() <= 4);
+        }
+        for (block, waiters) in expected {
+            prop_assert_eq!(mshr.complete(block), waiters);
+        }
+        prop_assert_eq!(mshr.in_flight(), 0);
+    }
+}

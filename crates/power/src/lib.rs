@@ -1,0 +1,265 @@
+//! Network energy model (Fig. 11 of the paper).
+//!
+//! The paper models links, buffers, and switches in SPICE, collects
+//! activity factors from cycle-accurate simulation, and reports network
+//! energy per bit including clocking and leakage. This crate substitutes a
+//! calibrated event-energy model: the simulator's
+//! [`ActivityCounters`] are multiplied by per-event energies, clock and
+//! leakage scale with router-cycles, and crossbar energy scales with the
+//! crossbar's wire span — which is how VIX's larger (2P × P) crossbar
+//! costs ~4 % extra energy per bit at equal traffic (Fig. 11).
+//!
+//! # Example
+//!
+//! ```
+//! use vix_power::{EnergyModel, EnergyBreakdown};
+//! use vix_core::ActivityCounters;
+//!
+//! let activity = ActivityCounters {
+//!     cycles: 1000, routers: 64, buffer_writes: 500, buffer_reads: 500,
+//!     crossbar_traversals: 500, link_traversals: 400, ejections: 100,
+//!     sa_arbitrations: 900, va_arbitrations: 120, bits_delivered: 12_800,
+//!     ..Default::default()
+//! };
+//! let breakdown = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &activity, 1.0);
+//! assert!(breakdown.energy_per_bit().unwrap() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use vix_core::{ActivityCounters, RouterConfig};
+
+/// Per-event and per-cycle energy coefficients (picojoules), calibrated
+/// for a 128-bit datapath in a 45 nm process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Writing one flit into an input buffer.
+    pub buffer_write_pj: f64,
+    /// Reading one flit out of an input buffer.
+    pub buffer_read_pj: f64,
+    /// One flit through a baseline `P × P` crossbar; scaled by the wire
+    /// span factor for larger crossbars.
+    pub crossbar_pj: f64,
+    /// One flit across an inter-router link.
+    pub link_pj: f64,
+    /// One switch- or VC-allocation arbitration.
+    pub arbitration_pj: f64,
+    /// Clock tree energy per router per cycle.
+    pub clock_pj_per_router_cycle: f64,
+    /// Leakage per router per cycle (baseline area).
+    pub leakage_pj_per_router_cycle: f64,
+    /// Fraction of router leakage attributable to the crossbar (scaled by
+    /// the span factor for VIX's larger crossbar).
+    pub crossbar_leakage_share: f64,
+}
+
+impl EnergyModel {
+    /// The calibrated 45 nm / 128-bit model used throughout the
+    /// reproduction.
+    #[must_use]
+    pub fn cmos45() -> Self {
+        EnergyModel {
+            buffer_write_pj: 3.0,
+            buffer_read_pj: 2.5,
+            crossbar_pj: 1.0,
+            link_pj: 6.0,
+            arbitration_pj: 0.08,
+            clock_pj_per_router_cycle: 1.2,
+            leakage_pj_per_router_cycle: 1.0,
+            crossbar_leakage_share: 0.2,
+        }
+    }
+
+    /// Crossbar wire-span scale factor for a router configuration:
+    /// `(inputs + outputs) / (2 · outputs)`, i.e. 1.0 for a `P × P`
+    /// crossbar and 1.5 for a 1:2 VIX `2P × P` crossbar.
+    #[must_use]
+    pub fn span_factor(router: &RouterConfig) -> f64 {
+        let inputs = router.crossbar_inputs() as f64;
+        let outputs = router.ports() as f64;
+        (inputs + outputs) / (2.0 * outputs)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::cmos45()
+    }
+}
+
+/// Energy totals by component, in picojoules (the bars of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Buffer read + write energy.
+    pub buffer_pj: f64,
+    /// Crossbar traversal energy.
+    pub crossbar_pj: f64,
+    /// Link traversal energy (including ejection links).
+    pub link_pj: f64,
+    /// Allocation arbitration energy.
+    pub arbitration_pj: f64,
+    /// Clock tree energy.
+    pub clock_pj: f64,
+    /// Leakage energy.
+    pub leakage_pj: f64,
+    /// Payload bits delivered (denominator of energy/bit).
+    pub bits_delivered: u64,
+}
+
+impl EnergyBreakdown {
+    /// Evaluates the model against one run's activity counters.
+    ///
+    /// `span_factor` scales crossbar dynamic energy and the crossbar's
+    /// share of leakage; use [`EnergyModel::span_factor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_factor < 1.0` (a crossbar cannot be smaller than
+    /// its baseline).
+    #[must_use]
+    pub fn from_activity(model: &EnergyModel, activity: &ActivityCounters, span_factor: f64) -> Self {
+        assert!(span_factor >= 1.0, "span factor below baseline");
+        let router_cycles = (activity.routers * activity.cycles) as f64;
+        let leak_scale = (1.0 - model.crossbar_leakage_share) + model.crossbar_leakage_share * span_factor;
+        EnergyBreakdown {
+            buffer_pj: activity.buffer_writes as f64 * model.buffer_write_pj
+                + activity.buffer_reads as f64 * model.buffer_read_pj,
+            crossbar_pj: activity.crossbar_traversals as f64 * model.crossbar_pj * span_factor,
+            link_pj: (activity.link_traversals + activity.ejections) as f64 * model.link_pj,
+            arbitration_pj: (activity.sa_arbitrations + activity.va_arbitrations) as f64
+                * model.arbitration_pj,
+            clock_pj: router_cycles * model.clock_pj_per_router_cycle,
+            leakage_pj: router_cycles * model.leakage_pj_per_router_cycle * leak_scale,
+            bits_delivered: activity.bits_delivered,
+        }
+    }
+
+    /// Total network energy in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.buffer_pj
+            + self.crossbar_pj
+            + self.link_pj
+            + self.arbitration_pj
+            + self.clock_pj
+            + self.leakage_pj
+    }
+
+    /// Energy per delivered payload bit (pJ/bit), the y-axis of Fig. 11;
+    /// `None` when nothing was delivered.
+    #[must_use]
+    pub fn energy_per_bit(&self) -> Option<f64> {
+        (self.bits_delivered > 0).then(|| self.total_pj() / self.bits_delivered as f64)
+    }
+
+    /// `(label, pJ)` pairs for table/figure printing, in Fig. 11's stack
+    /// order.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, f64); 6] {
+        [
+            ("buffer", self.buffer_pj),
+            ("crossbar", self.crossbar_pj),
+            ("link", self.link_pj),
+            ("arbitration", self.arbitration_pj),
+            ("clock", self.clock_pj),
+            ("leakage", self.leakage_pj),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_core::VirtualInputs;
+
+    /// A synthetic mesh-like activity profile: `flits` delivered flits,
+    /// each traversing ~6.33 routers (the 8×8 mesh average).
+    fn mesh_activity(flits: u64) -> ActivityCounters {
+        let hops = |f: u64| f * 19 / 3;
+        ActivityCounters {
+            cycles: 10_000,
+            routers: 64,
+            buffer_writes: hops(flits),
+            buffer_reads: hops(flits),
+            crossbar_traversals: hops(flits),
+            link_traversals: hops(flits) - flits,
+            ejections: flits,
+            sa_arbitrations: hops(flits) * 2,
+            va_arbitrations: flits / 4,
+            bits_delivered: flits * 128,
+        }
+    }
+
+    #[test]
+    fn span_factors() {
+        let base = RouterConfig::paper_default(5);
+        assert_eq!(EnergyModel::span_factor(&base), 1.0);
+        let vix = base.with_virtual_inputs(VirtualInputs::PerPort(2));
+        assert_eq!(EnergyModel::span_factor(&vix), 1.5);
+    }
+
+    #[test]
+    fn vix_costs_about_four_percent_more_per_bit() {
+        // Fig. 11: at 0.1 packets/cycle/node the VIX mesh spends ~4 % more
+        // energy per bit, entirely from the larger crossbar.
+        let activity = mesh_activity(256_000); // 0.1 pkt × 4 flits × 64 nodes × 10k cycles
+        let model = EnergyModel::cmos45();
+        let base = EnergyBreakdown::from_activity(&model, &activity, 1.0);
+        let vix = EnergyBreakdown::from_activity(&model, &activity, 1.5);
+        let increase = vix.total_pj() / base.total_pj() - 1.0;
+        assert!(
+            (0.02..=0.06).contains(&increase),
+            "VIX energy increase {increase:.3} outside the 4% ± 2% band"
+        );
+        assert!(vix.crossbar_pj > base.crossbar_pj);
+        assert_eq!(vix.buffer_pj, base.buffer_pj, "only crossbar and leakage change");
+        assert_eq!(vix.link_pj, base.link_pj);
+    }
+
+    #[test]
+    fn breakdown_shape_matches_fig11() {
+        // Links and buffers dominate; the crossbar is a minor component —
+        // the precondition for VIX's small energy cost.
+        let b = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &mesh_activity(256_000), 1.0);
+        let total = b.total_pj();
+        assert!(b.link_pj / total > 0.25, "links are a major component");
+        assert!(b.buffer_pj / total > 0.25, "buffers are a major component");
+        assert!(b.crossbar_pj / total < 0.15, "crossbar is a minor component");
+        assert!(b.arbitration_pj / total < 0.05);
+    }
+
+    #[test]
+    fn energy_per_bit_sane() {
+        let b = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &mesh_activity(256_000), 1.0);
+        let pj_per_bit = b.energy_per_bit().unwrap();
+        assert!(
+            (0.1..=2.0).contains(&pj_per_bit),
+            "45nm NoC energy/bit should be O(1) pJ, got {pj_per_bit}"
+        );
+    }
+
+    #[test]
+    fn idle_network_pays_only_clock_and_leakage() {
+        let idle = ActivityCounters { cycles: 100, routers: 64, ..Default::default() };
+        let b = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &idle, 1.0);
+        assert_eq!(b.buffer_pj, 0.0);
+        assert_eq!(b.crossbar_pj, 0.0);
+        assert!(b.clock_pj > 0.0);
+        assert!(b.leakage_pj > 0.0);
+        assert_eq!(b.energy_per_bit(), None, "no bits delivered");
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let b = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &mesh_activity(1000), 1.5);
+        let sum: f64 = b.components().iter().map(|(_, pj)| pj).sum();
+        assert!((sum - b.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "span factor below baseline")]
+    fn sub_baseline_span_rejected() {
+        let _ = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &mesh_activity(10), 0.5);
+    }
+}

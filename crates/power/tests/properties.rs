@@ -1,0 +1,59 @@
+//! Property tests for the energy model.
+
+use proptest::prelude::*;
+use vix_core::ActivityCounters;
+use vix_power::{EnergyBreakdown, EnergyModel};
+
+fn activity(flits: u64, cycles: u64) -> ActivityCounters {
+    ActivityCounters {
+        cycles,
+        routers: 64,
+        buffer_writes: flits * 6,
+        buffer_reads: flits * 6,
+        crossbar_traversals: flits * 6,
+        link_traversals: flits * 5,
+        ejections: flits,
+        sa_arbitrations: flits * 12,
+        va_arbitrations: flits,
+        bits_delivered: flits * 128,
+    }
+}
+
+proptest! {
+    /// Total energy grows with traffic; energy per bit falls (static
+    /// energy amortises).
+    #[test]
+    fn energy_scales_sanely(flits in 1u64..100_000, cycles in 1_000u64..50_000) {
+        let m = EnergyModel::cmos45();
+        let small = EnergyBreakdown::from_activity(&m, &activity(flits, cycles), 1.0);
+        let big = EnergyBreakdown::from_activity(&m, &activity(flits * 2, cycles), 1.0);
+        prop_assert!(big.total_pj() > small.total_pj());
+        prop_assert!(big.energy_per_bit().unwrap() < small.energy_per_bit().unwrap(),
+            "more traffic must amortise static energy");
+    }
+
+    /// A larger crossbar span can only increase energy, and only through
+    /// the crossbar and leakage components.
+    #[test]
+    fn span_factor_isolated(flits in 1u64..10_000, span_tenths in 10u64..30) {
+        let m = EnergyModel::cmos45();
+        let span = span_tenths as f64 / 10.0;
+        let a = activity(flits, 10_000);
+        let base = EnergyBreakdown::from_activity(&m, &a, 1.0);
+        let wide = EnergyBreakdown::from_activity(&m, &a, span);
+        prop_assert!(wide.total_pj() >= base.total_pj());
+        prop_assert_eq!(wide.buffer_pj, base.buffer_pj);
+        prop_assert_eq!(wide.link_pj, base.link_pj);
+        prop_assert_eq!(wide.clock_pj, base.clock_pj);
+        prop_assert!(wide.crossbar_pj >= base.crossbar_pj);
+        prop_assert!(wide.leakage_pj >= base.leakage_pj);
+    }
+
+    /// Components always sum to the total.
+    #[test]
+    fn components_sum(flits in 0u64..10_000, cycles in 1u64..10_000) {
+        let b = EnergyBreakdown::from_activity(&EnergyModel::cmos45(), &activity(flits, cycles), 1.5);
+        let sum: f64 = b.components().iter().map(|(_, pj)| pj).sum();
+        prop_assert!((sum - b.total_pj()).abs() < 1e-6);
+    }
+}

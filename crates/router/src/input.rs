@@ -1,0 +1,278 @@
+//! Input-side state: per-VC flit buffers.
+
+use std::collections::VecDeque;
+use vix_core::{Flit, PortId, VcId};
+
+/// One virtual channel of an input port: a FIFO flit buffer plus the
+/// output-VC binding of its head-of-line packet.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualChannel {
+    buffer: VecDeque<Flit>,
+    /// Output VC (at the downstream router) assigned to the head-of-line
+    /// packet by VC allocation; `None` while the HOL head flit awaits VA.
+    out_vc: Option<VcId>,
+    /// Cycles the current head-of-line flit has waited without
+    /// traversing; feeds age-based allocation policies.
+    hol_wait: u64,
+    /// Whether route computation has run for the HOL packet (only
+    /// meaningful for five-stage pipelines; three-stage routers use
+    /// lookahead routing and never consult it).
+    rc_done: bool,
+}
+
+impl VirtualChannel {
+    /// Creates an empty VC.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualChannel::default()
+    }
+
+    /// Buffered flit count.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when no flits are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Head-of-line flit, if any.
+    #[must_use]
+    pub fn head(&self) -> Option<&Flit> {
+        self.buffer.front()
+    }
+
+    /// Output VC bound to the HOL packet.
+    #[must_use]
+    pub fn out_vc(&self) -> Option<VcId> {
+        self.out_vc
+    }
+
+    /// Binds the HOL packet to a downstream VC (VC allocation result).
+    pub fn bind_out_vc(&mut self, vc: VcId) {
+        debug_assert!(self.out_vc.is_none(), "rebinding an already-bound VC");
+        self.out_vc = Some(vc);
+    }
+
+    /// True when the HOL flit is a head awaiting VC allocation.
+    #[must_use]
+    pub fn needs_va(&self) -> bool {
+        self.out_vc.is_none() && self.head().is_some_and(Flit::is_head)
+    }
+
+    /// Appends an arriving flit (buffer write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer already holds `depth` flits — that is a credit
+    /// protocol violation upstream, never legal backpressure.
+    pub fn push(&mut self, flit: Flit, depth: usize) {
+        assert!(self.buffer.len() < depth, "buffer overflow: upstream violated credits");
+        self.buffer.push_back(flit);
+    }
+
+    /// Removes and returns the HOL flit (switch traversal); clears the
+    /// output-VC binding when the packet's tail leaves and resets the
+    /// head-of-line wait counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn pop(&mut self) -> Flit {
+        let flit = self.buffer.pop_front().expect("pop from empty VC");
+        if flit.is_tail() {
+            self.out_vc = None;
+            self.rc_done = false;
+        }
+        self.hol_wait = 0;
+        flit
+    }
+
+    /// Whether route computation has completed for the HOL packet.
+    #[must_use]
+    pub fn rc_done(&self) -> bool {
+        self.rc_done
+    }
+
+    /// Marks the HOL packet's route as computed (five-stage RC stage).
+    pub fn mark_rc_done(&mut self) {
+        self.rc_done = true;
+    }
+
+    /// Cycles the current head-of-line flit has waited.
+    #[must_use]
+    pub fn hol_wait(&self) -> u64 {
+        self.hol_wait
+    }
+
+    /// Ages the head-of-line flit by one cycle (no-op when empty).
+    pub fn age_hol(&mut self) {
+        if !self.buffer.is_empty() {
+            self.hol_wait += 1;
+        }
+    }
+}
+
+/// All virtual channels of one input port.
+#[derive(Debug, Clone)]
+pub struct InputPort {
+    id: PortId,
+    vcs: Vec<VirtualChannel>,
+}
+
+impl InputPort {
+    /// Creates an input port with `vcs` empty virtual channels.
+    #[must_use]
+    pub fn new(id: PortId, vcs: usize) -> Self {
+        InputPort { id, vcs: (0..vcs).map(|_| VirtualChannel::new()).collect() }
+    }
+
+    /// This port's id.
+    #[must_use]
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Number of VCs.
+    #[must_use]
+    pub fn vc_count(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Immutable access to one VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    #[must_use]
+    pub fn vc(&self, vc: VcId) -> &VirtualChannel {
+        &self.vcs[vc.0]
+    }
+
+    /// Mutable access to one VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn vc_mut(&mut self, vc: VcId) -> &mut VirtualChannel {
+        &mut self.vcs[vc.0]
+    }
+
+    /// Total buffered flits across VCs.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.vcs.iter().map(VirtualChannel::occupancy).sum()
+    }
+
+    /// Iterator over `(VcId, &VirtualChannel)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VcId, &VirtualChannel)> {
+        self.vcs.iter().enumerate().map(|(i, vc)| (VcId(i), vc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_core::{Cycle, NodeId, PacketDescriptor, PacketId};
+
+    fn flit(len: usize, index: usize) -> Flit {
+        let packet = PacketDescriptor::new(PacketId(1), NodeId(0), NodeId(1), len, Cycle(0));
+        Flit {
+            packet,
+            index,
+            out_port: PortId(0),
+            lookahead_port: PortId(0),
+            out_vc: None,
+            injected_at: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut vc = VirtualChannel::new();
+        for i in 0..3 {
+            vc.push(flit(3, i), 5);
+        }
+        assert_eq!(vc.occupancy(), 3);
+        for i in 0..3 {
+            assert_eq!(vc.pop().index, i);
+        }
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn needs_va_only_for_unbound_head() {
+        let mut vc = VirtualChannel::new();
+        assert!(!vc.needs_va(), "empty VC needs no VA");
+        vc.push(flit(2, 0), 5);
+        assert!(vc.needs_va());
+        vc.bind_out_vc(VcId(3));
+        assert!(!vc.needs_va());
+        assert_eq!(vc.out_vc(), Some(VcId(3)));
+    }
+
+    #[test]
+    fn tail_pop_clears_binding() {
+        let mut vc = VirtualChannel::new();
+        vc.push(flit(2, 0), 5);
+        vc.push(flit(2, 1), 5);
+        vc.bind_out_vc(VcId(2));
+        vc.pop(); // head
+        assert_eq!(vc.out_vc(), Some(VcId(2)), "binding persists for body/tail");
+        vc.pop(); // tail
+        assert_eq!(vc.out_vc(), None, "tail departure frees the binding");
+    }
+
+    #[test]
+    fn body_flit_at_hol_does_not_need_va() {
+        let mut vc = VirtualChannel::new();
+        vc.push(flit(3, 1), 5);
+        assert!(!vc.needs_va(), "body flits never trigger VA");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer overflow")]
+    fn overflow_detected() {
+        let mut vc = VirtualChannel::new();
+        vc.push(flit(1, 0), 1);
+        vc.push(flit(1, 0), 1);
+    }
+
+    #[test]
+    fn rc_state_resets_per_packet() {
+        let mut vc = VirtualChannel::new();
+        vc.push(flit(1, 0), 5);
+        assert!(!vc.rc_done());
+        vc.mark_rc_done();
+        assert!(vc.rc_done());
+        vc.pop(); // head-tail: packet done
+        assert!(!vc.rc_done(), "next packet needs its own RC");
+    }
+
+    #[test]
+    fn hol_wait_tracks_stalled_head() {
+        let mut vc = VirtualChannel::new();
+        vc.age_hol();
+        assert_eq!(vc.hol_wait(), 0, "empty VCs do not age");
+        vc.push(flit(2, 0), 5);
+        vc.age_hol();
+        vc.age_hol();
+        assert_eq!(vc.hol_wait(), 2);
+        vc.pop();
+        assert_eq!(vc.hol_wait(), 0, "traversal resets the age");
+    }
+
+    #[test]
+    fn port_aggregates_occupancy() {
+        let mut port = InputPort::new(PortId(2), 4);
+        assert_eq!(port.id(), PortId(2));
+        assert_eq!(port.vc_count(), 4);
+        port.vc_mut(VcId(0)).push(flit(1, 0), 5);
+        port.vc_mut(VcId(3)).push(flit(1, 0), 5);
+        assert_eq!(port.occupancy(), 2);
+        assert_eq!(port.iter().filter(|(_, vc)| !vc.is_empty()).count(), 2);
+    }
+}

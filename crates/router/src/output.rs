@@ -1,0 +1,207 @@
+//! Output-side state: downstream VC credit and allocation tracking.
+
+use vix_core::{PortId, VcId};
+
+/// Credit/allocation state of one downstream virtual channel as seen from
+/// this router's output port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputVcState {
+    credits: usize,
+    allocated: bool,
+}
+
+impl OutputVcState {
+    fn new(credits: usize) -> Self {
+        OutputVcState { credits, allocated: false }
+    }
+
+    /// Free flit slots in the downstream buffer.
+    #[must_use]
+    pub fn credits(&self) -> usize {
+        self.credits
+    }
+
+    /// True while a packet holds this VC (head granted, tail not yet sent).
+    #[must_use]
+    pub fn is_allocated(&self) -> bool {
+        self.allocated
+    }
+}
+
+/// One output port: the VC states of the downstream input port it feeds,
+/// or a *sink* (terminal ejection port) with infinite credit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputPort {
+    id: PortId,
+    vcs: Vec<OutputVcState>,
+    sink: bool,
+}
+
+impl OutputPort {
+    /// Creates an output port feeding a downstream router input with `vcs`
+    /// VCs of `depth`-flit buffers.
+    #[must_use]
+    pub fn new(id: PortId, vcs: usize, depth: usize) -> Self {
+        OutputPort { id, vcs: (0..vcs).map(|_| OutputVcState::new(depth)).collect(), sink: false }
+    }
+
+    /// Creates a terminal ejection port: VC allocation always succeeds and
+    /// credits never run out.
+    #[must_use]
+    pub fn sink(id: PortId, vcs: usize) -> Self {
+        OutputPort { id, vcs: (0..vcs).map(|_| OutputVcState::new(usize::MAX)).collect(), sink: true }
+    }
+
+    /// This port's id.
+    #[must_use]
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// True for terminal ejection ports.
+    #[must_use]
+    pub fn is_sink(&self) -> bool {
+        self.sink
+    }
+
+    /// Number of downstream VCs.
+    #[must_use]
+    pub fn vc_count(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// State of downstream VC `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    #[must_use]
+    pub fn vc(&self, vc: VcId) -> &OutputVcState {
+        &self.vcs[vc.0]
+    }
+
+    /// True when a flit may be sent into downstream VC `vc` right now.
+    #[must_use]
+    pub fn can_send(&self, vc: VcId) -> bool {
+        self.sink || self.vcs[vc.0].credits > 0
+    }
+
+    /// Marks `vc` as held by a packet (VC allocation). No-op on sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already allocated (double allocation is a VA
+    /// protocol bug).
+    pub fn allocate(&mut self, vc: VcId) {
+        if self.sink {
+            return;
+        }
+        let state = &mut self.vcs[vc.0];
+        assert!(!state.allocated, "output VC {vc} double-allocated");
+        state.allocated = true;
+    }
+
+    /// Releases `vc` when the holding packet's tail traverses. No-op on
+    /// sinks.
+    pub fn release(&mut self, vc: VcId) {
+        if self.sink {
+            return;
+        }
+        self.vcs[vc.0].allocated = false;
+    }
+
+    /// Consumes one credit as a flit departs through `vc`. No-op on sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available (flow-control bug).
+    pub fn consume_credit(&mut self, vc: VcId) {
+        if self.sink {
+            return;
+        }
+        let state = &mut self.vcs[vc.0];
+        assert!(state.credits > 0, "credit underflow on output VC {vc}");
+        state.credits -= 1;
+    }
+
+    /// Returns one credit as the downstream buffer slot frees. No-op on
+    /// sinks.
+    pub fn return_credit(&mut self, vc: VcId, depth: usize) {
+        if self.sink {
+            return;
+        }
+        let state = &mut self.vcs[vc.0];
+        assert!(state.credits < depth, "credit overflow on output VC {vc}");
+        state.credits += 1;
+    }
+
+    /// Iterator over `(VcId, &OutputVcState)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VcId, &OutputVcState)> {
+        self.vcs.iter().enumerate().map(|(i, vc)| (VcId(i), vc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_lifecycle() {
+        let mut port = OutputPort::new(PortId(1), 2, 3);
+        assert_eq!(port.vc(VcId(0)).credits(), 3);
+        assert!(port.can_send(VcId(0)));
+        port.consume_credit(VcId(0));
+        port.consume_credit(VcId(0));
+        port.consume_credit(VcId(0));
+        assert!(!port.can_send(VcId(0)));
+        port.return_credit(VcId(0), 3);
+        assert!(port.can_send(VcId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "credit underflow")]
+    fn underflow_detected() {
+        let mut port = OutputPort::new(PortId(0), 1, 1);
+        port.consume_credit(VcId(0));
+        port.consume_credit(VcId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn overflow_detected() {
+        let mut port = OutputPort::new(PortId(0), 1, 2);
+        port.return_credit(VcId(0), 2);
+    }
+
+    #[test]
+    fn allocation_lifecycle() {
+        let mut port = OutputPort::new(PortId(0), 2, 3);
+        assert!(!port.vc(VcId(1)).is_allocated());
+        port.allocate(VcId(1));
+        assert!(port.vc(VcId(1)).is_allocated());
+        port.release(VcId(1));
+        assert!(!port.vc(VcId(1)).is_allocated());
+    }
+
+    #[test]
+    #[should_panic(expected = "double-allocated")]
+    fn double_allocation_detected() {
+        let mut port = OutputPort::new(PortId(0), 1, 3);
+        port.allocate(VcId(0));
+        port.allocate(VcId(0));
+    }
+
+    #[test]
+    fn sink_never_exhausts() {
+        let mut port = OutputPort::sink(PortId(4), 2);
+        assert!(port.is_sink());
+        for _ in 0..1000 {
+            assert!(port.can_send(VcId(0)));
+            port.consume_credit(VcId(0));
+        }
+        // Allocation on a sink is a no-op and never conflicts.
+        port.allocate(VcId(0));
+        port.allocate(VcId(0));
+        assert!(!port.vc(VcId(0)).is_allocated());
+    }
+}

@@ -1,0 +1,512 @@
+//! The router pipeline: VC allocation, (speculative) switch allocation,
+//! and switch traversal, per Fig. 6(b) of the paper.
+
+use crate::input::InputPort;
+use crate::output::OutputPort;
+use crate::vc_alloc::{select_output_vc, VcAllocPolicy};
+use crate::RouterEnv;
+use vix_alloc::SwitchAllocator;
+use vix_core::{
+    ActivityCounters, Cycle, Flit, GrantSet, PipelineKind, PortId, RequestSet, RouterConfig,
+    RouterId, SwitchRequest, VcId,
+};
+
+/// Flits and credits leaving a router in one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct RouterOutput {
+    /// `(output port, flit)` pairs that traversed the switch this cycle.
+    /// The flit's `out_vc` names the input VC it occupies downstream.
+    pub flits: Vec<(PortId, Flit)>,
+    /// `(input port, vc)` buffer slots freed this cycle; the network
+    /// returns each as a credit to the upstream router (or source queue).
+    pub credits: Vec<(PortId, VcId)>,
+}
+
+/// A virtual-channel router with configurable switch allocation and
+/// virtual-input (VIX) datapath.
+///
+/// The router is clocked by [`Router::step`]; the network delivers flits
+/// with [`Router::accept_flit`] and returns credits with
+/// [`Router::credit_return`] *before* stepping, so one `step` models one
+/// allocation + traversal cycle.
+#[derive(Debug)]
+pub struct Router {
+    id: RouterId,
+    cfg: RouterConfig,
+    env: RouterEnv,
+    allocator: Box<dyn SwitchAllocator>,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    /// Rotating start index for VC-allocation fairness.
+    va_pointer: usize,
+    activity: ActivityCounters,
+}
+
+impl Router {
+    /// Builds a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the environment tables do
+    /// not match the port count.
+    #[must_use]
+    pub fn new(
+        id: RouterId,
+        cfg: RouterConfig,
+        allocator: Box<dyn SwitchAllocator>,
+        env: RouterEnv,
+    ) -> Self {
+        cfg.validate().expect("router config must be valid");
+        assert_eq!(env.port_dims.len(), cfg.ports(), "dimension table size mismatch");
+        assert_eq!(env.sink_ports.len(), cfg.ports(), "sink table size mismatch");
+        let inputs = (0..cfg.ports()).map(|p| InputPort::new(PortId(p), cfg.vcs_per_port())).collect();
+        let outputs = (0..cfg.ports())
+            .map(|p| {
+                if env.sink_ports[p] {
+                    OutputPort::sink(PortId(p), cfg.vcs_per_port())
+                } else {
+                    OutputPort::new(PortId(p), cfg.vcs_per_port(), cfg.buffer_depth())
+                }
+            })
+            .collect();
+        let mut activity = ActivityCounters::new();
+        activity.routers = 1;
+        Router { id, cfg, env, allocator, inputs, outputs, va_pointer: 0, activity }
+    }
+
+    /// This router's id.
+    #[must_use]
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// The router's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Name of the switch allocation scheme in use.
+    #[must_use]
+    pub fn allocator_name(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    /// Activity counters accumulated since construction.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityCounters {
+        &self.activity
+    }
+
+    /// Buffered flits in input VC `(port, vc)`.
+    #[must_use]
+    pub fn buffer_occupancy(&self, port: PortId, vc: VcId) -> usize {
+        self.inputs[port.0].vc(vc).occupancy()
+    }
+
+    /// Credits available on output `(port, vc)`.
+    #[must_use]
+    pub fn output_credits(&self, port: PortId, vc: VcId) -> usize {
+        self.outputs[port.0].vc(vc).credits()
+    }
+
+    /// True when no flit is buffered anywhere in the router.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.iter().all(|p| p.occupancy() == 0)
+    }
+
+    /// Delivers a flit into input VC `(port, flit.out_vc)` — the VC the
+    /// upstream router's VC allocation picked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit carries no VC or the buffer is full (either is a
+    /// flow-control protocol violation).
+    pub fn accept_flit(&mut self, port: PortId, flit: Flit) {
+        let vc = flit.out_vc.expect("delivered flit must carry its input VC");
+        self.inputs[port.0].vc_mut(vc).push(flit, self.cfg.buffer_depth());
+        self.activity.buffer_writes += 1;
+    }
+
+    /// Returns one credit for output `(port, vc)` (a downstream buffer slot
+    /// freed).
+    pub fn credit_return(&mut self, port: PortId, vc: VcId) {
+        self.outputs[port.0].return_credit(vc, self.cfg.buffer_depth());
+    }
+
+    /// Runs one cycle: VC allocation, switch allocation, switch traversal.
+    pub fn step(&mut self, _now: Cycle) -> RouterOutput {
+        let ports = self.cfg.ports();
+        let vcs = self.cfg.vcs_per_port();
+        let total_vcs = ports * vcs;
+        let partition = self.cfg.partition().expect("validated config");
+
+        let five_stage = self.cfg.pipeline == PipelineKind::FiveStage;
+        let speculation = self.cfg.speculative_sa && !five_stage;
+
+        // ---- Route computation stage (five-stage pipeline only): a head
+        // flit reaching the front of its VC spends one cycle in RC before
+        // becoming a VA candidate. Three-stage routers skip this — the
+        // route arrived with the flit (lookahead).
+        let mut rc_this_cycle = vec![false; total_vcs];
+        if five_stage {
+            for p in 0..ports {
+                for v in 0..vcs {
+                    let vc = self.inputs[p].vc_mut(VcId(v));
+                    if vc.needs_va() && !vc.rc_done() {
+                        vc.mark_rc_done();
+                        rc_this_cycle[p * vcs + v] = true;
+                    }
+                }
+            }
+        }
+
+        // ---- VC allocation (with speculative SA run in the same cycle).
+        let mut bound_this_cycle = vec![false; total_vcs];
+        let mut va_failed_this_cycle = vec![false; total_vcs];
+        for k in 0..total_vcs {
+            let flat = (self.va_pointer + k) % total_vcs;
+            let (p, v) = (flat / vcs, flat % vcs);
+            if !self.inputs[p].vc(VcId(v)).needs_va() {
+                continue;
+            }
+            if five_stage && rc_this_cycle[flat] {
+                continue; // RC occupied this cycle; VA starts next cycle
+            }
+            self.activity.va_arbitrations += 1;
+            let head = *self.inputs[p].vc(VcId(v)).head().expect("needs_va implies a head");
+            let out = head.out_port;
+            let output = &mut self.outputs[out.0];
+            if output.is_sink() {
+                // Ejection: no downstream VC contention to track.
+                self.inputs[p].vc_mut(VcId(v)).bind_out_vc(VcId(0));
+                bound_this_cycle[flat] = true;
+                continue;
+            }
+            let policy = if self.cfg.dimension_aware_va && partition.groups() > 1 {
+                VcAllocPolicy::DimensionAware
+            } else {
+                VcAllocPolicy::MaxCredits
+            };
+            let dim = self.env.port_dims[head.lookahead_port.0];
+            match select_output_vc(policy, output, &partition, dim) {
+                Some(w) => {
+                    output.allocate(w);
+                    self.inputs[p].vc_mut(VcId(v)).bind_out_vc(w);
+                    bound_this_cycle[flat] = true;
+                }
+                None => va_failed_this_cycle[flat] = true,
+            }
+        }
+        self.va_pointer = (self.va_pointer + 1) % total_vcs;
+
+        // ---- Build the switch-allocation request set.
+        let mut requests = RequestSet::new(ports, vcs);
+        for p in 0..ports {
+            for v in 0..vcs {
+                let flat = p * vcs + v;
+                let vc = self.inputs[p].vc(VcId(v));
+                let Some(head) = vc.head() else { continue };
+                let out = head.out_port;
+                match vc.out_vc() {
+                    Some(w) if !bound_this_cycle[flat] => {
+                        // Established packet: request only when a credit
+                        // guarantees the traversal.
+                        if self.outputs[out.0].can_send(w) {
+                            requests.push(SwitchRequest {
+                                port: PortId(p),
+                                vc: VcId(v),
+                                out_port: out,
+                                speculative: false,
+                                age: vc.hol_wait(),
+                            });
+                        }
+                    }
+                    Some(_) | None => {
+                        // VA happened (or failed) this very cycle: the SA
+                        // request is speculative. A grant to a VC whose VA
+                        // failed is dropped at traversal — the wasted-grant
+                        // cost of speculation.
+                        let was_candidate = bound_this_cycle[flat] || va_failed_this_cycle[flat];
+                        if speculation && was_candidate {
+                            requests.push(SwitchRequest {
+                                port: PortId(p),
+                                vc: VcId(v),
+                                out_port: out,
+                                speculative: true,
+                                age: vc.hol_wait(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Switch allocation.
+        self.activity.sa_arbitrations += requests.len() as u64;
+        let grants = self.allocator.allocate(&requests);
+        debug_assert!(
+            grants.validate_against(&requests, &partition).is_ok(),
+            "allocator produced conflicting grants"
+        );
+
+        // ---- Switch traversal.
+        let mut out = RouterOutput::default();
+        let mut traversed = GrantSet::new();
+        for g in &grants {
+            let vc = self.inputs[g.port.0].vc(g.vc);
+            let Some(w) = vc.out_vc() else { continue }; // failed speculation
+            if !self.outputs[g.out_port.0].can_send(w) {
+                continue; // speculative grant without a credit
+            }
+            let mut flit = self.inputs[g.port.0].vc_mut(g.vc).pop();
+            flit.out_vc = Some(w);
+            let output_port = &mut self.outputs[g.out_port.0];
+            output_port.consume_credit(w);
+            if flit.is_tail() {
+                output_port.release(w);
+            }
+            self.activity.buffer_reads += 1;
+            self.activity.crossbar_traversals += 1;
+            if output_port.is_sink() {
+                self.activity.ejections += 1;
+                self.activity.bits_delivered += self.cfg.flit_width_bits as u64;
+            } else {
+                self.activity.link_traversals += 1;
+            }
+            out.credits.push((g.port, g.vc));
+            out.flits.push((g.out_port, flit));
+            traversed.add(*g);
+        }
+        self.allocator.observe_traversals(&traversed);
+        // Age the head-of-line flits that did not move this cycle (pop
+        // reset the winners' counters above).
+        for input in &mut self.inputs {
+            for v in 0..vcs {
+                input.vc_mut(VcId(v)).age_hol();
+            }
+        }
+        self.activity.cycles += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_alloc::build_allocator;
+    use vix_core::{AllocatorKind, NodeId, PacketDescriptor, PacketId, VirtualInputs};
+
+    /// A 3-port test router: ports 0 and 1 are network ports, port 2 is a
+    /// terminal sink.
+    fn test_router(kind: AllocatorKind, cfg: RouterConfig) -> Router {
+        let alloc = build_allocator(kind, &cfg);
+        let env = RouterEnv::new(vec![0, 1, 2], vec![false, false, true]);
+        Router::new(RouterId(0), cfg, alloc, env)
+    }
+
+    fn flit_to(out: PortId, len: usize, index: usize, vc: VcId) -> Flit {
+        let packet = PacketDescriptor::new(PacketId(7), NodeId(0), NodeId(1), len, Cycle(0));
+        Flit {
+            packet,
+            index,
+            out_port: out,
+            lookahead_port: out,
+            out_vc: Some(vc),
+            injected_at: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn single_flit_traverses_to_sink_in_one_cycle() {
+        let cfg = RouterConfig::new(3, 2, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(2), 1, 0, VcId(0)));
+        let out = r.step(Cycle(0));
+        assert_eq!(out.flits.len(), 1, "speculative VA+SA traverses the same cycle");
+        assert_eq!(out.flits[0].0, PortId(2));
+        assert_eq!(out.credits, vec![(PortId(0), VcId(0))]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn five_stage_pipeline_takes_two_extra_cycles() {
+        use vix_core::PipelineKind;
+        // Fig. 6(a): RC and VA each occupy a cycle before SA/ST, and
+        // speculation is off.
+        let cfg = RouterConfig::new(3, 2, 4).with_pipeline(PipelineKind::FiveStage);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(2), 1, 0, VcId(0)));
+        assert!(r.step(Cycle(0)).flits.is_empty(), "cycle 0: RC");
+        assert!(r.step(Cycle(1)).flits.is_empty(), "cycle 1: VA");
+        assert_eq!(r.step(Cycle(2)).flits.len(), 1, "cycle 2: SA + ST");
+    }
+
+    #[test]
+    fn five_stage_body_flits_stream_without_rc() {
+        use vix_core::PipelineKind;
+        let cfg = RouterConfig::new(3, 2, 4).with_pipeline(PipelineKind::FiveStage);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        for i in 0..3 {
+            r.accept_flit(PortId(0), flit_to(PortId(2), 3, i, VcId(0)));
+        }
+        let moved: Vec<usize> = (0..5).map(|c| r.step(Cycle(c)).flits.len()).collect();
+        assert_eq!(moved, vec![0, 0, 1, 1, 1], "head pays RC+VA; body/tail stream");
+    }
+
+    #[test]
+    fn non_speculative_pipeline_takes_an_extra_cycle() {
+        let cfg = RouterConfig::new(3, 2, 4).with_speculation(false);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(2), 1, 0, VcId(0)));
+        assert!(r.step(Cycle(0)).flits.is_empty(), "cycle 0: VA only");
+        assert_eq!(r.step(Cycle(1)).flits.len(), 1, "cycle 1: SA + ST");
+    }
+
+    #[test]
+    fn wormhole_streams_one_flit_per_cycle() {
+        let cfg = RouterConfig::new(3, 2, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        for i in 0..3 {
+            r.accept_flit(PortId(0), flit_to(PortId(2), 3, i, VcId(1)));
+        }
+        for cycle in 0..3u64 {
+            let out = r.step(Cycle(cycle));
+            assert_eq!(out.flits.len(), 1, "cycle {cycle}");
+            assert_eq!(out.flits[0].1.index, cycle as usize, "flits stay in order");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn credits_throttle_traversal() {
+        // Non-sink output with depth 2: two flits go, the third waits for a
+        // credit return.
+        let cfg = RouterConfig::new(3, 2, 2);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(1), 4, 0, VcId(0)));
+        r.accept_flit(PortId(0), flit_to(PortId(1), 4, 1, VcId(0)));
+        assert_eq!(r.step(Cycle(0)).flits.len(), 1);
+        r.accept_flit(PortId(0), flit_to(PortId(1), 4, 2, VcId(0)));
+        assert_eq!(r.step(Cycle(1)).flits.len(), 1);
+        // Credits exhausted.
+        assert_eq!(r.step(Cycle(2)).flits.len(), 0, "no credit, no traversal");
+        let w = VcId(0);
+        assert_eq!(r.output_credits(PortId(1), w), 0);
+        r.credit_return(PortId(1), w);
+        assert_eq!(r.step(Cycle(3)).flits.len(), 1);
+    }
+
+    #[test]
+    fn downstream_vc_binding_travels_with_flit() {
+        let cfg = RouterConfig::new(3, 4, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(1), 2, 0, VcId(2)));
+        r.accept_flit(PortId(0), flit_to(PortId(1), 2, 1, VcId(2)));
+        let out1 = r.step(Cycle(0));
+        let w = out1.flits[0].1.out_vc.unwrap();
+        let out2 = r.step(Cycle(1));
+        assert_eq!(out2.flits[0].1.out_vc, Some(w), "body follows the head's VC");
+    }
+
+    #[test]
+    fn tail_frees_output_vc_for_next_packet() {
+        let cfg = RouterConfig::new(3, 1, 4); // single VC: contention is forced
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(1), 1, 0, VcId(0)));
+        let _ = r.step(Cycle(0));
+        // Second packet from the other input port can claim the freed VC.
+        r.accept_flit(PortId(1), flit_to(PortId(0), 1, 0, VcId(0)));
+        let out = r.step(Cycle(1));
+        assert_eq!(out.flits.len(), 1);
+    }
+
+    #[test]
+    fn vc_held_mid_packet_blocks_other_packets() {
+        // Packet A (2 flits) holds the only output VC of port 1; packet
+        // B's head, arriving on the *other physical port* (so only VC
+        // contention, not the input-port constraint, can block it), must
+        // wait for A's tail.
+        let cfg = RouterConfig::new(3, 1, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(1), 2, 0, VcId(0)));
+        let out = r.step(Cycle(0));
+        assert_eq!(out.flits.len(), 1, "A's head goes");
+        let mut b = flit_to(PortId(1), 1, 0, VcId(0));
+        b.packet = PacketDescriptor::new(PacketId(9), NodeId(2), NodeId(1), 1, Cycle(0));
+        r.accept_flit(PortId(1), b);
+        // A's tail hasn't arrived yet; B cannot take the allocated VC.
+        let out = r.step(Cycle(1));
+        assert!(out.flits.is_empty(), "B must wait while A holds the VC");
+        // A's tail arrives and leaves; then B proceeds.
+        r.accept_flit(PortId(0), flit_to(PortId(1), 2, 1, VcId(0)));
+        let out = r.step(Cycle(2));
+        assert_eq!(out.flits.len(), 1);
+        assert_eq!(out.flits[0].1.packet.id, PacketId(7), "A's tail first");
+        let out = r.step(Cycle(3));
+        assert_eq!(out.flits.len(), 1);
+        assert_eq!(out.flits[0].1.packet.id, PacketId(9), "B follows");
+    }
+
+    #[test]
+    fn baseline_port_sends_one_flit_per_cycle() {
+        let cfg = RouterConfig::new(3, 2, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        // Two single-flit packets on different VCs of port 0, different
+        // outputs.
+        r.accept_flit(PortId(0), flit_to(PortId(1), 1, 0, VcId(0)));
+        r.accept_flit(PortId(0), flit_to(PortId(2), 1, 0, VcId(1)));
+        let out = r.step(Cycle(0));
+        assert_eq!(out.flits.len(), 1, "input-port constraint without VIX");
+    }
+
+    #[test]
+    fn vix_port_sends_two_flits_per_cycle() {
+        let cfg = RouterConfig::new(3, 2, 4).with_virtual_inputs(VirtualInputs::PerPort(2));
+        let mut r = test_router(AllocatorKind::Vix, cfg);
+        // VC0 (sub-group 0) → port 1; VC1 (sub-group 1) → sink port 2.
+        r.accept_flit(PortId(0), flit_to(PortId(1), 1, 0, VcId(0)));
+        r.accept_flit(PortId(0), flit_to(PortId(2), 1, 0, VcId(1)));
+        let out = r.step(Cycle(0));
+        assert_eq!(out.flits.len(), 2, "virtual inputs lift the port constraint (Fig. 4)");
+    }
+
+    #[test]
+    fn activity_counters_track_events() {
+        let cfg = RouterConfig::new(3, 2, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        r.accept_flit(PortId(0), flit_to(PortId(2), 1, 0, VcId(0)));
+        let _ = r.step(Cycle(0));
+        let a = r.activity();
+        assert_eq!(a.buffer_writes, 1);
+        assert_eq!(a.buffer_reads, 1);
+        assert_eq!(a.crossbar_traversals, 1);
+        assert_eq!(a.ejections, 1);
+        assert_eq!(a.link_traversals, 0, "sink traversal is an ejection, not a link");
+        assert_eq!(a.bits_delivered, 128);
+        assert_eq!(a.cycles, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must carry its input VC")]
+    fn flit_without_vc_rejected() {
+        let cfg = RouterConfig::new(3, 2, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        let mut f = flit_to(PortId(2), 1, 0, VcId(0));
+        f.out_vc = None;
+        r.accept_flit(PortId(0), f);
+    }
+
+    #[test]
+    fn empty_router_steps_are_idempotent() {
+        let cfg = RouterConfig::new(3, 2, 4);
+        let mut r = test_router(AllocatorKind::InputFirst, cfg);
+        for c in 0..5 {
+            let out = r.step(Cycle(c));
+            assert!(out.flits.is_empty());
+            assert!(out.credits.is_empty());
+        }
+        assert_eq!(r.activity().cycles, 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! VC allocation policy, including the VIX dimension-aware sub-group
+//! assignment with load balancing (§2.3 of the paper).
+
+use crate::output::OutputPort;
+use vix_core::{VcId, VixPartition};
+
+/// Preferred VC sub-group for a packet whose *downstream* output port moves
+/// along `dimension` (0 = X, 1 = Y, 2 = local/ejection).
+///
+/// X and Y requests map to distinct sub-groups so that, at the downstream
+/// router, requests for different output dimensions arrive on different
+/// virtual inputs — fewer output-port conflicts, per §2.3. Local traffic
+/// has no dimension preference (`None`): it is placed purely by load
+/// balancing.
+#[must_use]
+pub fn preferred_group(dimension: usize, groups: usize) -> Option<usize> {
+    match dimension {
+        d @ (0 | 1) if groups > 1 => Some(d % groups),
+        _ => None,
+    }
+}
+
+/// How VC allocation chooses among free downstream VCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcAllocPolicy {
+    /// The paper's baseline: the free VC with the most credits.
+    MaxCredits,
+    /// The paper's VIX policy (§2.3): prefer the sub-group matching the
+    /// packet's downstream direction, balance load across sub-groups, then
+    /// break ties by credits.
+    DimensionAware,
+}
+
+/// Picks a downstream VC for a packet at VC allocation time.
+///
+/// `downstream_dim` is the dimension of the output port the packet will
+/// request at the downstream router (its lookahead port). `partition`
+/// describes the downstream input port's sub-groups. Returns `None` when
+/// every VC is held by another packet.
+///
+/// The selection never picks an allocated VC, so atomic (non-interleaved)
+/// VC usage is preserved.
+#[must_use]
+pub fn select_output_vc(
+    policy: VcAllocPolicy,
+    output: &OutputPort,
+    partition: &VixPartition,
+    downstream_dim: usize,
+) -> Option<VcId> {
+    let free: Vec<VcId> =
+        output.iter().filter(|(_, s)| !s.is_allocated()).map(|(vc, _)| vc).collect();
+    if free.is_empty() {
+        return None;
+    }
+    match policy {
+        VcAllocPolicy::MaxCredits => {
+            free.into_iter().max_by_key(|&vc| (output.vc(vc).credits(), std::cmp::Reverse(vc.0)))
+        }
+        VcAllocPolicy::DimensionAware => {
+            let preferred = preferred_group(downstream_dim, partition.groups());
+            // Load per sub-group: how many VCs are already allocated.
+            let load = |group: usize| {
+                partition
+                    .vcs_in_group(vix_core::VirtualInputId(group))
+                    .filter(|&vc| output.vc(vc).is_allocated())
+                    .count()
+            };
+            free.into_iter().max_by_key(|&vc| {
+                let group = partition.group_of(vc).0;
+                let in_preferred = preferred == Some(group);
+                // Rank: preferred sub-group first, then lightest-loaded
+                // sub-group, then most credits, then lowest index.
+                (
+                    usize::from(in_preferred),
+                    std::cmp::Reverse(load(group)),
+                    output.vc(vc).credits(),
+                    std::cmp::Reverse(vc.0),
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_core::PortId;
+
+    fn port_with(vcs: usize, depth: usize) -> OutputPort {
+        OutputPort::new(PortId(0), vcs, depth)
+    }
+
+    #[test]
+    fn preferred_group_maps_dimensions() {
+        assert_eq!(preferred_group(0, 2), Some(0));
+        assert_eq!(preferred_group(1, 2), Some(1));
+        assert_eq!(preferred_group(2, 2), None, "local traffic has no preference");
+        assert_eq!(preferred_group(0, 1), None, "baseline routers have no sub-groups");
+    }
+
+    #[test]
+    fn max_credits_picks_fullest_vc() {
+        let mut port = port_with(3, 5);
+        port.consume_credit(VcId(0));
+        port.consume_credit(VcId(0));
+        port.consume_credit(VcId(1));
+        let part = VixPartition::baseline(3);
+        let vc = select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0);
+        assert_eq!(vc, Some(VcId(2)));
+    }
+
+    #[test]
+    fn max_credits_ties_break_to_lowest_index() {
+        let port = port_with(3, 5);
+        let part = VixPartition::baseline(3);
+        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0), Some(VcId(0)));
+    }
+
+    #[test]
+    fn allocated_vcs_never_selected() {
+        let mut port = port_with(2, 5);
+        port.allocate(VcId(0));
+        let part = VixPartition::baseline(2);
+        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0), Some(VcId(1)));
+        port.allocate(VcId(1));
+        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0), None);
+    }
+
+    #[test]
+    fn dimension_aware_prefers_matching_subgroup() {
+        // 6 VCs, 2 sub-groups: {0,1,2} and {3,4,5}.
+        let port = port_with(6, 5);
+        let part = VixPartition::even(6, 2).unwrap();
+        // X-bound packet → sub-group 0; Y-bound → sub-group 1.
+        let x = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 0).unwrap();
+        assert_eq!(part.group_of(x).0, 0);
+        let y = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 1).unwrap();
+        assert_eq!(part.group_of(y).0, 1);
+    }
+
+    #[test]
+    fn dimension_aware_falls_back_when_preferred_full() {
+        let mut port = port_with(4, 5);
+        let part = VixPartition::even(4, 2).unwrap();
+        port.allocate(VcId(0));
+        port.allocate(VcId(1)); // sub-group 0 exhausted
+        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 0).unwrap();
+        assert_eq!(part.group_of(vc).0, 1, "must fall back to the other sub-group");
+    }
+
+    #[test]
+    fn local_traffic_balances_load() {
+        let mut port = port_with(4, 5);
+        let part = VixPartition::even(4, 2).unwrap();
+        port.allocate(VcId(0)); // sub-group 0 carries one packet
+        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 2).unwrap();
+        assert_eq!(part.group_of(vc).0, 1, "local packet goes to the lighter sub-group");
+    }
+
+    #[test]
+    fn dimension_aware_on_baseline_degenerates_to_credits() {
+        let mut port = port_with(3, 5);
+        port.consume_credit(VcId(0));
+        let part = VixPartition::baseline(3);
+        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 0);
+        assert_eq!(vc, Some(VcId(1)));
+    }
+}

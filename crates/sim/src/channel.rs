@@ -1,0 +1,112 @@
+//! Fixed-latency pipelined channels for flits and credits.
+
+use std::collections::VecDeque;
+use vix_core::Cycle;
+
+/// A fixed-latency FIFO pipe: items pushed at cycle `t` become available at
+/// `t + latency`. Models link traversal and credit return wires.
+#[derive(Debug, Clone)]
+pub struct Pipe<T> {
+    latency: u64,
+    queue: VecDeque<(u64, T)>,
+}
+
+impl<T> Pipe<T> {
+    /// Creates a pipe with the given latency in cycles (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero — a zero-latency pipe would create a
+    /// combinational loop between routers.
+    #[must_use]
+    pub fn new(latency: u64) -> Self {
+        assert!(latency >= 1, "channel latency must be at least one cycle");
+        Pipe { latency, queue: VecDeque::new() }
+    }
+
+    /// The pipe's latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Items currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues an item at cycle `now`; it arrives at `now + latency`.
+    pub fn push(&mut self, now: Cycle, item: T) {
+        let deliver = now.0 + self.latency;
+        debug_assert!(
+            self.queue.back().is_none_or(|(t, _)| *t <= deliver),
+            "pipe pushes must be in time order"
+        );
+        self.queue.push_back((deliver, item));
+    }
+
+    /// Removes and returns every item due at or before cycle `now`, in
+    /// arrival order.
+    pub fn drain_ready(&mut self, now: Cycle) -> Vec<T> {
+        let mut out = Vec::new();
+        while self.queue.front().is_some_and(|(t, _)| *t <= now.0) {
+            out.push(self.queue.pop_front().expect("front checked").1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut pipe = Pipe::new(2);
+        pipe.push(Cycle(10), "a");
+        assert!(pipe.drain_ready(Cycle(10)).is_empty());
+        assert!(pipe.drain_ready(Cycle(11)).is_empty());
+        assert_eq!(pipe.drain_ready(Cycle(12)), vec!["a"]);
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn preserves_order_and_batches() {
+        let mut pipe = Pipe::new(1);
+        pipe.push(Cycle(0), 1);
+        pipe.push(Cycle(0), 2);
+        pipe.push(Cycle(1), 3);
+        assert_eq!(pipe.drain_ready(Cycle(1)), vec![1, 2]);
+        assert_eq!(pipe.drain_ready(Cycle(2)), vec![3]);
+    }
+
+    #[test]
+    fn late_drain_returns_everything_due() {
+        let mut pipe = Pipe::new(1);
+        pipe.push(Cycle(0), 'x');
+        pipe.push(Cycle(5), 'y');
+        assert_eq!(pipe.drain_ready(Cycle(100)), vec!['x', 'y']);
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut pipe = Pipe::new(3);
+        assert_eq!(pipe.in_flight(), 0);
+        pipe.push(Cycle(0), ());
+        pipe.push(Cycle(1), ());
+        assert_eq!(pipe.in_flight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_latency_rejected() {
+        let _: Pipe<u8> = Pipe::new(0);
+    }
+}

@@ -1,0 +1,624 @@
+//! Whole-network simulation: routers, links, sources, and the
+//! warmup/measure/drain protocol.
+
+use crate::channel::Pipe;
+use crate::source::SourceQueue;
+use crate::stats::NetworkStats;
+use crate::{CREDIT_LATENCY, FLIT_LATENCY};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vix_alloc::build_allocator;
+use vix_core::{
+    ActivityCounters, ConfigError, Cycle, Flit, NodeId, PacketDescriptor, PacketId, PortId,
+    RouterId, SimConfig, VcId,
+};
+use vix_router::{Router, RouterEnv};
+use vix_topology::{build_topology, Topology};
+use vix_traffic::{BernoulliInjector, TrafficPattern};
+
+/// Routing resolution shared by sources and lookahead rewriting: the
+/// output port at `router`, the output port at the next router, and the
+/// dimension of the first port.
+fn resolve_route(topology: &dyn Topology, router: RouterId, dest: NodeId) -> (PortId, PortId, usize) {
+    let out = topology.route(router, dest);
+    let lookahead = if topology.is_local_port(out) {
+        out
+    } else {
+        let (next, _) = topology.neighbor(router, out).expect("route uses connected ports");
+        topology.route(next, dest)
+    };
+    (out, lookahead, topology.port_dimension(out))
+}
+
+/// A packet delivered to its destination terminal (tail flit ejected),
+/// as reported by [`NetworkSim::take_ejections`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EjectedPacket {
+    /// The delivered packet.
+    pub packet: PacketDescriptor,
+    /// Cycle its tail flit left the network.
+    pub at: Cycle,
+}
+
+/// Where credits leaving a router input port are returned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CreditDest {
+    /// Upstream router's output port.
+    Upstream(RouterId, PortId),
+    /// A terminal's source queue.
+    Source(NodeId),
+    /// Unconnected port (mesh edge); no credit ever flows.
+    Unconnected,
+}
+
+/// A cycle-accurate simulation of one network configuration.
+///
+/// Build with [`NetworkSim::build`], then either call [`NetworkSim::run`]
+/// for the full warmup/measure/drain protocol, or clock it manually with
+/// [`NetworkSim::step`].
+#[derive(Debug)]
+pub struct NetworkSim {
+    cfg: SimConfig,
+    topology: Box<dyn Topology>,
+    routers: Vec<Router>,
+    /// `flit_pipes[r][p]` — link leaving router `r` through port `p`.
+    flit_pipes: Vec<Vec<Option<Pipe<Flit>>>>,
+    /// `credit_pipes[r][p]` — credits leaving router `r`'s *input* port `p`.
+    credit_pipes: Vec<Vec<Pipe<VcId>>>,
+    credit_dests: Vec<Vec<CreditDest>>,
+    inject_pipes: Vec<Pipe<Flit>>,
+    sources: Vec<SourceQueue>,
+    pattern: TrafficPattern,
+    injector: BernoulliInjector,
+    rng: StdRng,
+    now: Cycle,
+    next_packet: u64,
+    stats: NetworkStats,
+    ejected: Vec<EjectedPacket>,
+}
+
+impl NetworkSim {
+    /// Builds the network described by `cfg` with uniform-random traffic
+    /// (the paper's workload). Use [`NetworkSim::build_with_pattern`] for
+    /// other spatial patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is structurally
+    /// invalid or the topology cannot host the node count.
+    pub fn build(cfg: SimConfig) -> Result<Self, ConfigError> {
+        NetworkSim::build_with_pattern(cfg, TrafficPattern::UniformRandom)
+    }
+
+    /// Builds the network with an explicit traffic pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is structurally
+    /// invalid or the topology cannot host the node count.
+    pub fn build_with_pattern(cfg: SimConfig, pattern: TrafficPattern) -> Result<Self, ConfigError> {
+        let topology = build_topology(cfg.network.topology, cfg.network.nodes)?;
+        let radix = topology.radix();
+        let router_cfg = cfg.network.router.with_ports(radix);
+        let run_cfg = SimConfig { network: vix_core::NetworkConfig { router: router_cfg, ..cfg.network }, ..cfg };
+        run_cfg.validate()?;
+
+        let env = RouterEnv::new(
+            (0..radix).map(|p| topology.port_dimension(PortId(p))).collect(),
+            (0..radix).map(|p| topology.is_local_port(PortId(p))).collect(),
+        );
+        let routers: Vec<Router> = (0..topology.routers())
+            .map(|r| {
+                Router::new(
+                    RouterId(r),
+                    router_cfg,
+                    build_allocator(run_cfg.network.allocator, &router_cfg),
+                    env.clone(),
+                )
+            })
+            .collect();
+
+        let flit_pipes = (0..topology.routers())
+            .map(|r| {
+                (0..radix)
+                    .map(|p| {
+                        topology
+                            .neighbor(RouterId(r), PortId(p))
+                            .map(|_| Pipe::new(FLIT_LATENCY))
+                    })
+                    .collect()
+            })
+            .collect();
+        let credit_pipes = (0..topology.routers())
+            .map(|_| (0..radix).map(|_| Pipe::new(CREDIT_LATENCY)).collect())
+            .collect();
+        let credit_dests = (0..topology.routers())
+            .map(|r| {
+                (0..radix)
+                    .map(|p| {
+                        let (r, p) = (RouterId(r), PortId(p));
+                        if let Some(node) = topology.node_at(r, p) {
+                            CreditDest::Source(node)
+                        } else if let Some((ur, up)) = topology.neighbor(r, p) {
+                            CreditDest::Upstream(ur, up)
+                        } else {
+                            CreditDest::Unconnected
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let groups = router_cfg.virtual_inputs_per_port();
+        let sources = (0..cfg.network.nodes)
+            .map(|n| {
+                SourceQueue::new(
+                    NodeId(n),
+                    router_cfg.vcs_per_port(),
+                    router_cfg.buffer_depth(),
+                    groups,
+                    router_cfg.dimension_aware_va,
+                )
+            })
+            .collect();
+        let inject_pipes = (0..cfg.network.nodes).map(|_| Pipe::new(1)).collect();
+
+        let injector = BernoulliInjector::new(cfg.injection_rate)?;
+        let stats = NetworkStats::new(cfg.network.nodes, cfg.measure, cfg.packet_len);
+        Ok(NetworkSim {
+            cfg: run_cfg,
+            topology,
+            routers,
+            flit_pipes,
+            credit_pipes,
+            credit_dests,
+            inject_pipes,
+            sources,
+            pattern,
+            injector,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now: Cycle::ZERO,
+            next_packet: 0,
+            stats,
+            ejected: Vec::new(),
+        })
+    }
+
+    /// Injects an externally-generated packet (e.g. a cache miss from the
+    /// manycore model) at `source`, destined for `dest`, of `len` flits,
+    /// carrying an opaque `tag`. Returns the assigned packet id.
+    ///
+    /// External packets share the source queues with pattern traffic; run
+    /// external workloads with `injection_rate = 0` to drive the network
+    /// exclusively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source`/`dest` are out of range or `len == 0`.
+    pub fn inject(&mut self, source: NodeId, dest: NodeId, len: usize, tag: u64) -> PacketId {
+        assert!(source.0 < self.cfg.network.nodes, "source {source} out of range");
+        assert!(dest.0 < self.cfg.network.nodes, "dest {dest} out of range");
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let packet = PacketDescriptor::new(id, source, dest, len, self.now).with_tag(tag);
+        self.sources[source.0].enqueue(packet);
+        id
+    }
+
+    /// Drains the packets fully delivered since the last call (every
+    /// window, not just the measurement window).
+    pub fn take_ejections(&mut self) -> Vec<EjectedPacket> {
+        std::mem::take(&mut self.ejected)
+    }
+
+    /// The simulation configuration (with the router port count resolved
+    /// to the topology's radix).
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The topology under simulation.
+    #[must_use]
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology.as_ref()
+    }
+
+    /// Resolves routing for a packet about to leave `router`: its output
+    /// port there, the output port at the following router (lookahead),
+    /// and the dimension of the first port.
+    fn resolve_route(&self, router: RouterId, dest: NodeId) -> (PortId, PortId, usize) {
+        resolve_route(self.topology.as_ref(), router, dest)
+    }
+
+    /// Runs one cycle of the whole network.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
+        let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
+
+        // 1. Traffic generation (open loop; stops when the drain begins).
+        if now.0 < warm_plus_measure {
+            for n in 0..self.cfg.network.nodes {
+                if self.injector.fires(&mut self.rng) {
+                    let dest = self.pattern.pick_dest(NodeId(n), self.cfg.network.nodes, &mut self.rng);
+                    let packet = PacketDescriptor::new(
+                        PacketId(self.next_packet),
+                        NodeId(n),
+                        dest,
+                        self.cfg.packet_len,
+                        now,
+                    );
+                    self.next_packet += 1;
+                    self.sources[n].enqueue(packet);
+                    if in_window {
+                        self.stats.record_offered(1);
+                    }
+                }
+            }
+        }
+
+        // 2. Sources stream flits toward their routers.
+        for n in 0..self.cfg.network.nodes {
+            let topo = self.topology.as_ref();
+            let router = topo.router_of(NodeId(n));
+            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            if let Some(flit) = self.sources[n].try_send(now, resolve) {
+                self.inject_pipes[n].push(now, flit);
+            }
+        }
+
+        // 3. Deliver flits due this cycle (injection + inter-router links).
+        for n in 0..self.cfg.network.nodes {
+            let node = NodeId(n);
+            let router = self.topology.router_of(node);
+            let port = self.topology.local_port_of(node);
+            for flit in self.inject_pipes[n].drain_ready(now) {
+                self.routers[router.0].accept_flit(port, flit);
+            }
+        }
+        for r in 0..self.routers.len() {
+            for p in 0..self.topology.radix() {
+                let Some(pipe) = self.flit_pipes[r][p].as_mut() else { continue };
+                let arrivals = pipe.drain_ready(now);
+                if arrivals.is_empty() {
+                    continue;
+                }
+                let (down, down_port) = self
+                    .topology
+                    .neighbor(RouterId(r), PortId(p))
+                    .expect("flit pipe exists only on connected ports");
+                for flit in arrivals {
+                    self.routers[down.0].accept_flit(down_port, flit);
+                }
+            }
+        }
+
+        // 4. Deliver credits due this cycle.
+        for r in 0..self.routers.len() {
+            for p in 0..self.topology.radix() {
+                let credits = self.credit_pipes[r][p].drain_ready(now);
+                if credits.is_empty() {
+                    continue;
+                }
+                match self.credit_dests[r][p] {
+                    CreditDest::Upstream(ur, up) => {
+                        for vc in credits {
+                            self.routers[ur.0].credit_return(up, vc);
+                        }
+                    }
+                    CreditDest::Source(node) => {
+                        for vc in credits {
+                            self.sources[node.0].credit_return(vc);
+                        }
+                    }
+                    CreditDest::Unconnected => {
+                        unreachable!("credit on unconnected port {p} of router {r}")
+                    }
+                }
+            }
+        }
+
+        // 5. Clock every router; fan out its flits and credits.
+        for r in 0..self.routers.len() {
+            let out = self.routers[r].step(now);
+            for (p, mut flit) in out.flits {
+                if self.topology.is_local_port(p) {
+                    debug_assert_eq!(
+                        self.topology.node_at(RouterId(r), p),
+                        Some(flit.packet.dest),
+                        "flit ejected at the wrong terminal"
+                    );
+                    if in_window {
+                        self.stats.record_ejection(
+                            flit.packet.source,
+                            flit.is_tail(),
+                            flit.packet.created_at,
+                            now,
+                        );
+                    }
+                    if flit.is_tail() {
+                        self.ejected.push(EjectedPacket { packet: flit.packet, at: now });
+                    }
+                } else {
+                    // Lookahead routing: rewrite the routing fields for the
+                    // downstream router before the flit enters the link.
+                    let (down, _) =
+                        self.topology.neighbor(RouterId(r), p).expect("route uses connected ports");
+                    let (out_port, lookahead, _) = self.resolve_route(down, flit.packet.dest);
+                    flit.out_port = out_port;
+                    flit.lookahead_port = lookahead;
+                    self.flit_pipes[r][p.0]
+                        .as_mut()
+                        .expect("connected port has a pipe")
+                        .push(now, flit);
+                }
+            }
+            for (p, vc) in out.credits {
+                self.credit_pipes[r][p.0].push(now, vc);
+            }
+        }
+
+        self.now = now.plus(1);
+    }
+
+    /// True when no flit remains anywhere (buffers, links, sources).
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.routers.iter().all(Router::is_empty)
+            && self.sources.iter().all(SourceQueue::is_idle)
+            && self.inject_pipes.iter().all(Pipe::is_empty)
+            && self
+                .flit_pipes
+                .iter()
+                .flatten()
+                .all(|p| p.as_ref().is_none_or(Pipe::is_empty))
+    }
+
+    /// Per-router activity counters (index = router id), e.g. for energy
+    /// or hotspot maps.
+    #[must_use]
+    pub fn per_router_activity(&self) -> Vec<ActivityCounters> {
+        self.routers.iter().map(|r| *r.activity()).collect()
+    }
+
+    /// Per-router crossbar utilisation over the run so far: flits
+    /// traversed / (cycles × output ports) — a hotspot map of the network
+    /// (values in `[0, 1]`).
+    #[must_use]
+    pub fn utilization_map(&self) -> Vec<f64> {
+        let ports = self.topology.radix() as f64;
+        self.routers
+            .iter()
+            .map(|r| {
+                let a = r.activity();
+                if a.cycles == 0 {
+                    0.0
+                } else {
+                    a.crossbar_traversals as f64 / (a.cycles as f64 * ports)
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of activity counters across all routers.
+    #[must_use]
+    pub fn aggregate_activity(&self) -> ActivityCounters {
+        let mut total = ActivityCounters::new();
+        for r in &self.routers {
+            total.merge(r.activity());
+        }
+        total
+    }
+
+    /// Runs the full warmup + measure + drain protocol and returns the
+    /// measurement-window statistics.
+    #[must_use]
+    pub fn run(mut self) -> NetworkStats {
+        let total = self.cfg.warmup + self.cfg.measure + self.cfg.drain;
+        for _ in 0..total {
+            self.step();
+        }
+        let mut stats = self.stats.clone();
+        stats.set_activity(self.aggregate_activity());
+        stats
+    }
+
+    /// Measurement statistics collected so far (useful when stepping
+    /// manually).
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_core::{AllocatorKind, NetworkConfig, TopologyKind};
+
+    fn small_cfg(alloc: AllocatorKind, rate: f64) -> SimConfig {
+        let mut net = NetworkConfig::paper_default(TopologyKind::Mesh, alloc);
+        net.nodes = 16;
+        SimConfig::new(net, rate).with_windows(200, 800, 400)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let stats = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.02)).unwrap().run();
+        assert!(stats.packets_ejected() > 50, "got {}", stats.packets_ejected());
+        assert!(stats.avg_packet_latency() > 0.0);
+    }
+
+    #[test]
+    fn low_load_accepted_equals_offered() {
+        let stats = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.02)).unwrap().run();
+        let offered = stats.offered_packets_per_node_cycle();
+        let accepted = stats.accepted_packets_per_node_cycle();
+        assert!(
+            (offered - accepted).abs() / offered < 0.1,
+            "offered {offered} vs accepted {accepted}"
+        );
+    }
+
+    #[test]
+    fn network_drains_after_run() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.05)).unwrap();
+        for _ in 0..(200 + 800 + 400) {
+            sim.step();
+        }
+        assert!(sim.is_drained(), "all packets must leave during the drain window");
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_model() {
+        // At very low load there is no contention. A packet injected at t
+        // reaches its first router at t+1 (injection link), traverses a
+        // switch on arrival, and each of the remaining H−1 routers costs
+        // FLIT_LATENCY: latency = 1 + (H−1)·FLIT_LATENCY.
+        let mut cfg = small_cfg(AllocatorKind::InputFirst, 0.005);
+        cfg.packet_len = 1;
+        let stats = NetworkSim::build(cfg).unwrap().run();
+        // 4x4 mesh, uniform non-self pairs: avg Manhattan distance 8/3,
+        // so H = 8/3 + 1 ≈ 3.67 routers.
+        let avg_hops = 8.0 / 3.0 + 1.0;
+        let expected = 1.0 + (avg_hops - 1.0) * FLIT_LATENCY as f64;
+        let got = stats.avg_packet_latency();
+        assert!(
+            (got - expected).abs() < 3.0,
+            "zero-load latency {got} far from model {expected}"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = NetworkSim::build(small_cfg(AllocatorKind::Vix, 0.05)).unwrap().run();
+        let b = NetworkSim::build(small_cfg(AllocatorKind::Vix, 0.05)).unwrap().run();
+        assert_eq!(a.packets_ejected(), b.packets_ejected());
+        assert_eq!(a.avg_packet_latency(), b.avg_packet_latency());
+        assert_eq!(a.per_source_packets(), b.per_source_packets());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.05)).unwrap().run();
+        let b = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.05).with_seed(99))
+            .unwrap()
+            .run();
+        assert_ne!(a.packets_ejected(), b.packets_ejected());
+    }
+
+    #[test]
+    fn all_allocators_run_on_all_topologies() {
+        for topo in [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly] {
+            for alloc in [
+                AllocatorKind::InputFirst,
+                AllocatorKind::Vix,
+                AllocatorKind::Wavefront,
+                AllocatorKind::WavefrontVix,
+                AllocatorKind::AugmentingPath,
+                AllocatorKind::PacketChaining,
+            ] {
+                let net = NetworkConfig::paper_default(topo, alloc);
+                let cfg = SimConfig::new(net, 0.02).with_windows(100, 300, 300);
+                let stats = NetworkSim::build(cfg).unwrap().run();
+                assert!(
+                    stats.packets_ejected() > 0,
+                    "{alloc:?} moved nothing on {topo:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activity_counters_are_consistent() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.05)).unwrap();
+        for _ in 0..1400 {
+            sim.step();
+        }
+        let a = sim.aggregate_activity();
+        assert_eq!(a.buffer_reads, a.crossbar_traversals, "every read crosses the switch");
+        assert_eq!(
+            a.buffer_writes, a.buffer_reads,
+            "drained network: every buffered flit left again"
+        );
+        assert_eq!(
+            a.crossbar_traversals,
+            a.link_traversals + a.ejections,
+            "a crossed flit either leaves on a link or ejects"
+        );
+        assert!(a.ejections > 0);
+    }
+
+    #[test]
+    fn external_injection_delivers_with_tags() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.0)).unwrap();
+        let id = sim.inject(NodeId(0), NodeId(15), 4, 77);
+        for _ in 0..100 {
+            sim.step();
+        }
+        let ejected = sim.take_ejections();
+        assert_eq!(ejected.len(), 1);
+        assert_eq!(ejected[0].packet.id, id);
+        assert_eq!(ejected[0].packet.dest, NodeId(15));
+        assert_eq!(ejected[0].packet.tag, 77);
+        assert!(sim.take_ejections().is_empty(), "take drains the queue");
+    }
+
+    #[test]
+    fn external_injection_latency_is_plausible() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.0)).unwrap();
+        sim.inject(NodeId(0), NodeId(3), 1, 0); // 3 hops east + eject
+        let mut seen = None;
+        for _ in 0..50 {
+            sim.step();
+            if let Some(e) = sim.take_ejections().pop() {
+                seen = Some(e);
+                break;
+            }
+        }
+        let e = seen.expect("packet must arrive");
+        // H = 4 routers: latency = 1 + 3·FLIT_LATENCY.
+        assert_eq!(e.at.since(e.packet.created_at), 1 + 3 * FLIT_LATENCY);
+    }
+
+    #[test]
+    fn utilization_map_is_bounded_and_loaded() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.08)).unwrap();
+        for _ in 0..1500 {
+            sim.step();
+        }
+        let map = sim.utilization_map();
+        assert_eq!(map.len(), 16);
+        assert!(map.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(map.iter().any(|&u| u > 0.01), "traffic must register in the map");
+        // Centre routers carry through-traffic: busier than corner 0.
+        let centre = map[5].max(map[6]).max(map[9]).max(map[10]);
+        assert!(centre >= map[0], "centre {centre} vs corner {}", map[0]);
+    }
+
+    #[test]
+    fn per_router_activity_sums_to_aggregate() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::InputFirst, 0.05)).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let per = sim.per_router_activity();
+        assert_eq!(per.len(), 16);
+        let total = sim.aggregate_activity();
+        assert_eq!(per.iter().map(|a| a.buffer_writes).sum::<u64>(), total.buffer_writes);
+        assert_eq!(per.iter().map(|a| a.ejections).sum::<u64>(), total.ejections);
+    }
+
+    #[test]
+    fn vix_network_uses_vix_allocator() {
+        let sim = NetworkSim::build(small_cfg(AllocatorKind::Vix, 0.01)).unwrap();
+        assert_eq!(sim.config().network.router.virtual_inputs_per_port(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Concentrated mesh topology (Balfour & Dally, ICS 2006).
+
+use crate::Topology;
+use vix_core::{ConfigError, NodeId, PortId, RouterId, TopologyKind};
+
+/// Directional port indices of a CMesh router (locals are ports 4–7).
+pub mod port {
+    use vix_core::PortId;
+
+    /// Toward increasing X.
+    pub const EAST: PortId = PortId(0);
+    /// Toward decreasing X.
+    pub const WEST: PortId = PortId(1);
+    /// Toward increasing Y.
+    pub const NORTH: PortId = PortId(2);
+    /// Toward decreasing Y.
+    pub const SOUTH: PortId = PortId(3);
+    /// First of the four terminal ports.
+    pub const LOCAL0: PortId = PortId(4);
+}
+
+/// A concentrated mesh: a `k × k` router grid with 4 terminals per router
+/// (radix-8 routers for 64 terminals, per Table 1 of the paper).
+///
+/// Terminal `n` attaches to router `n / 4` through local port `4 + n % 4`.
+/// Inter-router routing is X-then-Y dimension order, as in [`crate::Mesh`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CMesh {
+    k: usize,
+}
+
+/// Terminals per router.
+const CONCENTRATION: usize = 4;
+/// Directional ports before the local ports.
+const DIRS: usize = 4;
+
+impl CMesh {
+    /// Creates a concentrated mesh for `nodes` terminals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadNodeCount`] unless `nodes` is 4 × a
+    /// perfect square of side ≥ 2.
+    pub fn new(nodes: usize) -> Result<Self, ConfigError> {
+        let err = ConfigError::BadNodeCount {
+            nodes,
+            requirement: "concentrated mesh requires 4 x a perfect square >= 4",
+        };
+        if nodes % CONCENTRATION != 0 {
+            return Err(err);
+        }
+        let routers = nodes / CONCENTRATION;
+        let k = (routers as f64).sqrt().round() as usize;
+        if k < 2 || k * k != routers {
+            return Err(err);
+        }
+        Ok(CMesh { k })
+    }
+
+    /// Side length of the router grid.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.k
+    }
+
+    fn coords(&self, r: RouterId) -> (usize, usize) {
+        (r.0 % self.k, r.0 / self.k)
+    }
+
+    fn router_at(&self, x: usize, y: usize) -> RouterId {
+        RouterId(y * self.k + x)
+    }
+}
+
+impl Topology for CMesh {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::CMesh
+    }
+
+    fn nodes(&self) -> usize {
+        self.k * self.k * CONCENTRATION
+    }
+
+    fn routers(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn radix(&self) -> usize {
+        DIRS + CONCENTRATION
+    }
+
+    fn concentration(&self) -> usize {
+        CONCENTRATION
+    }
+
+    fn router_of(&self, node: NodeId) -> RouterId {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        RouterId(node.0 / CONCENTRATION)
+    }
+
+    fn local_port_of(&self, node: NodeId) -> PortId {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        PortId(DIRS + node.0 % CONCENTRATION)
+    }
+
+    fn node_at(&self, router: RouterId, p: PortId) -> Option<NodeId> {
+        (p.0 >= DIRS && p.0 < DIRS + CONCENTRATION)
+            .then(|| NodeId(router.0 * CONCENTRATION + (p.0 - DIRS)))
+    }
+
+    fn neighbor(&self, router: RouterId, p: PortId) -> Option<(RouterId, PortId)> {
+        let (x, y) = self.coords(router);
+        match p {
+            port::EAST if x + 1 < self.k => Some((self.router_at(x + 1, y), port::WEST)),
+            port::WEST if x > 0 => Some((self.router_at(x - 1, y), port::EAST)),
+            port::NORTH if y + 1 < self.k => Some((self.router_at(x, y + 1), port::SOUTH)),
+            port::SOUTH if y > 0 => Some((self.router_at(x, y - 1), port::NORTH)),
+            _ => None,
+        }
+    }
+
+    fn route(&self, at: RouterId, dest: NodeId) -> PortId {
+        let (x, y) = self.coords(at);
+        let (dx, dy) = self.coords(self.router_of(dest));
+        if x < dx {
+            port::EAST
+        } else if x > dx {
+            port::WEST
+        } else if y < dy {
+            port::NORTH
+        } else if y > dy {
+            port::SOUTH
+        } else {
+            self.local_port_of(dest)
+        }
+    }
+
+    fn port_dimension(&self, p: PortId) -> usize {
+        match p {
+            port::EAST | port::WEST => 0,
+            port::NORTH | port::SOUTH => 1,
+            _ => 2,
+        }
+    }
+
+    fn min_hops(&self, src: NodeId, dest: NodeId) -> usize {
+        let (sx, sy) = self.coords(self.router_of(src));
+        let (dx, dy) = self.coords(self.router_of(dest));
+        sx.abs_diff(dx) + sy.abs_diff(dy) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_terminals_matches_paper() {
+        let c = CMesh::new(64).unwrap();
+        assert_eq!(c.side(), 4);
+        assert_eq!(c.routers(), 16);
+        assert_eq!(c.radix(), 8, "Table 1: CMesh radix 8");
+    }
+
+    #[test]
+    fn four_terminals_share_a_router() {
+        let c = CMesh::new(64).unwrap();
+        for n in 0..4 {
+            assert_eq!(c.router_of(NodeId(n)), RouterId(0));
+        }
+        assert_eq!(c.router_of(NodeId(4)), RouterId(1));
+        assert_eq!(c.local_port_of(NodeId(0)), PortId(4));
+        assert_eq!(c.local_port_of(NodeId(3)), PortId(7));
+    }
+
+    #[test]
+    fn node_at_inverts_attachment() {
+        let c = CMesh::new(64).unwrap();
+        for n in (0..64).map(NodeId) {
+            assert_eq!(c.node_at(c.router_of(n), c.local_port_of(n)), Some(n));
+        }
+        assert_eq!(c.node_at(RouterId(0), port::EAST), None);
+    }
+
+    #[test]
+    fn routing_to_sibling_terminal_is_one_hop() {
+        let c = CMesh::new(64).unwrap();
+        // Nodes 0 and 3 share router 0: direct ejection.
+        assert_eq!(c.route(RouterId(0), NodeId(3)), PortId(7));
+        assert_eq!(c.min_hops(NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn xy_routing_across_grid() {
+        let c = CMesh::new(64).unwrap();
+        // Node 63 lives at router 15 = (3,3); from router 0 go East first.
+        assert_eq!(c.route(RouterId(0), NodeId(63)), port::EAST);
+        assert_eq!(c.route(RouterId(3), NodeId(63)), port::NORTH);
+        assert_eq!(c.min_hops(NodeId(0), NodeId(63)), 7);
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        assert!(CMesh::new(63).is_err());
+        assert!(CMesh::new(8).is_err()); // 2 routers: not a square grid
+        assert!(CMesh::new(4).is_err()); // single router
+    }
+}

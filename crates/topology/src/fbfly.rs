@@ -1,0 +1,259 @@
+//! Flattened butterfly topology (Kim, Balfour & Dally, MICRO-40).
+
+use crate::Topology;
+use vix_core::{ConfigError, NodeId, PortId, RouterId, TopologyKind};
+
+/// Terminals per router.
+const CONCENTRATION: usize = 4;
+
+/// A 2-D flattened butterfly: a `k × k` router array in which every router
+/// links directly to every other router of its row and of its column, with
+/// 4 terminals per router.
+///
+/// For 64 terminals this is a 4×4 array: each router has 3 row ports, 3
+/// column ports, and 4 local ports — the radix-10 routers of Table 1.
+///
+/// Port layout (directional first, per the [`Topology`] convention):
+///
+/// * ports `0 .. k-1` — row links, to the other routers of the row in
+///   ascending X order (own column skipped);
+/// * ports `k-1 .. 2(k-1)` — column links, ascending Y, own row skipped;
+/// * ports `2(k-1) .. 2(k-1)+4` — terminals.
+///
+/// Routing is minimal dimension order: one row hop to correct X, then one
+/// column hop to correct Y, then ejection — at most 3 port traversals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlattenedButterfly {
+    k: usize,
+}
+
+impl FlattenedButterfly {
+    /// Creates a flattened butterfly for `nodes` terminals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadNodeCount`] unless `nodes` is 4 × a
+    /// perfect square of side ≥ 2.
+    pub fn new(nodes: usize) -> Result<Self, ConfigError> {
+        let err = ConfigError::BadNodeCount {
+            nodes,
+            requirement: "flattened butterfly requires 4 x a perfect square >= 4",
+        };
+        if nodes % CONCENTRATION != 0 {
+            return Err(err);
+        }
+        let routers = nodes / CONCENTRATION;
+        let k = (routers as f64).sqrt().round() as usize;
+        if k < 2 || k * k != routers {
+            return Err(err);
+        }
+        Ok(FlattenedButterfly { k })
+    }
+
+    /// Side length of the router array.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.k
+    }
+
+    fn dirs(&self) -> usize {
+        2 * (self.k - 1)
+    }
+
+    fn coords(&self, r: RouterId) -> (usize, usize) {
+        (r.0 % self.k, r.0 / self.k)
+    }
+
+    fn router_at(&self, x: usize, y: usize) -> RouterId {
+        RouterId(y * self.k + x)
+    }
+
+    /// Row port index (0-based among row ports) that reaches column
+    /// `to_x` from a router in column `from_x`.
+    fn row_port_to(&self, from_x: usize, to_x: usize) -> usize {
+        debug_assert_ne!(from_x, to_x);
+        if to_x < from_x {
+            to_x
+        } else {
+            to_x - 1
+        }
+    }
+
+    /// Column reached by row port `i` of a router in column `from_x`.
+    fn row_port_target(&self, from_x: usize, i: usize) -> usize {
+        if i < from_x {
+            i
+        } else {
+            i + 1
+        }
+    }
+}
+
+impl Topology for FlattenedButterfly {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::FlattenedButterfly
+    }
+
+    fn nodes(&self) -> usize {
+        self.k * self.k * CONCENTRATION
+    }
+
+    fn routers(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn radix(&self) -> usize {
+        self.dirs() + CONCENTRATION
+    }
+
+    fn concentration(&self) -> usize {
+        CONCENTRATION
+    }
+
+    fn router_of(&self, node: NodeId) -> RouterId {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        RouterId(node.0 / CONCENTRATION)
+    }
+
+    fn local_port_of(&self, node: NodeId) -> PortId {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        PortId(self.dirs() + node.0 % CONCENTRATION)
+    }
+
+    fn node_at(&self, router: RouterId, p: PortId) -> Option<NodeId> {
+        (p.0 >= self.dirs() && p.0 < self.radix())
+            .then(|| NodeId(router.0 * CONCENTRATION + (p.0 - self.dirs())))
+    }
+
+    fn neighbor(&self, router: RouterId, p: PortId) -> Option<(RouterId, PortId)> {
+        let (x, y) = self.coords(router);
+        let row_ports = self.k - 1;
+        if p.0 < row_ports {
+            // Row link to another column.
+            let tx = self.row_port_target(x, p.0);
+            let back = self.row_port_to(tx, x);
+            Some((self.router_at(tx, y), PortId(back)))
+        } else if p.0 < self.dirs() {
+            // Column link to another row.
+            let i = p.0 - row_ports;
+            let ty = self.row_port_target(y, i);
+            let back = row_ports + self.row_port_to(ty, y);
+            Some((self.router_at(x, ty), PortId(back)))
+        } else {
+            None
+        }
+    }
+
+    fn route(&self, at: RouterId, dest: NodeId) -> PortId {
+        let (x, y) = self.coords(at);
+        let (dx, dy) = self.coords(self.router_of(dest));
+        if x != dx {
+            PortId(self.row_port_to(x, dx))
+        } else if y != dy {
+            PortId((self.k - 1) + self.row_port_to(y, dy))
+        } else {
+            self.local_port_of(dest)
+        }
+    }
+
+    fn port_dimension(&self, p: PortId) -> usize {
+        if p.0 < self.k - 1 {
+            0
+        } else if p.0 < self.dirs() {
+            1
+        } else {
+            2
+        }
+    }
+
+    fn min_hops(&self, src: NodeId, dest: NodeId) -> usize {
+        let (sx, sy) = self.coords(self.router_of(src));
+        let (dx, dy) = self.coords(self.router_of(dest));
+        usize::from(sx != dx) + usize::from(sy != dy) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_terminals_is_radix_ten() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        assert_eq!(f.side(), 4);
+        assert_eq!(f.routers(), 16);
+        assert_eq!(f.radix(), 10, "Table 1: FBfly radix 10");
+    }
+
+    #[test]
+    fn any_destination_within_two_router_hops() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        for s in (0..64).map(NodeId) {
+            for d in (0..64).map(NodeId) {
+                assert!(f.min_hops(s, d) <= 3, "fbfly diameter exceeded for {s}→{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_links_reach_every_column_directly() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        // Router 0 is at (0,0); its row ports reach columns 1, 2, 3.
+        let targets: Vec<RouterId> =
+            (0..3).map(|p| f.neighbor(RouterId(0), PortId(p)).unwrap().0).collect();
+        assert_eq!(targets, vec![RouterId(1), RouterId(2), RouterId(3)]);
+    }
+
+    #[test]
+    fn column_links_reach_every_row_directly() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        let targets: Vec<RouterId> =
+            (3..6).map(|p| f.neighbor(RouterId(0), PortId(p)).unwrap().0).collect();
+        assert_eq!(targets, vec![RouterId(4), RouterId(8), RouterId(12)]);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        for r in (0..16).map(RouterId) {
+            for p in (0..6).map(PortId) {
+                let (nr, np) = f.neighbor(r, p).unwrap();
+                let (back, bp) = f.neighbor(nr, np).unwrap();
+                assert_eq!(back, r, "round trip from {r} port {p}");
+                assert_eq!(bp, p);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_x_then_y() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        // From router (0,0) to node 63 at router 15 = (3,3): row hop to
+        // column 3 (row port 2), then column hop, then eject.
+        let p1 = f.route(RouterId(0), NodeId(63));
+        assert_eq!(p1, PortId(2));
+        let (r2, _) = f.neighbor(RouterId(0), p1).unwrap();
+        assert_eq!(r2, RouterId(3));
+        let p2 = f.route(r2, NodeId(63));
+        let (r3, _) = f.neighbor(r2, p2).unwrap();
+        assert_eq!(r3, RouterId(15));
+        assert!(f.is_local_port(f.route(r3, NodeId(63))));
+    }
+
+    #[test]
+    fn port_dimensions_split_row_column_local() {
+        let f = FlattenedButterfly::new(64).unwrap();
+        assert_eq!(f.port_dimension(PortId(0)), 0);
+        assert_eq!(f.port_dimension(PortId(2)), 0);
+        assert_eq!(f.port_dimension(PortId(3)), 1);
+        assert_eq!(f.port_dimension(PortId(5)), 1);
+        assert_eq!(f.port_dimension(PortId(6)), 2);
+        assert_eq!(f.port_dimension(PortId(9)), 2);
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        assert!(FlattenedButterfly::new(60).is_err());
+        assert!(FlattenedButterfly::new(4).is_err());
+    }
+}

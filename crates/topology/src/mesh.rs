@@ -1,0 +1,206 @@
+//! 2-D mesh topology.
+
+use crate::Topology;
+use vix_core::{ConfigError, NodeId, PortId, RouterId, TopologyKind};
+
+/// Port indices of a mesh router. Directional ports first, local last,
+/// matching the [`Topology`] convention.
+pub mod port {
+    use vix_core::PortId;
+
+    /// Toward increasing X.
+    pub const EAST: PortId = PortId(0);
+    /// Toward decreasing X.
+    pub const WEST: PortId = PortId(1);
+    /// Toward increasing Y.
+    pub const NORTH: PortId = PortId(2);
+    /// Toward decreasing Y.
+    pub const SOUTH: PortId = PortId(3);
+    /// Terminal port.
+    pub const LOCAL: PortId = PortId(4);
+}
+
+/// A `k × k` mesh with one terminal per router (radix-5 routers).
+///
+/// Node `n` sits at router `(n % k, n / k)`. Routing is deterministic
+/// X-then-Y dimension order (deadlock-free without VC restrictions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    k: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh for `nodes` terminals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadNodeCount`] unless `nodes` is a perfect
+    /// square of side ≥ 2.
+    pub fn new(nodes: usize) -> Result<Self, ConfigError> {
+        let k = (nodes as f64).sqrt().round() as usize;
+        if k < 2 || k * k != nodes {
+            return Err(ConfigError::BadNodeCount {
+                nodes,
+                requirement: "mesh requires a perfect square >= 4",
+            });
+        }
+        Ok(Mesh { k })
+    }
+
+    /// Side length of the mesh.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.k
+    }
+
+    fn coords(&self, r: RouterId) -> (usize, usize) {
+        (r.0 % self.k, r.0 / self.k)
+    }
+
+    fn router_at(&self, x: usize, y: usize) -> RouterId {
+        RouterId(y * self.k + x)
+    }
+}
+
+impl Topology for Mesh {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Mesh
+    }
+
+    fn nodes(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn routers(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn radix(&self) -> usize {
+        5
+    }
+
+    fn concentration(&self) -> usize {
+        1
+    }
+
+    fn router_of(&self, node: NodeId) -> RouterId {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        RouterId(node.0)
+    }
+
+    fn local_port_of(&self, _node: NodeId) -> PortId {
+        port::LOCAL
+    }
+
+    fn node_at(&self, router: RouterId, port_id: PortId) -> Option<NodeId> {
+        (port_id == port::LOCAL).then_some(NodeId(router.0))
+    }
+
+    fn neighbor(&self, router: RouterId, p: PortId) -> Option<(RouterId, PortId)> {
+        let (x, y) = self.coords(router);
+        match p {
+            port::EAST if x + 1 < self.k => Some((self.router_at(x + 1, y), port::WEST)),
+            port::WEST if x > 0 => Some((self.router_at(x - 1, y), port::EAST)),
+            port::NORTH if y + 1 < self.k => Some((self.router_at(x, y + 1), port::SOUTH)),
+            port::SOUTH if y > 0 => Some((self.router_at(x, y - 1), port::NORTH)),
+            _ => None,
+        }
+    }
+
+    fn route(&self, at: RouterId, dest: NodeId) -> PortId {
+        let (x, y) = self.coords(at);
+        let (dx, dy) = self.coords(self.router_of(dest));
+        if x < dx {
+            port::EAST
+        } else if x > dx {
+            port::WEST
+        } else if y < dy {
+            port::NORTH
+        } else if y > dy {
+            port::SOUTH
+        } else {
+            port::LOCAL
+        }
+    }
+
+    fn port_dimension(&self, p: PortId) -> usize {
+        match p {
+            port::EAST | port::WEST => 0,
+            port::NORTH | port::SOUTH => 1,
+            _ => 2,
+        }
+    }
+
+    fn min_hops(&self, src: NodeId, dest: NodeId) -> usize {
+        let (sx, sy) = self.coords(self.router_of(src));
+        let (dx, dy) = self.coords(self.router_of(dest));
+        sx.abs_diff(dx) + sy.abs_diff(dy) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_by_eight_matches_paper() {
+        let m = Mesh::new(64).unwrap();
+        assert_eq!(m.side(), 8);
+        assert_eq!(m.routers(), 64);
+        assert_eq!(m.radix(), 5);
+    }
+
+    #[test]
+    fn xy_routing_corrects_x_first() {
+        let m = Mesh::new(64).unwrap();
+        // From (0,0) to node 63 at (7,7): go East until x = 7.
+        assert_eq!(m.route(RouterId(0), NodeId(63)), port::EAST);
+        // From (7,0) to (7,7): go North.
+        assert_eq!(m.route(RouterId(7), NodeId(63)), port::NORTH);
+        // At destination router: eject.
+        assert_eq!(m.route(RouterId(63), NodeId(63)), port::LOCAL);
+    }
+
+    #[test]
+    fn edges_have_no_neighbors_outward() {
+        let m = Mesh::new(16).unwrap();
+        assert!(m.neighbor(RouterId(0), port::WEST).is_none());
+        assert!(m.neighbor(RouterId(0), port::SOUTH).is_none());
+        assert!(m.neighbor(RouterId(15), port::EAST).is_none());
+        assert!(m.neighbor(RouterId(15), port::NORTH).is_none());
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let m = Mesh::new(16).unwrap();
+        let (r, p) = m.neighbor(RouterId(5), port::EAST).unwrap();
+        assert_eq!(r, RouterId(6));
+        assert_eq!(p, port::WEST);
+        assert_eq!(m.neighbor(r, port::WEST).unwrap().0, RouterId(5));
+    }
+
+    #[test]
+    fn min_hops_is_manhattan_plus_ejection() {
+        let m = Mesh::new(64).unwrap();
+        assert_eq!(m.min_hops(NodeId(0), NodeId(0)), 1);
+        assert_eq!(m.min_hops(NodeId(0), NodeId(7)), 8);
+        assert_eq!(m.min_hops(NodeId(0), NodeId(63)), 15);
+    }
+
+    #[test]
+    fn port_dimensions_follow_axes() {
+        let m = Mesh::new(16).unwrap();
+        assert_eq!(m.port_dimension(port::EAST), 0);
+        assert_eq!(m.port_dimension(port::WEST), 0);
+        assert_eq!(m.port_dimension(port::NORTH), 1);
+        assert_eq!(m.port_dimension(port::SOUTH), 1);
+        assert_eq!(m.port_dimension(port::LOCAL), 2);
+    }
+
+    #[test]
+    fn rejects_non_square_node_counts() {
+        assert!(Mesh::new(60).is_err());
+        assert!(Mesh::new(1).is_err());
+        assert!(Mesh::new(0).is_err());
+    }
+}

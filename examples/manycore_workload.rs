@@ -1,0 +1,34 @@
+//! Application-level run (§4.7): a 64-core CMP executing one of the
+//! paper's multiprogrammed mixes over the simulated NoC, baseline vs VIX.
+//!
+//! Run with: `cargo run --release --example manycore_workload [mix-index]`
+
+use vix::manycore::{ManycoreSystem, Mix};
+use vix::AllocatorKind;
+
+fn main() {
+    let index: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let mixes = Mix::table4();
+    let mix = mixes.get(index.saturating_sub(1).min(7)).unwrap_or(&mixes[4]);
+
+    println!("{}: 6 applications x ~11 instances on 64 cores (avg MPKI {:.1})", mix.name, mix.avg_mpki());
+    for (bench, n) in &mix.apps {
+        println!("  {bench} x {n}");
+    }
+
+    println!("\nsimulating 15k cycles per configuration...");
+    let base = ManycoreSystem::build(mix, AllocatorKind::InputFirst, 5).run_windows(3_000, 15_000);
+    let vix = ManycoreSystem::build(mix, AllocatorKind::Vix, 5).run_windows(3_000, 15_000);
+
+    println!("\n{:<22} {:>10} {:>10}", "", "IF", "VIX");
+    println!("{:<22} {:>10.1} {:>10.1}", "system IPC", base.total_ipc(), vix.total_ipc());
+    println!("{:<22} {:>10.3} {:>10.3}", "avg per-core IPC", base.avg_ipc(), vix.avg_ipc());
+    println!("{:<22} {:>10.3} {:>10.3}", "L2 miss ratio", base.l2_miss_ratio, vix.l2_miss_ratio);
+    println!("{:<22} {:>10} {:>10}", "memory requests", base.memory_requests, vix.memory_requests);
+    println!(
+        "\nspeedup: {:.3} (paper reports {:.2} for {})",
+        vix.total_ipc() / base.total_ipc(),
+        mix.paper_speedup,
+        mix.name
+    );
+}

@@ -1,0 +1,36 @@
+//! Quickstart: simulate an 8×8 mesh NoC with the baseline and VIX switch
+//! allocators and compare latency and throughput.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vix::prelude::*;
+
+fn main() -> Result<(), ConfigError> {
+    println!("VIX quickstart: 8x8 mesh, uniform random traffic, 4-flit packets\n");
+
+    // Sweep a few injection rates for the two allocators the paper leads
+    // with: the input-first separable baseline ("IF") and VIX.
+    println!("{:>22} | {:>10} | {:>14} | {:>14}", "allocator", "rate", "latency (cyc)", "accepted pkt/n/c");
+    for allocator in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
+        for rate in [0.02, 0.06, 0.10] {
+            // `paper_default` builds the paper's router: 6 VCs per port,
+            // 5-flit buffers, 128-bit datapath — and, for VIX, two
+            // virtual inputs per port.
+            let network = NetworkConfig::paper_default(TopologyKind::Mesh, allocator);
+            let cfg = SimConfig::new(network, rate).with_windows(1_000, 5_000, 2_000);
+            let stats = NetworkSim::build(cfg)?.run();
+            println!(
+                "{:>22} | {:>10.2} | {:>14.1} | {:>14.4}",
+                allocator.label(),
+                rate,
+                stats.avg_packet_latency(),
+                stats.accepted_packets_per_node_cycle()
+            );
+        }
+    }
+
+    println!();
+    println!("At low load the allocators are indistinguishable; near saturation VIX");
+    println!("keeps latency flat where the separable baseline's queues blow up (Fig. 8).");
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! `vixsim` — command-line front-end for the VIX NoC simulator.
+//!
+//! ```text
+//! vixsim [--topology mesh|cmesh|fbfly] [--allocator if|vix|wf|wfvix|ap|pc|islip]
+//!        [--rate R] [--packet-len N] [--vcs V] [--virtual-inputs K]
+//!        [--pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor]
+//!        [--warmup N] [--measure N] [--drain N] [--seed S]
+//!        [--no-speculation] [--no-dimension-aware] [--age-based-sa]
+//! ```
+//!
+//! Example: `vixsim --allocator vix --rate 0.10 --pattern transpose`
+
+use std::process::ExitCode;
+use vix::prelude::*;
+use vix::{NodeId, VirtualInputs};
+
+struct Options {
+    topology: TopologyKind,
+    allocator: AllocatorKind,
+    rate: f64,
+    packet_len: usize,
+    vcs: usize,
+    virtual_inputs: usize,
+    pattern: TrafficPattern,
+    warmup: u64,
+    measure: u64,
+    drain: u64,
+    seed: u64,
+    speculation: bool,
+    dimension_aware: bool,
+    age_based_sa: bool,
+    five_stage: bool,
+    sweep_csv: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            topology: TopologyKind::Mesh,
+            allocator: AllocatorKind::Vix,
+            rate: 0.05,
+            packet_len: 4,
+            vcs: 6,
+            virtual_inputs: 0, // 0 = derive from allocator
+            pattern: TrafficPattern::UniformRandom,
+            warmup: 2_000,
+            measure: 10_000,
+            drain: 3_000,
+            seed: 0xC0FFEE,
+            speculation: true,
+            dimension_aware: true,
+            age_based_sa: false,
+            five_stage: false,
+            sweep_csv: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: vixsim [options]
+  --topology mesh|cmesh|fbfly      (default mesh)
+  --allocator if|of|vix|wf|wfvix|ap|pc|islip   (default vix)
+  --rate <pkts/cycle/node>         (default 0.05)
+  --packet-len <flits>             (default 4)
+  --vcs <n>                        (default 6)
+  --virtual-inputs <k>             (default: 2 for vix/wfvix, else 1)
+  --pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor
+  --warmup/--measure/--drain <cycles>
+  --seed <n>
+  --no-speculation  --no-dimension-aware  --age-based-sa  --five-stage
+  --sweep-csv <file>               run a 10-point rate sweep, write CSV";
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opt = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--topology" => {
+                opt.topology = match value()?.as_str() {
+                    "mesh" => TopologyKind::Mesh,
+                    "cmesh" => TopologyKind::CMesh,
+                    "fbfly" => TopologyKind::FlattenedButterfly,
+                    other => return Err(format!("unknown topology {other}")),
+                }
+            }
+            "--allocator" => {
+                opt.allocator = match value()?.as_str() {
+                    "if" => AllocatorKind::InputFirst,
+                    "of" => AllocatorKind::OutputFirst,
+                    "vix" => AllocatorKind::Vix,
+                    "wf" => AllocatorKind::Wavefront,
+                    "wfvix" => AllocatorKind::WavefrontVix,
+                    "ap" => AllocatorKind::AugmentingPath,
+                    "pc" => AllocatorKind::PacketChaining,
+                    "islip" => AllocatorKind::Islip(2),
+                    other => return Err(format!("unknown allocator {other}")),
+                }
+            }
+            "--rate" => opt.rate = value()?.parse().map_err(|e| format!("bad rate: {e}"))?,
+            "--packet-len" => {
+                opt.packet_len = value()?.parse().map_err(|e| format!("bad packet length: {e}"))?
+            }
+            "--vcs" => opt.vcs = value()?.parse().map_err(|e| format!("bad vc count: {e}"))?,
+            "--virtual-inputs" => {
+                opt.virtual_inputs =
+                    value()?.parse().map_err(|e| format!("bad virtual inputs: {e}"))?
+            }
+            "--pattern" => {
+                opt.pattern = match value()?.as_str() {
+                    "uniform" => TrafficPattern::UniformRandom,
+                    "transpose" => TrafficPattern::Transpose,
+                    "bitcomp" => TrafficPattern::BitComplement,
+                    "bitrev" => TrafficPattern::BitReverse,
+                    "shuffle" => TrafficPattern::Shuffle,
+                    "neighbor" => TrafficPattern::NearestNeighbor,
+                    "hotspot" => TrafficPattern::Hotspot {
+                        spots: vec![NodeId(0), NodeId(63)],
+                        fraction: 0.2,
+                    },
+                    other => return Err(format!("unknown pattern {other}")),
+                }
+            }
+            "--warmup" => opt.warmup = value()?.parse().map_err(|e| format!("bad warmup: {e}"))?,
+            "--measure" => opt.measure = value()?.parse().map_err(|e| format!("bad measure: {e}"))?,
+            "--drain" => opt.drain = value()?.parse().map_err(|e| format!("bad drain: {e}"))?,
+            "--seed" => opt.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--no-speculation" => opt.speculation = false,
+            "--five-stage" => opt.five_stage = true,
+            "--sweep-csv" => opt.sweep_csv = Some(value()?.clone()),
+            "--no-dimension-aware" => opt.dimension_aware = false,
+            "--age-based-sa" => opt.age_based_sa = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opt)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = match parse(&args) {
+        Ok(opt) => opt,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let needs_vi = matches!(opt.allocator, AllocatorKind::Vix | AllocatorKind::WavefrontVix);
+    let k = match opt.virtual_inputs {
+        0 if needs_vi => 2,
+        0 => 1,
+        k => k,
+    };
+    let vi = match k {
+        1 => VirtualInputs::None,
+        k if k == opt.vcs => VirtualInputs::Ideal,
+        k => VirtualInputs::PerPort(k),
+    };
+    let router = vix::RouterConfig::paper_default(opt.topology.radix_64())
+        .with_vcs(opt.vcs)
+        .with_virtual_inputs(vi)
+        .with_speculation(opt.speculation)
+        .with_dimension_aware_va(opt.dimension_aware)
+        .with_age_based_sa(opt.age_based_sa)
+        .with_pipeline(if opt.five_stage {
+            vix::PipelineKind::FiveStage
+        } else {
+            vix::PipelineKind::ThreeStage
+        });
+    let network = NetworkConfig { topology: opt.topology, nodes: 64, router, allocator: opt.allocator };
+    let cfg = SimConfig::new(network, opt.rate)
+        .with_packet_len(opt.packet_len)
+        .with_windows(opt.warmup, opt.measure, opt.drain)
+        .with_seed(opt.seed);
+
+    if let Some(path) = &opt.sweep_csv {
+        let sweep = match LoadSweep::new(cfg).with_pattern(opt.pattern.clone()).run() {
+            Ok(sweep) => sweep,
+            Err(e) => {
+                eprintln!("error: invalid configuration: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = sweep.write_csv(std::io::BufWriter::new(file)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} sweep points to {path} (saturation {:.4} pkt/node/cycle)",
+            sweep.len(),
+            sweep.saturation_throughput()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let sim = match NetworkSim::build_with_pattern(cfg, opt.pattern.clone()) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "vixsim: {:?} / {} / {} traffic @ {} pkt/cycle/node, {} VCs, {} virtual input(s)",
+        opt.topology,
+        opt.allocator.label(),
+        opt.pattern.label(),
+        opt.rate,
+        opt.vcs,
+        k
+    );
+    let stats = sim.run();
+    println!("  offered   {:.4} pkt/node/cycle", stats.offered_packets_per_node_cycle());
+    println!("  accepted  {:.4} pkt/node/cycle ({:.4} flits/node/cycle)",
+        stats.accepted_packets_per_node_cycle(), stats.accepted_flits_per_node_cycle());
+    println!("  latency   avg {:.1}  p50 {}  p99 {}  max {} cycles",
+        stats.avg_packet_latency(),
+        stats.median_packet_latency().unwrap_or(0),
+        stats.p99_packet_latency().unwrap_or(0),
+        stats.max_packet_latency());
+    println!("  fairness  max/min = {:.2}", stats.fairness_ratio());
+    println!("  packets   {} delivered over {} measured cycles",
+        stats.packets_ejected(), stats.measured_cycles());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,53 @@
+//! Reproducibility: identical seeds must give bit-identical results at
+//! every level of the stack — the property that makes the benchmark
+//! harness's numbers citable.
+
+use vix::manycore::{ManycoreSystem, Mix};
+use vix::prelude::*;
+
+#[test]
+fn network_runs_are_bit_identical() {
+    let make = || {
+        let network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+        let cfg = SimConfig::new(network, 0.08).with_windows(300, 1_200, 800).with_seed(1234);
+        NetworkSim::build(cfg).unwrap().run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.packets_ejected(), b.packets_ejected());
+    assert_eq!(a.flits_ejected(), b.flits_ejected());
+    assert_eq!(a.per_source_packets(), b.per_source_packets());
+    assert_eq!(a.avg_packet_latency(), b.avg_packet_latency());
+    assert_eq!(a.activity(), b.activity());
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let run = |seed| {
+        let network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::InputFirst);
+        let cfg = SimConfig::new(network, 0.08).with_windows(300, 1_200, 800).with_seed(seed);
+        NetworkSim::build(cfg).unwrap().run().packets_ejected()
+    };
+    assert_ne!(run(1), run(2), "different seeds must explore different traffic");
+}
+
+#[test]
+fn manycore_runs_are_bit_identical() {
+    let mix = &Mix::table4()[1];
+    let a = ManycoreSystem::build(mix, AllocatorKind::InputFirst, 99).run_windows(200, 800);
+    let b = ManycoreSystem::build(mix, AllocatorKind::InputFirst, 99).run_windows(200, 800);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn single_router_harness_is_deterministic() {
+    use vix::alloc::build_allocator;
+    use vix::RouterConfig;
+    let run = || {
+        let router = RouterConfig::paper_default(5);
+        SingleRouterHarness::new(build_allocator(AllocatorKind::Wavefront, &router), 5, 6, 77)
+            .run(2_000)
+            .flits_per_cycle()
+    };
+    assert_eq!(run(), run());
+}

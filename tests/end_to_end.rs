@@ -1,0 +1,127 @@
+//! End-to-end integration tests: full network simulations spanning every
+//! crate in the workspace.
+
+use vix::prelude::*;
+use vix::ActivityCounters;
+
+fn run(
+    topology: TopologyKind,
+    allocator: AllocatorKind,
+    rate: f64,
+    seed: u64,
+) -> vix::sim::NetworkStats {
+    let network = NetworkConfig::paper_default(topology, allocator);
+    let cfg = SimConfig::new(network, rate).with_windows(500, 2_000, 1_500).with_seed(seed);
+    NetworkSim::build(cfg).expect("paper-default configs are valid").run()
+}
+
+#[test]
+fn every_allocator_delivers_on_every_topology() {
+    for topology in [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly] {
+        for allocator in [
+            AllocatorKind::InputFirst,
+            AllocatorKind::Vix,
+            AllocatorKind::Wavefront,
+            AllocatorKind::WavefrontVix,
+            AllocatorKind::AugmentingPath,
+            AllocatorKind::PacketChaining,
+            AllocatorKind::Islip(2),
+        ] {
+            let stats = run(topology, allocator, 0.02, 1);
+            let offered = stats.offered_packets_per_node_cycle();
+            let accepted = stats.accepted_packets_per_node_cycle();
+            assert!(
+                (offered - accepted).abs() / offered < 0.15,
+                "{allocator:?} on {topology:?}: offered {offered} vs accepted {accepted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flit_conservation_holds_network_wide() {
+    for allocator in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
+        let network = NetworkConfig::paper_default(TopologyKind::Mesh, allocator);
+        let cfg = SimConfig::new(network, 0.05).with_windows(500, 2_000, 2_000);
+        let mut sim = NetworkSim::build(cfg).unwrap();
+        for _ in 0..4_500 {
+            sim.step();
+        }
+        assert!(sim.is_drained(), "{allocator:?}: flits left in the network after drain");
+        let a: ActivityCounters = sim.aggregate_activity();
+        assert_eq!(a.buffer_writes, a.buffer_reads, "every buffered flit must leave");
+        assert_eq!(a.crossbar_traversals, a.link_traversals + a.ejections);
+    }
+}
+
+#[test]
+fn vix_beats_baseline_at_saturation() {
+    // The paper's headline (Fig. 8): double-digit throughput gain at
+    // saturation on the mesh.
+    let base = run(TopologyKind::Mesh, AllocatorKind::InputFirst, 0.12, 2);
+    let vix = run(TopologyKind::Mesh, AllocatorKind::Vix, 0.12, 2);
+    let gain = vix.accepted_packets_per_node_cycle() / base.accepted_packets_per_node_cycle();
+    assert!(gain > 1.08, "VIX gain at saturation only {gain:.3}");
+    assert!(
+        vix.avg_packet_latency() < base.avg_packet_latency(),
+        "VIX must also reduce latency at high load"
+    );
+}
+
+#[test]
+fn vix_gains_on_higher_radix_topologies_too() {
+    // §4.6: the benefit holds for CMesh and FBfly.
+    for topology in [TopologyKind::CMesh, TopologyKind::FlattenedButterfly] {
+        let base = run(topology, AllocatorKind::InputFirst, 0.16, 3);
+        let vix = run(topology, AllocatorKind::Vix, 0.16, 3);
+        let gain = vix.accepted_packets_per_node_cycle() / base.accepted_packets_per_node_cycle();
+        assert!(gain > 1.04, "{topology:?}: VIX gain {gain:.3}");
+    }
+}
+
+#[test]
+fn augmenting_path_is_unfair_at_saturation() {
+    // Fig. 9: greedy maximum matching starves nodes; VIX does not.
+    let ap = run(TopologyKind::Mesh, AllocatorKind::AugmentingPath, 0.12, 4);
+    let vix = run(TopologyKind::Mesh, AllocatorKind::Vix, 0.12, 4);
+    assert!(
+        ap.fairness_ratio() > 2.0 * vix.fairness_ratio(),
+        "AP {:.2} vs VIX {:.2}",
+        ap.fairness_ratio(),
+        vix.fairness_ratio()
+    );
+}
+
+#[test]
+fn low_load_latency_is_allocator_independent() {
+    // §4.3: "at low network load all the allocation schemes have nearly
+    // identical performance."
+    let lats: Vec<f64> = [
+        AllocatorKind::InputFirst,
+        AllocatorKind::Vix,
+        AllocatorKind::Wavefront,
+        AllocatorKind::AugmentingPath,
+    ]
+    .into_iter()
+    .map(|a| run(TopologyKind::Mesh, a, 0.01, 5).avg_packet_latency())
+    .collect();
+    let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = lats.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 1.05, "low-load latencies diverge: {lats:?}");
+}
+
+#[test]
+fn adversarial_patterns_run_clean() {
+    use vix::traffic::TrafficPattern;
+    for pattern in [
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::BitReverse,
+        TrafficPattern::Hotspot { spots: vec![vix::NodeId(0), vix::NodeId(63)], fraction: 0.3 },
+    ] {
+        let network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+        let cfg = SimConfig::new(network, 0.03).with_windows(500, 1_500, 1_500);
+        let stats = NetworkSim::build_with_pattern(cfg, pattern.clone()).unwrap().run();
+        assert!(stats.packets_ejected() > 0, "{} moved nothing", pattern.label());
+    }
+}

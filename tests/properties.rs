@@ -1,0 +1,68 @@
+//! Workspace-level property tests: arbitrary (small) configurations must
+//! simulate cleanly and respect conservation invariants.
+
+use proptest::prelude::*;
+use vix::prelude::*;
+
+fn allocator_strategy() -> impl Strategy<Value = AllocatorKind> {
+    prop_oneof![
+        Just(AllocatorKind::InputFirst),
+        Just(AllocatorKind::Vix),
+        Just(AllocatorKind::Wavefront),
+        Just(AllocatorKind::AugmentingPath),
+        Just(AllocatorKind::PacketChaining),
+        Just(AllocatorKind::Islip(2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any sane configuration runs to completion, drains, and conserves
+    /// flits.
+    #[test]
+    fn random_configs_conserve_flits(
+        allocator in allocator_strategy(),
+        vcs in prop_oneof![Just(2usize), Just(4), Just(6)],
+        depth in 2usize..6,
+        rate_milli in 5u64..80,
+        packet_len in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, allocator);
+        network.nodes = 16;
+        network.router = network.router.with_vcs(vcs).with_buffer_depth(depth);
+        if allocator == AllocatorKind::Vix {
+            network.router = network.router.with_virtual_inputs(vix::VirtualInputs::PerPort(2));
+        }
+        let rate = (rate_milli as f64 / 1000.0).min(0.9 / packet_len as f64);
+        let cfg = SimConfig::new(network, rate)
+            .with_packet_len(packet_len)
+            .with_windows(100, 600, 1_200)
+            .with_seed(seed);
+        prop_assume!(cfg.validate().is_ok());
+
+        let mut sim = NetworkSim::build(cfg).expect("validated config");
+        for _ in 0..1_900 {
+            sim.step();
+        }
+        prop_assert!(sim.is_drained(), "network failed to drain");
+        let a = sim.aggregate_activity();
+        prop_assert_eq!(a.buffer_writes, a.buffer_reads, "flit conservation violated");
+        prop_assert_eq!(a.crossbar_traversals, a.link_traversals + a.ejections);
+    }
+
+    /// Offered and accepted traffic agree at low load for every allocator.
+    #[test]
+    fn low_load_work_conservation(allocator in allocator_strategy(), seed in 0u64..100) {
+        let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, allocator);
+        network.nodes = 16;
+        let cfg = SimConfig::new(network, 0.02).with_windows(200, 1_500, 1_200).with_seed(seed);
+        let stats = NetworkSim::build(cfg).expect("valid").run();
+        let offered = stats.offered_packets_per_node_cycle();
+        let accepted = stats.accepted_packets_per_node_cycle();
+        prop_assume!(offered > 0.0);
+        prop_assert!((offered - accepted).abs() / offered < 0.2,
+            "{}: offered {offered} accepted {accepted}", allocator.label());
+    }
+}
