@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks: software cost of one allocation cycle for
-//! every switch allocator (the simulation-speed analogue of Table 3).
+//! Micro-benchmarks: software cost of one allocation cycle for every
+//! switch allocator (the simulation-speed analogue of Table 3).
+//!
+//! Run with `cargo bench -p vix-bench --bench allocators`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vix_alloc::{build_allocator, SwitchAllocator};
+use vix_alloc::build_allocator;
+use vix_bench::timing::bench;
 use vix_core::{AllocatorKind, PortId, RequestSet, RouterConfig, VcId, VirtualInputs};
 
 /// A dense request set: every VC of every port requests a pseudo-random
@@ -17,43 +19,34 @@ fn dense_requests(ports: usize, vcs: usize) -> RequestSet {
     reqs
 }
 
-fn bench_allocators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocate_radix5_6vc");
-    let reqs = dense_requests(5, 6);
-    let kinds = [
-        AllocatorKind::InputFirst,
-        AllocatorKind::Vix,
-        AllocatorKind::Wavefront,
-        AllocatorKind::AugmentingPath,
-        AllocatorKind::PacketChaining,
-        AllocatorKind::Islip(2),
-    ];
-    for kind in kinds {
-        let mut router = RouterConfig::paper_default(5);
-        if kind == AllocatorKind::Vix {
-            router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
-        }
-        let mut alloc: Box<dyn SwitchAllocator> = build_allocator(kind, &router);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &reqs, |b, reqs| {
-            b.iter(|| alloc.allocate(std::hint::black_box(reqs)))
-        });
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("allocate_radix10_6vc");
-    let reqs = dense_requests(10, 6);
-    for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix, AllocatorKind::AugmentingPath] {
-        let mut router = RouterConfig::paper_default(10);
+fn bench_group(ports: usize, kinds: &[AllocatorKind]) {
+    println!("allocate_radix{ports}_6vc (dense requests):");
+    let reqs = dense_requests(ports, 6);
+    for &kind in kinds {
+        let mut router = RouterConfig::paper_default(ports);
         if kind == AllocatorKind::Vix {
             router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
         }
         let mut alloc = build_allocator(kind, &router);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &reqs, |b, reqs| {
-            b.iter(|| alloc.allocate(std::hint::black_box(reqs)))
-        });
+        bench(kind.label(), || alloc.allocate(std::hint::black_box(&reqs)));
     }
-    group.finish();
+    println!();
 }
 
-criterion_group!(benches, bench_allocators);
-criterion_main!(benches);
+fn main() {
+    bench_group(
+        5,
+        &[
+            AllocatorKind::InputFirst,
+            AllocatorKind::Vix,
+            AllocatorKind::Wavefront,
+            AllocatorKind::AugmentingPath,
+            AllocatorKind::PacketChaining,
+            AllocatorKind::Islip(2),
+        ],
+    );
+    bench_group(
+        10,
+        &[AllocatorKind::InputFirst, AllocatorKind::Vix, AllocatorKind::AugmentingPath],
+    );
+}

@@ -1,32 +1,22 @@
-//! Criterion benchmark: simulator speed — cycles/second for the 64-node
-//! mesh at moderate load, per allocator.
+//! Micro-benchmark: simulator speed — time to step the 64-node mesh 500
+//! cycles at moderate load, per allocator.
+//!
+//! Run with `cargo bench -p vix-bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vix_bench::timing::bench;
 use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
 use vix_sim::NetworkSim;
 
-fn bench_network_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh64_step_500cycles");
-    group.sample_size(10);
+fn main() {
+    println!("mesh64_step_500cycles (build + 500 steps):");
     for alloc in [AllocatorKind::InputFirst, AllocatorKind::Vix, AllocatorKind::AugmentingPath] {
-        group.bench_function(BenchmarkId::from_parameter(alloc.label()), |b| {
-            b.iter_batched(
-                || {
-                    let net = NetworkConfig::paper_default(TopologyKind::Mesh, alloc);
-                    NetworkSim::build(SimConfig::new(net, 0.08)).expect("valid config")
-                },
-                |mut sim| {
-                    for _ in 0..500 {
-                        sim.step();
-                    }
-                    sim
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        bench(alloc.label(), || {
+            let net = NetworkConfig::paper_default(TopologyKind::Mesh, alloc);
+            let mut sim = NetworkSim::build(SimConfig::new(net, 0.08)).expect("valid config");
+            for _ in 0..500 {
+                sim.step();
+            }
+            sim
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_network_step);
-criterion_main!(benches);

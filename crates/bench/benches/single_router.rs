@@ -1,33 +1,26 @@
-//! Criterion benchmark: the Fig. 7 harness itself — saturated allocation
-//! cycles per second for each scheme, radix 5 through 10.
+//! Micro-benchmark: the Fig. 7 harness itself — saturated allocation
+//! cycles per second for each scheme, radix 5 and 10.
+//!
+//! Run with `cargo bench -p vix-bench --bench single_router`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vix_alloc::build_allocator;
+use vix_bench::timing::bench;
 use vix_core::{AllocatorKind, RouterConfig, VirtualInputs};
 use vix_sim::SingleRouterHarness;
 
-fn bench_harness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_router_1k_cycles");
+fn main() {
+    println!("single_router_1k_cycles (build + 1000 saturated cycles):");
     for radix in [5usize, 10] {
         for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix, AllocatorKind::Wavefront] {
             let id = format!("{}_radix{radix}", kind.label());
-            group.bench_function(BenchmarkId::from_parameter(id), |b| {
-                b.iter_batched(
-                    || {
-                        let mut router = RouterConfig::paper_default(radix);
-                        if kind == AllocatorKind::Vix {
-                            router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
-                        }
-                        SingleRouterHarness::new(build_allocator(kind, &router), radix, 6, 3)
-                    },
-                    |mut h| h.run(1_000),
-                    criterion::BatchSize::SmallInput,
-                )
+            bench(&id, || {
+                let mut router = RouterConfig::paper_default(radix);
+                if kind == AllocatorKind::Vix {
+                    router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
+                }
+                let mut h = SingleRouterHarness::new(build_allocator(kind, &router), radix, 6, 3);
+                h.run(1_000)
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_harness);
-criterion_main!(benches);

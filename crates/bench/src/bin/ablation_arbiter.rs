@@ -1,20 +1,30 @@
 //! Ablation: arbiter circuit inside the separable allocators (round-robin
 //! vs least-recently-granted matrix vs unfair static priority).
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the six (groups, arbiter)
+//! harness runs fan out over the worker pool.
 
 use vix_alloc::{AllocatorConfig, SeparableAllocator};
 use vix_arbiter::ArbiterKind;
+use vix_bench::cli_jobs;
 use vix_core::VixPartition;
-use vix_sim::SingleRouterHarness;
+use vix_sim::{parallel_map, SingleRouterHarness};
 
 fn main() {
     println!("Ablation: arbiter circuit, saturated single radix-5 router, 6 VCs (flits/cycle)");
+    let mut grid = Vec::new();
     for (groups, label) in [(1usize, "IF"), (2, "VIX 1:2")] {
         for arb in [ArbiterKind::RoundRobin, ArbiterKind::Matrix, ArbiterKind::Static] {
-            let cfg = AllocatorConfig::new(5, VixPartition::even(6, groups).unwrap()).with_arbiter(arb);
-            let mut h = SingleRouterHarness::new(Box::new(SeparableAllocator::new(cfg)), 5, 6, 99);
-            let t = h.run(20_000).flits_per_cycle();
-            println!("  {:<8} {:<12?} {:.3}", label, arb, t);
+            grid.push((groups, label, arb));
         }
+    }
+    let rates = parallel_map(cli_jobs(), &grid, |_, &(groups, _, arb)| {
+        let cfg = AllocatorConfig::new(5, VixPartition::even(6, groups).unwrap()).with_arbiter(arb);
+        let mut h = SingleRouterHarness::new(Box::new(SeparableAllocator::new(cfg)), 5, 6, 99);
+        h.run(20_000).flits_per_cycle()
+    });
+    for (&(_, label, arb), t) in grid.iter().zip(&rates) {
+        println!("  {:<8} {:<12?} {:.3}", label, arb, t);
     }
     println!();
     println!("matching efficiency is arbiter-insensitive at saturation; fairness is not (see fig9).");

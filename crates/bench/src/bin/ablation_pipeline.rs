@@ -1,9 +1,14 @@
 //! Ablation (Fig. 6): the conventional five-stage pipeline vs the paper's
 //! optimised three-stage pipeline (lookahead routing + speculative SA).
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the (rate, pipeline) grid
+//! is eight independent runs fanned out over the worker pool.
 
-use vix_bench::{router_for, MEASURE, WARMUP, DRAIN};
+use vix_bench::{cli_jobs, router_for, DRAIN, MEASURE, WARMUP};
 use vix_core::{AllocatorKind, NetworkConfig, PipelineKind, SimConfig, TopologyKind};
-use vix_sim::NetworkSim;
+use vix_sim::{parallel_map, NetworkSim};
+
+const RATES: [f64; 4] = [0.01, 0.04, 0.08, 0.10];
 
 fn run(pipeline: PipelineKind, rate: f64) -> vix_sim::NetworkStats {
     let router = router_for(TopologyKind::Mesh, 6, 1).with_pipeline(pipeline);
@@ -20,9 +25,13 @@ fn run(pipeline: PipelineKind, rate: f64) -> vix_sim::NetworkStats {
 fn main() {
     println!("Ablation: router pipeline depth (8x8 mesh, IF allocator)");
     println!("{:>6} | {:>14} {:>14} | {:>10} {:>10}", "rate", "lat 3-stage", "lat 5-stage", "thr 3st", "thr 5st");
-    for rate in [0.01, 0.04, 0.08, 0.10] {
-        let three = run(PipelineKind::ThreeStage, rate);
-        let five = run(PipelineKind::FiveStage, rate);
+    let grid: Vec<(PipelineKind, f64)> = RATES
+        .into_iter()
+        .flat_map(|rate| [(PipelineKind::ThreeStage, rate), (PipelineKind::FiveStage, rate)])
+        .collect();
+    let stats = parallel_map(cli_jobs(), &grid, |_, &(pipeline, rate)| run(pipeline, rate));
+    for (i, rate) in RATES.into_iter().enumerate() {
+        let (three, five) = (&stats[2 * i], &stats[2 * i + 1]);
         println!(
             "{:>6.2} | {:>14.1} {:>14.1} | {:>10.4} {:>10.4}",
             rate,

@@ -1,10 +1,13 @@
 //! Ablation: SPAROFLO-style oldest-first prioritisation in the separable
 //! stages — an extension §5 of the paper describes as easily integrable
 //! with VIX. Age priority targets *tail* latency, so we report p50/p99.
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the (allocator, rate, age)
+//! grid is twelve independent runs fanned out over the worker pool.
 
-use vix_bench::{router_for, MEASURE, WARMUP, DRAIN};
+use vix_bench::{cli_jobs, router_for, DRAIN, MEASURE, WARMUP};
 use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
-use vix_sim::NetworkSim;
+use vix_sim::{parallel_map, NetworkSim};
 
 fn run(alloc: AllocatorKind, vi: usize, age: bool, rate: f64) -> vix_sim::NetworkStats {
     let router = router_for(TopologyKind::Mesh, 6, vi).with_age_based_sa(age);
@@ -19,22 +22,28 @@ fn main() {
         "{:<6} {:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "alloc", "rate", "avg", "p50", "p99", "avg+age", "p50+age", "p99+age"
     );
+    let mut grid = Vec::new();
     for (alloc, vi) in [(AllocatorKind::InputFirst, 1), (AllocatorKind::Vix, 2)] {
         for rate in [0.08, 0.10, 0.11] {
-            let plain = run(alloc, vi, false, rate);
-            let aged = run(alloc, vi, true, rate);
-            println!(
-                "{:<6} {:>6.2} | {:>8.1} {:>8} {:>8} | {:>8.1} {:>8} {:>8}",
-                alloc.label(),
-                rate,
-                plain.avg_packet_latency(),
-                plain.median_packet_latency().unwrap_or(0),
-                plain.p99_packet_latency().unwrap_or(0),
-                aged.avg_packet_latency(),
-                aged.median_packet_latency().unwrap_or(0),
-                aged.p99_packet_latency().unwrap_or(0),
-            );
+            grid.push((alloc, vi, false, rate));
+            grid.push((alloc, vi, true, rate));
         }
+    }
+    let stats = parallel_map(cli_jobs(), &grid, |_, &(alloc, vi, age, rate)| run(alloc, vi, age, rate));
+    for (i, pair) in stats.chunks(2).enumerate() {
+        let (alloc, _, _, rate) = grid[2 * i];
+        let (plain, aged) = (&pair[0], &pair[1]);
+        println!(
+            "{:<6} {:>6.2} | {:>8.1} {:>8} {:>8} | {:>8.1} {:>8} {:>8}",
+            alloc.label(),
+            rate,
+            plain.avg_packet_latency(),
+            plain.median_packet_latency().unwrap_or(0),
+            plain.p99_packet_latency().unwrap_or(0),
+            aged.avg_packet_latency(),
+            aged.median_packet_latency().unwrap_or(0),
+            aged.p99_packet_latency().unwrap_or(0),
+        );
     }
     println!();
     println!("age priority trims the p99 tail near saturation at unchanged mean/throughput.");

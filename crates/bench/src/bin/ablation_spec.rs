@@ -1,29 +1,34 @@
 //! Ablation: speculative vs non-speculative switch allocation in the
 //! 3-stage pipeline (Fig. 6(b)).
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the (rate, speculation)
+//! grid is eight independent runs fanned out over the worker pool.
 
-use vix_bench::{router_for, run_network};
+use vix_bench::{cli_jobs, router_for, run_network};
 use vix_core::{AllocatorKind, TopologyKind};
+use vix_sim::parallel_map;
+
+const RATES: [f64; 4] = [0.02, 0.05, 0.08, 0.10];
 
 fn main() {
     println!("Ablation: speculative SA (8x8 mesh, IF allocator, 4-flit packets)");
     println!("{:>6} | {:>12} {:>12} | {:>12} {:>12}", "rate", "lat spec", "lat no-spec", "thr spec", "thr no-spec");
-    for rate in [0.02, 0.05, 0.08, 0.10] {
-        let spec = run_network(
+    let grid: Vec<(f64, bool)> = RATES
+        .into_iter()
+        .flat_map(|rate| [(rate, true), (rate, false)])
+        .collect();
+    let stats = parallel_map(cli_jobs(), &grid, |_, &(rate, speculation)| {
+        run_network(
             TopologyKind::Mesh,
             AllocatorKind::InputFirst,
-            router_for(TopologyKind::Mesh, 6, 1).with_speculation(true),
+            router_for(TopologyKind::Mesh, 6, 1).with_speculation(speculation),
             rate,
             4,
             11,
-        );
-        let nospec = run_network(
-            TopologyKind::Mesh,
-            AllocatorKind::InputFirst,
-            router_for(TopologyKind::Mesh, 6, 1).with_speculation(false),
-            rate,
-            4,
-            11,
-        );
+        )
+    });
+    for (i, rate) in RATES.into_iter().enumerate() {
+        let (spec, nospec) = (&stats[2 * i], &stats[2 * i + 1]);
         println!(
             "{:>6.2} | {:>12.1} {:>12.1} | {:>12.4} {:>12.4}",
             rate,

@@ -1,30 +1,40 @@
 //! Ablation (§2.3): dimension-aware VC sub-group assignment with load
 //! balancing vs plain max-credits assignment, for the 1:2 VIX mesh —
 //! under uniform random and adversarial (transpose) traffic.
+//!
+//! Accepts `--jobs <n>` (default: all cores); each saturation estimate
+//! sweeps ten rates across the worker pool.
 
-use vix_bench::{pct, router_for, MEASURE, WARMUP, DRAIN};
+use vix_bench::{cli_jobs, pct, router_for, DRAIN, MEASURE, WARMUP};
 use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
-use vix_sim::NetworkSim;
+use vix_sim::LoadSweep;
 use vix_traffic::TrafficPattern;
 
-fn sat(dimension_aware: bool, pattern: TrafficPattern) -> f64 {
-    let mut best: f64 = 0.0;
-    for step in 1..=10 {
-        let rate = 0.25 * step as f64 / 10.0;
-        let router = router_for(TopologyKind::Mesh, 6, 2).with_dimension_aware_va(dimension_aware);
-        let network = NetworkConfig { topology: TopologyKind::Mesh, nodes: 64, router, allocator: AllocatorKind::Vix };
-        let cfg = SimConfig::new(network, rate).with_windows(WARMUP, MEASURE, DRAIN).with_seed(7 + step);
-        let s = NetworkSim::build_with_pattern(cfg, pattern.clone()).expect("valid").run();
-        best = best.max(s.accepted_packets_per_node_cycle());
-    }
-    best
+fn sat(dimension_aware: bool, pattern: TrafficPattern, jobs: usize) -> f64 {
+    let router = router_for(TopologyKind::Mesh, 6, 2).with_dimension_aware_va(dimension_aware);
+    let network = NetworkConfig {
+        topology: TopologyKind::Mesh,
+        nodes: 64,
+        router,
+        allocator: AllocatorKind::Vix,
+    };
+    let base = SimConfig::new(network, 0.0)
+        .with_windows(WARMUP, MEASURE, DRAIN)
+        .with_seed(7)
+        .with_jobs(jobs);
+    LoadSweep::new(base)
+        .with_pattern(pattern)
+        .run()
+        .expect("valid")
+        .saturation_throughput()
 }
 
 fn main() {
+    let jobs = cli_jobs();
     println!("Ablation: VIX VC assignment policy (1:2 VIX, 8x8 mesh, saturation throughput)");
     for pattern in [TrafficPattern::UniformRandom, TrafficPattern::Transpose, TrafficPattern::BitComplement] {
-        let plain = sat(false, pattern.clone());
-        let dim = sat(true, pattern.clone());
+        let plain = sat(false, pattern.clone(), jobs);
+        let dim = sat(true, pattern.clone(), jobs);
         println!(
             "  {:<10} max-credits {:.4}  dimension-aware {:.4}  ({})",
             pattern.label(),

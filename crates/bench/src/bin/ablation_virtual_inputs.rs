@@ -1,15 +1,19 @@
 //! Ablation: number of virtual inputs per port k in {1, 2, 3, 6} for the
 //! 6-VC mesh router — a finer-grained version of Fig. 12.
+//!
+//! Accepts `--jobs <n>` (default: all cores); each saturation estimate
+//! sweeps ten rates across the worker pool.
 
-use vix_bench::{pct, router_for, saturation_throughput};
+use vix_bench::{cli_jobs, pct, router_for, saturation_throughput};
 use vix_core::{AllocatorKind, TopologyKind};
 
 fn main() {
+    let jobs = cli_jobs();
     println!("Ablation: virtual inputs per port, 8x8 mesh, 6 VCs (saturation pkt/node/cycle)");
     let mut base = 0.0;
     for k in [1usize, 2, 3, 6] {
         let alloc = if k == 1 { AllocatorKind::InputFirst } else { AllocatorKind::Vix };
-        let thr = saturation_throughput(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, k), 4);
+        let thr = saturation_throughput(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, k), 4, jobs);
         if k == 1 {
             base = thr;
         }

@@ -2,12 +2,16 @@
 //! WF's intra-cycle conflict resolution with VIX's lifted input-port
 //! constraint. Not in the paper; included as the natural next point in the
 //! design space.
+//!
+//! Accepts `--jobs <n>` (default: all cores); each saturation estimate
+//! sweeps ten rates across the worker pool.
 
-use vix_bench::{pct, router_for, saturation_throughput};
+use vix_bench::{cli_jobs, pct, router_for, saturation_throughput};
 use vix_core::{AllocatorKind, TopologyKind};
 use vix_delay::allocator_delay;
 
 fn main() {
+    let jobs = cli_jobs();
     println!("Extensions: OF and WF-VIX vs the paper's schemes (8x8 mesh, 6 VCs, 4-flit packets)");
     let mut base = 0.0;
     for (alloc, vi) in [
@@ -17,7 +21,7 @@ fn main() {
         (AllocatorKind::Vix, 2),
         (AllocatorKind::WavefrontVix, 2),
     ] {
-        let thr = saturation_throughput(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), 4);
+        let thr = saturation_throughput(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), 4, jobs);
         if alloc == AllocatorKind::InputFirst {
             base = thr;
         }

@@ -1,11 +1,15 @@
 //! Regenerates Figure 10: network throughput with packet chaining vs the
 //! other allocation schemes — 8x8 mesh, uniform random, single-flit
 //! packets, maximum injection rate.
+//!
+//! Accepts `--jobs <n>` (default: all cores); each saturation estimate
+//! sweeps ten rates across the worker pool.
 
-use vix_bench::{router_for, saturation_throughput};
+use vix_bench::{cli_jobs, router_for, saturation_throughput};
 use vix_core::{AllocatorKind, TopologyKind};
 
 fn main() {
+    let jobs = cli_jobs();
     println!("Figure 10: saturation throughput, single-flit packets, 8x8 mesh (pkt/node/cycle)");
     let mut base = 0.0;
     for alloc in [
@@ -20,6 +24,7 @@ fn main() {
             alloc,
             router_for(TopologyKind::Mesh, 6, vi),
             1,
+            jobs,
         );
         if alloc == AllocatorKind::InputFirst {
             base = thr;

@@ -1,18 +1,25 @@
 //! Regenerates Figure 11: network energy per bit for the mesh at
 //! 0.1 packets/cycle/node, baseline vs VIX.
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the IF and VIX runs are
+//! independent, so they fan out over the worker pool.
 
-use vix_bench::{router_for, run_network};
+use vix_bench::{cli_jobs, router_for, run_network};
 use vix_core::{AllocatorKind, TopologyKind};
 use vix_power::{EnergyBreakdown, EnergyModel};
+use vix_sim::parallel_map;
 
 fn main() {
     println!("Figure 11: network energy per bit, 8x8 mesh @ 0.1 pkt/cycle/node");
     let model = EnergyModel::cmos45();
-    let mut totals = Vec::new();
-    for (label, alloc, vi) in [("IF", AllocatorKind::InputFirst, 1), ("VIX", AllocatorKind::Vix, 2)] {
+    let designs = [("IF", AllocatorKind::InputFirst, 1), ("VIX", AllocatorKind::Vix, 2)];
+    let runs = parallel_map(cli_jobs(), &designs, |_, &(_, alloc, vi)| {
         let router = router_for(TopologyKind::Mesh, 6, vi);
-        let stats = run_network(TopologyKind::Mesh, alloc, router, 0.10, 4, 42);
-        let span = EnergyModel::span_factor(&router);
+        (router, run_network(TopologyKind::Mesh, alloc, router, 0.10, 4, 42))
+    });
+    let mut totals = Vec::new();
+    for ((label, _, _), (router, stats)) in designs.into_iter().zip(&runs) {
+        let span = EnergyModel::span_factor(router);
         let e = EnergyBreakdown::from_activity(&model, stats.activity(), span);
         println!("\n  {label} (crossbar span factor {span:.2}):");
         let total = e.total_pj();

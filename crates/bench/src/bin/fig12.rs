@@ -1,16 +1,20 @@
 //! Regenerates Figure 12: impact of increasing virtual inputs — no VIX,
 //! 1:2 VIX, ideal VIX for 4 and 6 VCs per port, on all three topologies.
 //! Also prints the §4.6 buffer-reduction claim (4-VC VIX vs 6-VC no-VIX).
+//!
+//! Accepts `--jobs <n>` (default: all cores); each saturation estimate
+//! sweeps ten rates across the worker pool.
 
-use vix_bench::{pct, router_for, saturation_throughput};
+use vix_bench::{cli_jobs, pct, router_for, saturation_throughput};
 use vix_core::{AllocatorKind, TopologyKind};
 
-fn sat(topo: TopologyKind, vcs: usize, vi: usize) -> f64 {
+fn sat(topo: TopologyKind, vcs: usize, vi: usize, jobs: usize) -> f64 {
     let alloc = if vi > 1 { AllocatorKind::Vix } else { AllocatorKind::InputFirst };
-    saturation_throughput(topo, alloc, router_for(topo, vcs, vi), 4)
+    saturation_throughput(topo, alloc, router_for(topo, vcs, vi), 4, jobs)
 }
 
 fn main() {
+    let jobs = cli_jobs();
     println!("Figure 12: saturation throughput (pkt/node/cycle) vs virtual inputs");
     println!(
         "{:<8} {:>4} | {:>8} {:>8} {:>8} | 1:2 vs none, ideal vs none",
@@ -20,9 +24,9 @@ fn main() {
     let mut six_vc_base = Vec::new();
     for topo in [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::CMesh] {
         for vcs in [4usize, 6] {
-            let none = sat(topo, vcs, 1);
-            let two = sat(topo, vcs, 2);
-            let ideal = sat(topo, vcs, vcs);
+            let none = sat(topo, vcs, 1, jobs);
+            let two = sat(topo, vcs, 2, jobs);
+            let ideal = sat(topo, vcs, vcs, jobs);
             println!(
                 "{:<8} {:>4} | {:>8.4} {:>8.4} {:>8.4} | {} , {}",
                 format!("{topo:?}").chars().take(8).collect::<String>(),

@@ -1,13 +1,31 @@
 //! Regenerates Figure 7: switch allocation efficiency for a single router,
 //! across radices 5 / 8 / 10 (mesh, CMesh, FBfly routers).
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the fifteen
+//! (topology, allocator) harness runs fan out over the worker pool.
 
 use vix_alloc::{build_allocator, build_ideal_allocator};
-use vix_bench::router_for;
+use vix_bench::{cli_jobs, router_for};
 use vix_core::{AllocatorKind, TopologyKind, VirtualInputs};
-use vix_sim::SingleRouterHarness;
+use vix_sim::{parallel_map, SingleRouterHarness};
 
 const CYCLES: u64 = 20_000;
 const VCS: usize = 6;
+
+/// One Fig. 7 cell: saturated harness throughput for `kind` on `topo`'s
+/// radix. `kind == None` selects the ideal (maximum-matching) allocator.
+fn cell(topo: TopologyKind, kind: Option<AllocatorKind>) -> f64 {
+    let radix = topo.radix_64();
+    let alloc = match kind {
+        Some(AllocatorKind::Vix) => build_allocator(AllocatorKind::Vix, &router_for(topo, VCS, 2)),
+        Some(kind) => build_allocator(kind, &router_for(topo, VCS, 1)),
+        None => {
+            let router = router_for(topo, VCS, 1).with_virtual_inputs(VirtualInputs::Ideal);
+            build_ideal_allocator(&router)
+        }
+    };
+    SingleRouterHarness::new(alloc, radix, VCS, 2024).run(CYCLES).flits_per_cycle()
+}
 
 fn main() {
     println!("Figure 7: single-router throughput at saturation (flits/cycle)");
@@ -15,30 +33,22 @@ fn main() {
         "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8}  | VIX vs IF, AP vs IF",
         "Radix", "IF", "WF", "AP", "VIX", "Ideal"
     );
-    for topo in [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly] {
-        let radix = topo.radix_64();
-        let t = |kind: AllocatorKind| {
-            let router = if kind == AllocatorKind::Vix {
-                router_for(topo, VCS, 2)
-            } else {
-                router_for(topo, VCS, 1)
-            };
-            SingleRouterHarness::new(build_allocator(kind, &router), radix, VCS, 2024)
-                .run(CYCLES)
-                .flits_per_cycle()
-        };
-        let fi = t(AllocatorKind::InputFirst);
-        let wf = t(AllocatorKind::Wavefront);
-        let ap = t(AllocatorKind::AugmentingPath);
-        let vix = t(AllocatorKind::Vix);
-        let ideal_router =
-            router_for(topo, VCS, 1).with_virtual_inputs(VirtualInputs::Ideal);
-        let ideal = SingleRouterHarness::new(build_ideal_allocator(&ideal_router), radix, VCS, 2024)
-            .run(CYCLES)
-            .flits_per_cycle();
+    let topos = [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly];
+    let kinds = [
+        Some(AllocatorKind::InputFirst),
+        Some(AllocatorKind::Wavefront),
+        Some(AllocatorKind::AugmentingPath),
+        Some(AllocatorKind::Vix),
+        None,
+    ];
+    let grid: Vec<(TopologyKind, Option<AllocatorKind>)> =
+        topos.into_iter().flat_map(|t| kinds.into_iter().map(move |k| (t, k))).collect();
+    let cells = parallel_map(cli_jobs(), &grid, |_, &(topo, kind)| cell(topo, kind));
+    for (t, row) in cells.chunks(kinds.len()).enumerate() {
+        let (fi, wf, ap, vix, ideal) = (row[0], row[1], row[2], row[3], row[4]);
         println!(
             "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}  | {} , {}",
-            radix,
+            topos[t].radix_64(),
             fi,
             wf,
             ap,

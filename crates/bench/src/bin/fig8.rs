@@ -1,7 +1,10 @@
 //! Regenerates Figure 8: average packet latency and accepted throughput
 //! vs injection rate, 8x8 mesh, uniform random, 4-flit packets.
+//!
+//! Accepts `--jobs <n>` (default: all cores); results are identical for
+//! every worker count.
 
-use vix_bench::{router_for, run_network};
+use vix_bench::{cli_jobs, router_for, sweep_network};
 use vix_core::{AllocatorKind, TopologyKind};
 
 const ALLOCS: [AllocatorKind; 4] = [
@@ -12,6 +15,7 @@ const ALLOCS: [AllocatorKind; 4] = [
 ];
 
 fn main() {
+    let jobs = cli_jobs();
     println!("Figure 8: 8x8 mesh, uniform random, 4-flit packets");
     println!("{:>6} | {:>18} | {:>18}", "rate", "latency (cycles)", "accepted (pkt/n/c)");
     print!("{:>6} |", "");
@@ -24,24 +28,25 @@ fn main() {
     }
     println!();
     let rates = [0.01, 0.02, 0.04, 0.06, 0.08, 0.09, 0.10, 0.11, 0.12, 0.14];
-    let mut sat = [0.0f64; 4];
-    for rate in rates {
-        let mut lat = Vec::new();
-        let mut thr = Vec::new();
-        for (i, alloc) in ALLOCS.into_iter().enumerate() {
+    let curves: Vec<_> = ALLOCS
+        .into_iter()
+        .map(|alloc| {
             let vi = if alloc == AllocatorKind::Vix { 2 } else { 1 };
-            let s = run_network(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), rate, 4, 42);
-            lat.push(s.avg_packet_latency());
-            thr.push(s.accepted_packets_per_node_cycle());
-            sat[i] = sat[i].max(s.accepted_packets_per_node_cycle());
-        }
-        print!("{:>6.2} |", rate);
-        for l in &lat {
-            print!("{:>5.0}", l);
+            let router = router_for(TopologyKind::Mesh, 6, vi);
+            sweep_network(TopologyKind::Mesh, alloc, router, &rates, 4, 42, jobs)
+        })
+        .collect();
+    let mut sat = [0.0f64; 4];
+    for (r, rate) in rates.into_iter().enumerate() {
+        print!("{rate:>6.2} |");
+        for curve in &curves {
+            print!("{:>5.0}", curve[r].avg_packet_latency());
         }
         print!(" |");
-        for t in &thr {
-            print!("{:>7.3}", t);
+        for (i, curve) in curves.iter().enumerate() {
+            let t = curve[r].accepted_packets_per_node_cycle();
+            print!("{t:>7.3}");
+            sat[i] = sat[i].max(t);
         }
         println!();
     }

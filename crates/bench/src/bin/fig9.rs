@@ -1,20 +1,27 @@
 //! Regenerates Figure 9: fairness (max/min per-node accepted throughput)
 //! for the mesh at saturation.
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the five allocator runs
+//! are independent, so they fan out over the worker pool.
 
-use vix_bench::{router_for, run_network};
+use vix_bench::{cli_jobs, router_for, run_network};
 use vix_core::{AllocatorKind, TopologyKind};
+use vix_sim::parallel_map;
 
 fn main() {
-    println!("Figure 9: fairness at saturation, 8x8 mesh (max/min node throughput; 1.0 = perfectly fair)");
-    for alloc in [
+    let allocs = [
         AllocatorKind::InputFirst,
         AllocatorKind::Wavefront,
         AllocatorKind::AugmentingPath,
         AllocatorKind::Vix,
         AllocatorKind::PacketChaining,
-    ] {
+    ];
+    println!("Figure 9: fairness at saturation, 8x8 mesh (max/min node throughput; 1.0 = perfectly fair)");
+    let stats = parallel_map(cli_jobs(), &allocs, |_, &alloc| {
         let vi = if alloc == AllocatorKind::Vix { 2 } else { 1 };
-        let s = run_network(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), 0.12, 4, 42);
+        run_network(TopologyKind::Mesh, alloc, router_for(TopologyKind::Mesh, 6, vi), 0.12, 4, 42)
+    });
+    for (alloc, s) in allocs.into_iter().zip(&stats) {
         println!(
             "  {:<4} max/min = {:>6.2}   (accepted {:.4} pkt/n/c)",
             alloc.label(),

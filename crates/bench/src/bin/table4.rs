@@ -1,8 +1,13 @@
 //! Regenerates Table 4: speedup of VIX over the baseline (IF) allocator
 //! for the eight multiprogrammed mixes on the 64-core CMP.
+//!
+//! Accepts `--jobs <n>` (default: all cores) — the sixteen
+//! (mix, allocator) CMP simulations fan out over the worker pool.
 
+use vix_bench::cli_jobs;
 use vix_core::AllocatorKind;
 use vix_manycore::{ManycoreSystem, Mix};
+use vix_sim::parallel_map;
 
 const WARMUP: u64 = 3_000;
 const MEASURE: u64 = 15_000;
@@ -13,19 +18,24 @@ fn main() {
         "{:<6} {:>10} | {:>9} {:>9} | {:>8} {:>8}",
         "Mix", "avg MPKI", "IPC (IF)", "IPC (VIX)", "speedup", "paper"
     );
+    let mixes = Mix::table4();
+    let grid: Vec<(usize, AllocatorKind)> = (0..mixes.len())
+        .flat_map(|m| [(m, AllocatorKind::InputFirst), (m, AllocatorKind::Vix)])
+        .collect();
+    let ipcs = parallel_map(cli_jobs(), &grid, |_, &(m, alloc)| {
+        ManycoreSystem::build(&mixes[m], alloc, 5).run_windows(WARMUP, MEASURE).total_ipc()
+    });
     let mut speedups = Vec::new();
-    for mix in Mix::table4() {
-        let base = ManycoreSystem::build(&mix, AllocatorKind::InputFirst, 5)
-            .run_windows(WARMUP, MEASURE);
-        let vix = ManycoreSystem::build(&mix, AllocatorKind::Vix, 5).run_windows(WARMUP, MEASURE);
-        let speedup = vix.total_ipc() / base.total_ipc();
+    for (m, mix) in mixes.iter().enumerate() {
+        let (base, vix) = (ipcs[2 * m], ipcs[2 * m + 1]);
+        let speedup = vix / base;
         speedups.push(speedup);
         println!(
             "{:<6} {:>10.1} | {:>9.1} {:>9.1} | {:>8.3} {:>8.2}",
             mix.name,
             mix.avg_mpki(),
-            base.total_ipc(),
-            vix.total_ipc(),
+            base,
+            vix,
             speedup,
             mix.paper_speedup
         );

@@ -19,6 +19,10 @@
 //! | `extension_wfvix` | OF and WF-VIX extension allocators |
 //!
 //! Run them with `cargo run --release -p vix-bench --bin <name>`.
+//! Every simulation-driven binary accepts `--jobs <n>` (or the
+//! `VIX_JOBS` environment variable) to bound its worker threads; the
+//! default `0` uses all cores. Results are bit-identical for every
+//! worker count — see `vix_sim::runner`.
 
 #![warn(missing_docs)]
 
@@ -71,21 +75,80 @@ pub fn router_for(topology: TopologyKind, vcs: usize, virtual_inputs: usize) -> 
     RouterConfig::paper_default(topology.radix_64()).with_vcs(vcs).with_virtual_inputs(vi)
 }
 
-/// Estimates saturation throughput: sweeps the injection rate upward and
-/// returns the maximum accepted throughput observed (packets/cycle/node).
-/// This is the "network throughput" number quoted in §4.3/§4.6.
+/// Worker-thread count for this invocation: the value of a `--jobs <n>`
+/// (or `-j <n>`) command-line flag if present, else the `VIX_JOBS`
+/// environment variable, else `0` (= all available cores). Every
+/// simulation-driven figure binary routes its sweeps through this.
+///
+/// Unparseable values fall through to the next source rather than
+/// aborting a long regeneration run.
+#[must_use]
+pub fn cli_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (flag, value) in args.iter().zip(args.iter().skip(1)) {
+        if flag == "--jobs" || flag == "-j" {
+            if let Ok(n) = value.parse() {
+                return n;
+            }
+        }
+    }
+    std::env::var("VIX_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Runs one network configuration over an explicit rate grid across
+/// `jobs` worker threads and returns the per-rate statistics in grid
+/// order. Each point's seed derives from `(seed, rate index)` via
+/// `vix_sim::runner::derive_seed`, so the returned numbers are
+/// bit-identical for every `jobs` value.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (the experiment definitions in
+/// this crate are all valid by construction).
+#[must_use]
+pub fn sweep_network(
+    topology: TopologyKind,
+    allocator: AllocatorKind,
+    router: RouterConfig,
+    rates: &[f64],
+    packet_len: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<NetworkStats> {
+    let network = NetworkConfig { topology, nodes: 64, router, allocator };
+    let base = SimConfig::new(network, 0.0)
+        .with_packet_len(packet_len)
+        .with_windows(WARMUP, MEASURE, DRAIN)
+        .with_seed(seed)
+        .with_jobs(jobs);
+    LoadSweep::new(base)
+        .with_rates(rates)
+        .run()
+        .expect("experiment configs are valid")
+        .points()
+        .iter()
+        .map(|p| p.stats.clone())
+        .collect()
+}
+
+/// Estimates saturation throughput: sweeps the injection rate upward
+/// across `jobs` worker threads and returns the maximum accepted
+/// throughput observed (packets/cycle/node). This is the "network
+/// throughput" number quoted in §4.3/§4.6.
 #[must_use]
 pub fn saturation_throughput(
     topology: TopologyKind,
     allocator: AllocatorKind,
     router: RouterConfig,
     packet_len: usize,
+    jobs: usize,
 ) -> f64 {
     let network = NetworkConfig { topology, nodes: 64, router, allocator };
     let base = SimConfig::new(network, 0.0)
         .with_packet_len(packet_len)
         .with_windows(WARMUP, MEASURE, DRAIN)
-        .with_seed(0xFEED);
+        .with_seed(0xFEED)
+        .with_jobs(jobs);
     LoadSweep::new(base).run().expect("experiment configs are valid").saturation_throughput()
 }
 
@@ -93,6 +156,59 @@ pub fn saturation_throughput(
 #[must_use]
 pub fn pct(new: f64, base: f64) -> String {
     format!("{:+.1}%", (new / base - 1.0) * 100.0)
+}
+
+/// Dependency-free micro-benchmark harness used by the `benches/`
+/// targets (`cargo bench -p vix-bench`).
+///
+/// The crates-io `criterion` harness cannot be fetched in offline build
+/// environments, so the benches self-time with [`std::time::Instant`]:
+/// each benchmark is calibrated to a minimum batch duration, sampled
+/// several times, and reported as the median ns/iteration.
+pub mod timing {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Samples taken per benchmark; the median is reported.
+    const SAMPLES: usize = 7;
+    /// Minimum duration of one calibrated sample batch.
+    const MIN_BATCH: Duration = Duration::from_millis(20);
+
+    /// Times `f` and prints `name: <median> ns/iter (min … max)`.
+    ///
+    /// Calibrates the iteration count so one sample batch runs for at
+    /// least 20 ms, takes seven samples, and reports the median — enough
+    /// to rank allocators and spot large regressions, which is all the
+    /// simulator's benches are used for.
+    pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if start.elapsed() >= MIN_BATCH || iters >= 1 << 30 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "{name:<44} {:>12.1} ns/iter  (min {:.1}, max {:.1}, {iters} iters/sample)",
+            per_iter[SAMPLES / 2],
+            per_iter[0],
+            per_iter[SAMPLES - 1],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -368,6 +368,14 @@ pub struct SimConfig {
     pub drain: u64,
     /// RNG seed; equal seeds give bit-identical runs.
     pub seed: u64,
+    /// Worker threads used when this configuration seeds a sweep or
+    /// replication batch (`0` = all available parallelism, `1` = serial).
+    ///
+    /// Parallelism never affects results: each sweep point derives its
+    /// own seed from `(seed, rate index, replication index)`, so a sweep
+    /// is bit-identical for every `jobs` value. A single simulation run
+    /// is always sequential — `jobs` only fans out *independent* runs.
+    pub jobs: usize,
 }
 
 impl SimConfig {
@@ -383,6 +391,7 @@ impl SimConfig {
             measure: 50_000,
             drain: 10_000,
             seed: 0xC0FFEE,
+            jobs: 1,
         }
     }
 
@@ -406,6 +415,24 @@ impl SimConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for sweeps and replication batches
+    /// seeded from this configuration: `0` uses all available
+    /// parallelism, `1` (the default) runs serially. Results are
+    /// bit-identical for every value.
+    ///
+    /// ```
+    /// use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+    ///
+    /// let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    /// let cfg = SimConfig::new(net, 0.05).with_jobs(0); // all cores
+    /// assert_eq!(cfg.jobs, 0);
+    /// ```
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 
@@ -498,6 +525,16 @@ mod tests {
         assert!(SimConfig::new(net, -0.1).validate().is_err());
         assert!(SimConfig::new(net, 0.30).validate().is_err(), "0.30 pkts × 4 flits > 1 flit/cycle");
         assert!(SimConfig::new(net, 0.1).with_packet_len(0).validate().is_err());
+    }
+
+    #[test]
+    fn jobs_default_serial_and_builder() {
+        let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+        let cfg = SimConfig::new(net, 0.05);
+        assert_eq!(cfg.jobs, 1, "library default must stay serial");
+        assert_eq!(cfg.with_jobs(0).jobs, 0);
+        assert_eq!(cfg.with_jobs(4).jobs, 4);
+        cfg.with_jobs(0).validate().unwrap();
     }
 
     #[test]

@@ -150,6 +150,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // the guard is a debug_assert; release strips it
     #[should_panic(expected = "cycle arithmetic went backwards")]
     fn since_panics_when_backwards() {
         let _ = Cycle(3).since(Cycle(5));

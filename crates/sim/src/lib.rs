@@ -11,6 +11,10 @@
 //! * [`SingleRouterHarness`] — the isolated single-router allocation
 //!   efficiency study (Fig. 7).
 //!
+//! Sweeps over offered load ([`LoadSweep`]) execute their points across
+//! a worker pool — see [`runner`] for the parallel execution engine and
+//! its determinism guarantees.
+//!
 //! # Example
 //!
 //! ```
@@ -29,6 +33,7 @@
 
 mod channel;
 mod network;
+pub mod runner;
 mod single_router;
 mod source;
 mod stats;
@@ -36,6 +41,7 @@ mod sweep;
 
 pub use channel::Pipe;
 pub use network::{EjectedPacket, NetworkSim};
+pub use runner::{derive_seed, parallel_map, resolve_jobs, SweepJob};
 pub use single_router::{SingleRouterHarness, SingleRouterResult};
 pub use source::SourceQueue;
 pub use stats::NetworkStats;

@@ -5,8 +5,8 @@ use crate::channel::Pipe;
 use crate::source::SourceQueue;
 use crate::stats::NetworkStats;
 use crate::{CREDIT_LATENCY, FLIT_LATENCY};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use vix_rng::rngs::StdRng;
+use vix_rng::SeedableRng;
 use vix_alloc::build_allocator;
 use vix_core::{
     ActivityCounters, ConfigError, Cycle, Flit, NodeId, PacketDescriptor, PacketId, PortId,

@@ -5,8 +5,8 @@
 //! the harness counts how many flits each allocation scheme moves per
 //! cycle, isolated from topology, flow control, and VC allocation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vix_rng::rngs::StdRng;
+use vix_rng::{Rng, SeedableRng};
 use vix_alloc::SwitchAllocator;
 use vix_core::{PortId, RequestSet, VcId};
 

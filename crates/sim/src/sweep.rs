@@ -5,7 +5,7 @@
 //! This module packages that methodology: build a [`LoadSweep`], run it,
 //! and read the curve or its saturation summary.
 
-use crate::network::NetworkSim;
+use crate::runner;
 use crate::stats::NetworkStats;
 use vix_core::{ConfigError, SimConfig};
 use vix_traffic::TrafficPattern;
@@ -40,13 +40,15 @@ pub struct LoadSweep {
     pattern: TrafficPattern,
     rates: Vec<f64>,
     replications: usize,
+    jobs: usize,
     points: Vec<SweepPoint>,
 }
 
 impl LoadSweep {
     /// Creates a sweep from a base configuration (its `injection_rate` is
     /// overridden point by point) with uniform-random traffic and ten
-    /// evenly-spaced rates up to the flit-bandwidth limit.
+    /// evenly-spaced rates up to the flit-bandwidth limit. The worker
+    /// count starts from the base configuration's `jobs` setting.
     #[must_use]
     pub fn new(base: SimConfig) -> Self {
         let max = 1.0 / base.packet_len as f64;
@@ -56,6 +58,7 @@ impl LoadSweep {
             pattern: TrafficPattern::UniformRandom,
             rates,
             replications: 1,
+            jobs: base.jobs,
             points: Vec::new(),
         }
     }
@@ -88,26 +91,40 @@ impl LoadSweep {
         self
     }
 
-    /// Runs every point. Each point derives its seed from the base seed
-    /// and its index, so sweeps are reproducible but points independent.
+    /// Overrides the worker-thread count used by [`LoadSweep::run`]:
+    /// `0` uses all available parallelism, `1` runs serially. Results
+    /// are bit-identical for every value — see [`runner`].
+    ///
+    /// ```
+    /// use vix_sim::LoadSweep;
+    /// use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+    ///
+    /// let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    /// let base = SimConfig::new(net, 0.0).with_windows(200, 800, 400);
+    /// let sweep = LoadSweep::new(base).with_rates(&[0.01, 0.02]).with_jobs(0).run()?;
+    /// assert_eq!(sweep.len(), 2);
+    /// # Ok::<(), vix_core::ConfigError>(())
+    /// ```
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Runs every point across the configured worker pool (see
+    /// [`LoadSweep::with_jobs`]). Each point derives its seed from the
+    /// base seed and its `(rate, replication)` index via
+    /// [`runner::derive_seed`], so sweeps are reproducible — and
+    /// bit-identical for every worker count — while points stay
+    /// statistically independent.
     ///
     /// # Errors
     ///
     /// Returns the first configuration error encountered (e.g. a rate
     /// exceeding the flit bandwidth).
     pub fn run(mut self) -> Result<LoadSweep, ConfigError> {
-        self.points.clear();
-        for (i, &rate) in self.rates.iter().enumerate() {
-            for rep in 0..self.replications {
-                let salt = 0x9E37_79B9u64
-                    .wrapping_mul(i as u64 + 1)
-                    .wrapping_add(0x85EB_CA77u64.wrapping_mul(rep as u64));
-                let cfg = SimConfig { injection_rate: rate, ..self.base }
-                    .with_seed(self.base.seed ^ salt);
-                let stats = NetworkSim::build_with_pattern(cfg, self.pattern.clone())?.run();
-                self.points.push(SweepPoint { rate, stats });
-            }
-        }
+        self.points =
+            runner::run_sweep(self.base, &self.pattern, &self.rates, self.replications, self.jobs)?;
         Ok(self)
     }
 
@@ -271,6 +288,29 @@ mod tests {
             assert!(mean > 0.0, "rate {rate} moved nothing");
             assert!(std < mean, "replication noise must be small: {std} vs {mean}");
         }
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let go = |jobs| {
+            LoadSweep::new(base(AllocatorKind::Vix))
+                .with_rates(&[0.02, 0.05, 0.1])
+                .with_replications(2)
+                .with_jobs(jobs)
+                .run()
+                .unwrap()
+        };
+        let serial = go(1);
+        for jobs in [2, 4, 0] {
+            assert_eq!(serial.points(), go(jobs).points(), "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn jobs_default_comes_from_config() {
+        let sweep = LoadSweep::new(base(AllocatorKind::Vix).with_jobs(3));
+        assert_eq!(sweep.jobs, 3);
+        assert_eq!(sweep.with_jobs(1).jobs, 1);
     }
 
     #[test]

@@ -21,9 +21,9 @@
 //! ```
 //! use vix_traffic::{BernoulliInjector, TrafficPattern};
 //! use vix_core::NodeId;
-//! use rand::SeedableRng;
+//! use vix_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = vix_rng::rngs::StdRng::seed_from_u64(7);
 //! let pattern = TrafficPattern::UniformRandom;
 //! let dest = pattern.pick_dest(NodeId(3), 64, &mut rng);
 //! assert_ne!(dest, NodeId(3), "uniform traffic never self-addresses");
@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use rand::Rng;
+use vix_rng::Rng;
 use vix_core::{ConfigError, NodeId};
 
 /// Spatial traffic pattern: how sources choose destinations.
@@ -202,8 +202,8 @@ impl BernoulliInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use vix_rng::rngs::StdRng;
+    use vix_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, doc-lint.
+#
+# Mirrors CI (.github/workflows/ci.yml). Needs no network access — the
+# workspace has zero crates.io dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace --release"
+cargo test -q --workspace --release
+
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> all checks passed"

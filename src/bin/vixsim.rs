@@ -4,7 +4,7 @@
 //! vixsim [--topology mesh|cmesh|fbfly] [--allocator if|vix|wf|wfvix|ap|pc|islip]
 //!        [--rate R] [--packet-len N] [--vcs V] [--virtual-inputs K]
 //!        [--pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor]
-//!        [--warmup N] [--measure N] [--drain N] [--seed S]
+//!        [--warmup N] [--measure N] [--drain N] [--seed S] [--jobs N]
 //!        [--no-speculation] [--no-dimension-aware] [--age-based-sa]
 //! ```
 //!
@@ -26,6 +26,7 @@ struct Options {
     measure: u64,
     drain: u64,
     seed: u64,
+    jobs: usize,
     speculation: bool,
     dimension_aware: bool,
     age_based_sa: bool,
@@ -47,6 +48,7 @@ impl Default for Options {
             measure: 10_000,
             drain: 3_000,
             seed: 0xC0FFEE,
+            jobs: 0, // sweeps use all cores unless pinned
             speculation: true,
             dimension_aware: true,
             age_based_sa: false,
@@ -66,6 +68,8 @@ const USAGE: &str = "usage: vixsim [options]
   --pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor
   --warmup/--measure/--drain <cycles>
   --seed <n>
+  --jobs <n>                       sweep worker threads; 0 = all cores
+                                   (default 0; results identical for any value)
   --no-speculation  --no-dimension-aware  --age-based-sa  --five-stage
   --sweep-csv <file>               run a 10-point rate sweep, write CSV";
 
@@ -126,6 +130,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--measure" => opt.measure = value()?.parse().map_err(|e| format!("bad measure: {e}"))?,
             "--drain" => opt.drain = value()?.parse().map_err(|e| format!("bad drain: {e}"))?,
             "--seed" => opt.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--jobs" => opt.jobs = value()?.parse().map_err(|e| format!("bad jobs: {e}"))?,
             "--no-speculation" => opt.speculation = false,
             "--five-stage" => opt.five_stage = true,
             "--sweep-csv" => opt.sweep_csv = Some(value()?.clone()),
@@ -177,7 +182,8 @@ fn main() -> ExitCode {
     let cfg = SimConfig::new(network, opt.rate)
         .with_packet_len(opt.packet_len)
         .with_windows(opt.warmup, opt.measure, opt.drain)
-        .with_seed(opt.seed);
+        .with_seed(opt.seed)
+        .with_jobs(opt.jobs);
 
     if let Some(path) = &opt.sweep_csv {
         let sweep = match LoadSweep::new(cfg).with_pattern(opt.pattern.clone()).run() {

@@ -40,6 +40,36 @@ fn manycore_runs_are_bit_identical() {
 }
 
 #[test]
+fn parallel_sweeps_match_serial_point_for_point() {
+    let sweep = |jobs: usize| {
+        let network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+        let base = SimConfig::new(network, 0.0).with_windows(300, 1_200, 800).with_seed(9);
+        LoadSweep::new(base)
+            .with_rates(&[0.02, 0.05, 0.08, 0.10])
+            .with_replications(2)
+            .with_jobs(jobs)
+            .run()
+            .unwrap()
+            .points()
+            .to_vec()
+    };
+    let serial = sweep(1);
+    for jobs in [4, 0] {
+        let parallel = sweep(jobs);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.rate, p.rate, "jobs={jobs} must preserve point order");
+            let (a, b) = (&s.stats, &p.stats);
+            assert_eq!(a.packets_ejected(), b.packets_ejected(), "jobs={jobs}");
+            assert_eq!(a.flits_ejected(), b.flits_ejected(), "jobs={jobs}");
+            assert_eq!(a.per_source_packets(), b.per_source_packets(), "jobs={jobs}");
+            assert_eq!(a.avg_packet_latency(), b.avg_packet_latency(), "jobs={jobs}");
+            assert_eq!(a.activity(), b.activity(), "jobs={jobs}");
+        }
+    }
+}
+
+#[test]
 fn single_router_harness_is_deterministic() {
     use vix::alloc::build_allocator;
     use vix::RouterConfig;
