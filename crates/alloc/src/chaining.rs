@@ -32,6 +32,21 @@ pub struct PacketChainingAllocator {
     held: Vec<Option<PortId>>,
     /// Champion VC selection for inherited connections, one per input port.
     vc_selectors: Vec<Box<dyn Arbiter>>,
+    /// Reused residual request set handed to the inner allocator.
+    residual: RequestSet,
+    /// Reused output buffer of the inner allocator.
+    inner_grants: GrantSet,
+    scratch: ChainingScratch,
+}
+
+/// Owned per-cycle working state reused across
+/// [`SwitchAllocator::allocate_into`] calls.
+#[derive(Debug, Default)]
+struct ChainingScratch {
+    input_taken: Vec<bool>,
+    output_taken: Vec<bool>,
+    /// VC request lines of one held connection's input port.
+    lines: Vec<bool>,
 }
 
 impl PacketChainingAllocator {
@@ -40,7 +55,15 @@ impl PacketChainingAllocator {
     pub fn new(cfg: AllocatorConfig) -> Self {
         let inner = SeparableAllocator::new(cfg);
         let vc_selectors = (0..cfg.ports).map(|_| cfg.arbiter.build(cfg.partition.vcs())).collect();
-        PacketChainingAllocator { cfg, inner, held: vec![None; cfg.ports], vc_selectors }
+        PacketChainingAllocator {
+            cfg,
+            inner,
+            held: vec![None; cfg.ports],
+            vc_selectors,
+            residual: RequestSet::new(cfg.ports, cfg.partition.vcs()),
+            inner_grants: GrantSet::new(),
+            scratch: ChainingScratch::default(),
+        }
     }
 
     /// Number of currently-held connections (exposed for tests).
@@ -51,34 +74,37 @@ impl PacketChainingAllocator {
 }
 
 impl SwitchAllocator for PacketChainingAllocator {
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        grants.clear();
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
-        let mut grants = GrantSet::new();
-        let mut input_taken = vec![false; ports];
-        let mut output_taken = vec![false; ports];
+        let Self { inner, held, vc_selectors, residual, inner_grants, scratch, .. } = self;
+        let ChainingScratch { input_taken, output_taken, lines } = scratch;
+        input_taken.clear();
+        input_taken.resize(ports, false);
+        output_taken.clear();
+        output_taken.resize(ports, false);
 
         // Phase 1: inherit surviving chains.
         for out in 0..ports {
-            let Some(input) = self.held[out] else { continue };
+            let Some(input) = held[out] else { continue };
             if input_taken[input.0] {
-                self.held[out] = None;
+                held[out] = None;
                 continue;
             }
             // anyVC: any VC of the same input requesting the same output,
             // non-speculative preferred.
             let mut chosen = None;
             for speculative in [false, true] {
-                let lines: Vec<bool> = (0..vcs)
-                    .map(|v| {
-                        requests.get(input, VcId(v)).is_some_and(|r| {
-                            r.out_port == PortId(out) && r.speculative == speculative
-                        })
+                lines.clear();
+                lines.extend((0..vcs).map(|v| {
+                    requests.get(input, VcId(v)).is_some_and(|r| {
+                        r.out_port == PortId(out) && r.speculative == speculative
                     })
-                    .collect();
-                let sel = &mut self.vc_selectors[input.0];
-                if let Some(v) = sel.peek(&lines) {
+                }));
+                let sel = &mut vc_selectors[input.0];
+                if let Some(v) = sel.peek(lines) {
                     sel.commit(v);
                     chosen = Some(VcId(v));
                     break;
@@ -90,19 +116,19 @@ impl SwitchAllocator for PacketChainingAllocator {
                     output_taken[out] = true;
                     grants.add(Grant { port: input, vc, out_port: PortId(out) });
                 }
-                None => self.held[out] = None,
+                None => held[out] = None,
             }
         }
 
         // Phase 2: separable allocation over the remaining requests.
-        let mut residual = RequestSet::new(ports, vcs);
+        residual.clear();
         for r in requests.active_requests() {
             if !input_taken[r.port.0] && !output_taken[r.out_port.0] {
                 residual.push(*r);
             }
         }
-        grants.extend(self.inner.allocate(&residual).iter().copied());
-        grants
+        inner.allocate_into(residual, inner_grants);
+        grants.extend(inner_grants.iter().copied());
     }
 
     fn partition(&self) -> &VixPartition {

@@ -28,6 +28,22 @@ pub struct IslipAllocator {
     accept_pointers: Vec<usize>,
     /// Champion VC selection per input port.
     vc_selectors: Vec<Box<dyn Arbiter>>,
+    scratch: IslipScratch,
+}
+
+/// Owned per-cycle working state reused across
+/// [`SwitchAllocator::allocate_into`] calls. The nested `grants_to_input`
+/// Vecs are cleared, never dropped, so their capacity persists too.
+#[derive(Debug, Default)]
+struct IslipScratch {
+    /// Port-level request matrix.
+    wants: Vec<bool>,
+    matched_out_of_in: Vec<Option<usize>>,
+    out_matched: Vec<bool>,
+    /// Outputs granting each input in the current iteration.
+    grants_to_input: Vec<Vec<usize>>,
+    /// VC request lines of one matched input.
+    lines: Vec<bool>,
 }
 
 impl IslipAllocator {
@@ -46,6 +62,7 @@ impl IslipAllocator {
             grant_pointers: vec![0; cfg.ports],
             accept_pointers: vec![0; cfg.ports],
             vc_selectors,
+            scratch: IslipScratch::default(),
         }
     }
 
@@ -57,29 +74,40 @@ impl IslipAllocator {
 }
 
 impl SwitchAllocator for IslipAllocator {
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        grants.clear();
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
+        let iterations = self.iterations;
+        let Self { grant_pointers, accept_pointers, vc_selectors, scratch, .. } = self;
+        let IslipScratch { wants, matched_out_of_in, out_matched, grants_to_input, lines } =
+            scratch;
 
         // Port-level request matrix (ignore speculation for the matching;
         // the VC champion prefers non-speculative below).
-        let mut wants = vec![false; ports * ports];
+        wants.clear();
+        wants.resize(ports * ports, false);
         for r in requests.active_requests() {
             wants[r.port.0 * ports + r.out_port.0] = true;
         }
 
-        let mut matched_out_of_in: Vec<Option<usize>> = vec![None; ports];
-        let mut out_matched = vec![false; ports];
+        matched_out_of_in.clear();
+        matched_out_of_in.resize(ports, None);
+        out_matched.clear();
+        out_matched.resize(ports, false);
+        grants_to_input.resize_with(ports, Vec::new);
 
-        for iter in 0..self.iterations {
+        for iter in 0..iterations {
             // Grant round.
-            let mut grants_to_input: Vec<Vec<usize>> = vec![Vec::new(); ports];
+            for g in grants_to_input.iter_mut() {
+                g.clear();
+            }
             for out in 0..ports {
                 if out_matched[out] {
                     continue;
                 }
-                let ptr = self.grant_pointers[out];
+                let ptr = grant_pointers[out];
                 let pick = (0..ports)
                     .map(|k| (ptr + k) % ports)
                     .find(|&i| matched_out_of_in[i].is_none() && wants[i * ports + out]);
@@ -92,7 +120,7 @@ impl SwitchAllocator for IslipAllocator {
                 if matched_out_of_in[input].is_some() || grants_to_input[input].is_empty() {
                     continue;
                 }
-                let ptr = self.accept_pointers[input];
+                let ptr = accept_pointers[input];
                 let accepted = (0..ports)
                     .map(|k| (ptr + k) % ports)
                     .find(|o| grants_to_input[input].contains(o))
@@ -102,27 +130,25 @@ impl SwitchAllocator for IslipAllocator {
                 if iter == 0 {
                     // Pointer update rule: one past the matched partner,
                     // first iteration only.
-                    self.grant_pointers[accepted] = (input + 1) % ports;
-                    self.accept_pointers[input] = (accepted + 1) % ports;
+                    grant_pointers[accepted] = (input + 1) % ports;
+                    accept_pointers[input] = (accepted + 1) % ports;
                 }
             }
         }
 
         // VC champions for matched pairs.
-        let mut grants = GrantSet::new();
         for input in 0..ports {
             let Some(out) = matched_out_of_in[input] else { continue };
             let mut chosen = None;
             for speculative in [false, true] {
-                let lines: Vec<bool> = (0..vcs)
-                    .map(|v| {
-                        requests.get(PortId(input), VcId(v)).is_some_and(|r| {
-                            r.out_port == PortId(out) && r.speculative == speculative
-                        })
+                lines.clear();
+                lines.extend((0..vcs).map(|v| {
+                    requests.get(PortId(input), VcId(v)).is_some_and(|r| {
+                        r.out_port == PortId(out) && r.speculative == speculative
                     })
-                    .collect();
-                let sel = &mut self.vc_selectors[input];
-                if let Some(v) = sel.peek(&lines) {
+                }));
+                let sel = &mut vc_selectors[input];
+                if let Some(v) = sel.peek(lines) {
                     sel.commit(v);
                     chosen = Some(VcId(v));
                     break;
@@ -131,7 +157,6 @@ impl SwitchAllocator for IslipAllocator {
             let vc = chosen.expect("matched pair implies a requesting VC");
             grants.add(Grant { port: PortId(input), vc, out_port: PortId(out) });
         }
-        grants
     }
 
     fn partition(&self) -> &VixPartition {

@@ -130,8 +130,32 @@ impl AllocatorConfig {
 /// [`GrantSet::validate_against`]: one grant per output port, one per input
 /// VC, one per virtual-input sub-group.
 pub trait SwitchAllocator: std::fmt::Debug {
-    /// Allocates the switch for one cycle.
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet;
+    /// Allocates the switch for one cycle, writing the winning grants into
+    /// a caller-owned set.
+    ///
+    /// This is the hot-path entry point: `grants` is cleared and refilled,
+    /// never reallocated once it has reached its steady-state capacity, and
+    /// implementations keep their working arrays as owned scratch fields
+    /// sized on first use. After warmup a call performs **zero** heap
+    /// allocations (enforced by the counting-allocator regression test in
+    /// `tests/zero_alloc.rs`).
+    ///
+    /// Grant emission order is part of each allocator's observable
+    /// behaviour (downstream consumers hash the trace), so implementations
+    /// must push grants in the same order as the equivalent
+    /// [`allocate`](SwitchAllocator::allocate) always has.
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet);
+
+    /// Allocates the switch for one cycle into a fresh [`GrantSet`].
+    ///
+    /// Convenience shim over [`allocate_into`](SwitchAllocator::allocate_into)
+    /// for tests and one-shot callers; the per-cycle loops in `vix-router`
+    /// and `vix-sim` use `allocate_into` with a reused set instead.
+    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+        let mut grants = GrantSet::new();
+        self.allocate_into(requests, &mut grants);
+        grants
+    }
 
     /// The VC → virtual-input partition this allocator enforces.
     fn partition(&self) -> &VixPartition;

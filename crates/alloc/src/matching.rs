@@ -59,14 +59,50 @@ pub fn max_bipartite_matching_from(
     adjacency: &[Vec<usize>],
     offset: usize,
 ) -> Vec<Option<usize>> {
+    let mut scratch = MatchingScratch::default();
+    max_bipartite_matching_into(lefts, rights, adjacency, offset, &mut scratch);
+    std::mem::take(&mut scratch.match_of_left)
+}
+
+/// Reusable working state for [`max_bipartite_matching_into`]: the two
+/// match arrays plus the per-augmentation `visited` set, retained across
+/// cycles so the steady-state matcher never heap-allocates.
+#[derive(Debug, Default)]
+pub struct MatchingScratch {
+    /// `match_of_left[l]` = right vertex matched to `l` (the result).
+    pub match_of_left: Vec<Option<usize>>,
+    match_of_right: Vec<Option<usize>>,
+    visited: Vec<bool>,
+}
+
+/// [`max_bipartite_matching_from`] writing into caller-owned scratch.
+///
+/// The matching is left in `scratch.match_of_left`; all other scratch
+/// fields are implementation detail. Allocations happen only while the
+/// scratch grows to the problem size — repeated same-size calls are
+/// allocation-free.
+///
+/// # Panics
+///
+/// Panics if an adjacency entry is `>= rights`.
+pub fn max_bipartite_matching_into(
+    lefts: usize,
+    rights: usize,
+    adjacency: &[Vec<usize>],
+    offset: usize,
+    scratch: &mut MatchingScratch,
+) {
     assert_eq!(adjacency.len(), lefts, "adjacency must have one entry per left vertex");
     for adj in adjacency {
         for &r in adj {
             assert!(r < rights, "right vertex {r} out of range ({rights})");
         }
     }
-    let mut match_of_right: Vec<Option<usize>> = vec![None; rights];
-    let mut match_of_left: Vec<Option<usize>> = vec![None; lefts];
+    let MatchingScratch { match_of_left, match_of_right, visited } = scratch;
+    match_of_right.clear();
+    match_of_right.resize(rights, None);
+    match_of_left.clear();
+    match_of_left.resize(lefts, None);
 
     fn try_augment(
         l: usize,
@@ -97,10 +133,10 @@ pub fn max_bipartite_matching_from(
 
     for i in 0..lefts {
         let l = (i + offset) % lefts;
-        let mut visited = vec![false; rights];
-        try_augment(l, adjacency, &mut visited, &mut match_of_right, &mut match_of_left);
+        visited.clear();
+        visited.resize(rights, false);
+        try_augment(l, adjacency, visited, match_of_right, match_of_left);
     }
-    match_of_left
 }
 
 #[cfg(test)]

@@ -28,11 +28,27 @@ use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPar
 #[derive(Debug)]
 pub struct MaxMatchingAllocator {
     cfg: AllocatorConfig,
+    /// VCs of each sub-group, precomputed so the per-cycle loops never
+    /// collect.
+    group_vcs: Vec<Vec<VcId>>,
     /// Champion selection within a matched sub-group, one per virtual input.
     vc_selectors: Vec<Box<dyn Arbiter>>,
     /// Rotating scan-start offset: removes *permanent* tie-break priority
     /// while keeping the greedy maximum-matching structure.
     offset: usize,
+    scratch: MaxMatchingScratch,
+}
+
+/// Owned per-cycle working state reused across
+/// [`SwitchAllocator::allocate_into`] calls. The nested adjacency Vecs are
+/// cleared, never dropped, so their capacity persists too.
+#[derive(Debug, Default)]
+struct MaxMatchingScratch {
+    /// `adjacency[vi]` = outputs requested by the sub-group, ascending.
+    adjacency: Vec<Vec<usize>>,
+    matching: crate::matching::MatchingScratch,
+    /// VC request lines of one matched virtual input.
+    lines: Vec<bool>,
 }
 
 impl MaxMatchingAllocator {
@@ -40,65 +56,72 @@ impl MaxMatchingAllocator {
     #[must_use]
     pub fn new(cfg: AllocatorConfig) -> Self {
         let groups = cfg.partition.groups();
+        let group_vcs = (0..groups)
+            .map(|g| cfg.partition.vcs_in_group(VirtualInputId(g)).collect())
+            .collect();
         let vc_selectors =
             (0..cfg.ports * groups).map(|_| cfg.arbiter.build(cfg.partition.group_size())).collect();
-        MaxMatchingAllocator { cfg, vc_selectors, offset: 0 }
-    }
-
-    fn vi_index(&self, port: usize, group: usize) -> usize {
-        port * self.cfg.partition.groups() + group
+        MaxMatchingAllocator {
+            cfg,
+            group_vcs,
+            vc_selectors,
+            offset: 0,
+            scratch: MaxMatchingScratch::default(),
+        }
     }
 }
 
 impl SwitchAllocator for MaxMatchingAllocator {
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
         assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
+        grants.clear();
         let ports = self.cfg.ports;
-        let part = self.cfg.partition;
-        let groups = part.groups();
+        let groups = self.cfg.partition.groups();
+        let Self { group_vcs, vc_selectors, offset, scratch, .. } = self;
+        let MaxMatchingScratch { adjacency, matching, lines } = scratch;
 
         // Edge (virtual input → output) iff some VC of the sub-group
         // requests the output. Adjacency in ascending output order: the
         // fixed tie-break of a hardware matching network.
-        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); ports * groups];
+        adjacency.resize_with(ports * groups, Vec::new);
         for port in 0..ports {
-            for group in 0..groups {
-                let vi = self.vi_index(port, group);
-                let mut outs: Vec<usize> = part
-                    .vcs_in_group(VirtualInputId(group))
-                    .filter_map(|vc| requests.get(PortId(port), vc).map(|r| r.out_port.0))
-                    .collect();
+            for (group, vcs) in group_vcs.iter().enumerate() {
+                let outs = &mut adjacency[port * groups + group];
+                outs.clear();
+                outs.extend(
+                    vcs.iter()
+                        .filter_map(|&vc| requests.get(PortId(port), vc).map(|r| r.out_port.0)),
+                );
                 outs.sort_unstable();
                 outs.dedup();
-                adjacency[vi] = outs;
             }
         }
 
-        let matching =
-            crate::matching::max_bipartite_matching_from(ports * groups, ports, &adjacency, self.offset);
-        self.offset = (self.offset + 1) % (ports * groups);
+        crate::matching::max_bipartite_matching_into(
+            ports * groups,
+            ports,
+            adjacency,
+            *offset,
+            matching,
+        );
+        *offset = (*offset + 1) % (ports * groups);
 
-        let mut grants = GrantSet::new();
         for port in 0..ports {
-            for group in 0..groups {
-                let vi = self.vi_index(port, group);
-                let Some(out) = matching[vi] else { continue };
+            for (group, vcs) in group_vcs.iter().enumerate() {
+                let vi = port * groups + group;
+                let Some(out) = matching.match_of_left[vi] else { continue };
                 // Champion among the sub-group's VCs that request `out`.
-                let vcs: Vec<VcId> = part.vcs_in_group(VirtualInputId(group)).collect();
-                let lines: Vec<bool> = vcs
-                    .iter()
-                    .map(|&vc| {
-                        requests.get(PortId(port), vc).is_some_and(|r| r.out_port.0 == out)
-                    })
-                    .collect();
-                let selector = &mut self.vc_selectors[vi];
-                let local = selector.peek(&lines).expect("matched edge implies a requesting VC");
+                lines.clear();
+                lines.extend(vcs.iter().map(|&vc| {
+                    requests.get(PortId(port), vc).is_some_and(|r| r.out_port.0 == out)
+                }));
+                let selector = &mut vc_selectors[vi];
+                let local = selector.peek(lines).expect("matched edge implies a requesting VC");
                 selector.commit(local);
                 grants.add(Grant { port: PortId(port), vc: vcs[local], out_port: PortId(out) });
             }
         }
-        grants
     }
 
     fn partition(&self) -> &VixPartition {

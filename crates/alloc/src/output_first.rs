@@ -28,6 +28,21 @@ pub struct OutputFirstAllocator {
     output_arbiters: Vec<Box<dyn Arbiter>>,
     /// One per virtual input, over the output ports.
     input_arbiters: Vec<Box<dyn Arbiter>>,
+    scratch: OutputFirstScratch,
+}
+
+/// Owned per-cycle working state reused across
+/// [`SwitchAllocator::allocate_into`] calls.
+#[derive(Debug, Default)]
+struct OutputFirstScratch {
+    vi_taken: Vec<bool>,
+    output_taken: Vec<bool>,
+    /// Stage-1 winners, one slot per output port.
+    candidates: Vec<Option<(PortId, VcId)>>,
+    /// Stage-1 request lines (one per `ports × vcs` flat VC index).
+    out_lines: Vec<bool>,
+    /// Stage-2 request lines (one per output port).
+    in_lines: Vec<bool>,
 }
 
 impl OutputFirstAllocator {
@@ -40,43 +55,48 @@ impl OutputFirstAllocator {
             cfg,
             output_arbiters: (0..cfg.ports).map(|_| cfg.arbiter.build(vcs_total)).collect(),
             input_arbiters: (0..units).map(|_| cfg.arbiter.build(cfg.ports)).collect(),
+            scratch: OutputFirstScratch::default(),
         }
-    }
-
-    fn vi_of(&self, port: PortId, vc: VcId) -> usize {
-        port.0 * self.cfg.partition.groups() + self.cfg.partition.group_of(vc).0
     }
 }
 
 impl SwitchAllocator for OutputFirstAllocator {
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
         assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
+        grants.clear();
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
-        let units = ports * self.cfg.partition.groups();
+        let groups = self.cfg.partition.groups();
+        let units = ports * groups;
+        let part = self.cfg.partition;
+        let vi_of = move |p: PortId, v: VcId| p.0 * groups + part.group_of(v).0;
+        let Self { output_arbiters, input_arbiters, scratch, .. } = self;
+        let OutputFirstScratch { vi_taken, output_taken, candidates, out_lines, in_lines } =
+            scratch;
 
-        let mut grants = GrantSet::new();
-        let mut vi_taken = vec![false; units];
-        let mut output_taken = vec![false; ports];
+        vi_taken.clear();
+        vi_taken.resize(units, false);
+        output_taken.clear();
+        output_taken.resize(ports, false);
 
         for speculative in [false, true] {
             // Stage 1: each free output picks a candidate VC.
-            let mut candidates: Vec<Option<(PortId, VcId)>> = vec![None; ports];
+            candidates.clear();
+            candidates.resize(ports, None);
             for out in 0..ports {
                 if output_taken[out] {
                     continue;
                 }
-                let lines: Vec<bool> = (0..ports * vcs)
-                    .map(|flat| {
-                        let (p, v) = (PortId(flat / vcs), VcId(flat % vcs));
-                        !vi_taken[self.vi_of(p, v)]
-                            && requests.get(p, v).is_some_and(|r| {
-                                r.out_port == PortId(out) && r.speculative == speculative
-                            })
-                    })
-                    .collect();
-                if let Some(flat) = self.output_arbiters[out].peek(&lines) {
+                out_lines.clear();
+                out_lines.extend((0..ports * vcs).map(|flat| {
+                    let (p, v) = (PortId(flat / vcs), VcId(flat % vcs));
+                    !vi_taken[vi_of(p, v)]
+                        && requests.get(p, v).is_some_and(|r| {
+                            r.out_port == PortId(out) && r.speculative == speculative
+                        })
+                }));
+                if let Some(flat) = output_arbiters[out].peek(out_lines) {
                     candidates[out] = Some((PortId(flat / vcs), VcId(flat % vcs)));
                 }
             }
@@ -87,21 +107,19 @@ impl SwitchAllocator for OutputFirstAllocator {
                 if vi_taken[vi] {
                     continue;
                 }
-                let lines: Vec<bool> = (0..ports)
-                    .map(|out| {
-                        candidates[out].is_some_and(|(p, v)| self.vi_of(p, v) == vi)
-                    })
-                    .collect();
-                let Some(out) = self.input_arbiters[vi].peek(&lines) else { continue };
+                in_lines.clear();
+                in_lines.extend(
+                    (0..ports).map(|out| candidates[out].is_some_and(|(p, v)| vi_of(p, v) == vi)),
+                );
+                let Some(out) = input_arbiters[vi].peek(in_lines) else { continue };
                 let (p, v) = candidates[out].expect("line implies candidate");
-                self.input_arbiters[vi].commit(out);
-                self.output_arbiters[out].commit(p.0 * vcs + v.0);
+                input_arbiters[vi].commit(out);
+                output_arbiters[out].commit(p.0 * vcs + v.0);
                 vi_taken[vi] = true;
                 output_taken[out] = true;
                 grants.add(Grant { port: p, vc: v, out_port: PortId(out) });
             }
         }
-        grants
     }
 
     fn partition(&self) -> &VixPartition {

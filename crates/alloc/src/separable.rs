@@ -31,10 +31,32 @@ use vix_core::{Grant, GrantSet, PortId, RequestSet, SwitchRequest, VcId, VixPart
 #[derive(Debug)]
 pub struct SeparableAllocator {
     cfg: AllocatorConfig,
+    /// VCs of each sub-group, precomputed so stage 1 never collects.
+    group_vcs: Vec<Vec<VcId>>,
     /// One per (port × sub-group), each over the sub-group's VCs.
     input_arbiters: Vec<Box<dyn Arbiter>>,
     /// One per output port, each over all `ports × groups` virtual inputs.
     output_arbiters: Vec<Box<dyn Arbiter>>,
+    scratch: SeparableScratch,
+}
+
+/// Owned per-cycle working state, sized once at construction and reused by
+/// every [`SwitchAllocator::allocate_into`] call — the steady-state hot
+/// path never heap-allocates.
+#[derive(Debug, Default)]
+struct SeparableScratch {
+    /// `champions[vi]` = stage-1 winner `(request, local VC index)`.
+    champions: Vec<Option<(SwitchRequest, usize)>>,
+    /// `championed[out]` = some stage-1 winner targets output `out`.
+    championed: Vec<bool>,
+    output_taken: Vec<bool>,
+    vi_taken: Vec<bool>,
+    /// Stage-1 request lines / ages (one per VC of a sub-group).
+    in_lines: Vec<bool>,
+    in_ages: Vec<u64>,
+    /// Stage-2 request lines / ages (one per virtual input).
+    out_lines: Vec<bool>,
+    out_ages: Vec<u64>,
 }
 
 impl SeparableAllocator {
@@ -43,61 +65,61 @@ impl SeparableAllocator {
     pub fn new(cfg: AllocatorConfig) -> Self {
         let groups = cfg.partition.groups();
         let group_size = cfg.partition.group_size();
+        let group_vcs = (0..groups)
+            .map(|g| cfg.partition.vcs_in_group(vix_core::VirtualInputId(g)).collect())
+            .collect();
         let input_arbiters =
             (0..cfg.ports * groups).map(|_| cfg.arbiter.build(group_size)).collect();
         let output_arbiters =
             (0..cfg.ports).map(|_| cfg.arbiter.build(cfg.ports * groups)).collect();
-        SeparableAllocator { cfg, input_arbiters, output_arbiters }
-    }
-
-    /// Number of virtual inputs (`ports × groups`).
-    fn virtual_inputs(&self) -> usize {
-        self.cfg.ports * self.cfg.partition.groups()
-    }
-
-    /// Flat index of virtual input `(port, group)`.
-    fn vi_index(&self, port: usize, group: usize) -> usize {
-        port * self.cfg.partition.groups() + group
-    }
-
-    /// Stage 1 for one virtual input: pick a champion VC among requesting
-    /// VCs of the sub-group, preferring non-speculative requests.
-    ///
-    /// Returns the champion's request and its *local* index within the
-    /// sub-group (needed for the grant-aware pointer update).
-    fn input_stage<'r>(
-        &self,
-        requests: &'r RequestSet,
-        port: usize,
-        group: usize,
-    ) -> Option<(&'r SwitchRequest, usize)> {
-        let part = &self.cfg.partition;
-        let vcs: Vec<VcId> = part.vcs_in_group(vix_core::VirtualInputId(group)).collect();
-        let arb = &self.input_arbiters[self.vi_index(port, group)];
-        // Pessimistic masking: non-speculative first.
-        for speculative in [false, true] {
-            let mut lines: Vec<bool> = vcs
-                .iter()
-                .map(|&vc| {
-                    requests
-                        .get(PortId(port), vc)
-                        .is_some_and(|r| r.speculative == speculative)
-                })
-                .collect();
-            if self.cfg.priority == PriorityPolicy::OldestFirst {
-                let ages: Vec<u64> = vcs
-                    .iter()
-                    .map(|&vc| requests.get(PortId(port), vc).map_or(0, |r| r.age))
-                    .collect();
-                mask_to_oldest(&mut lines, &ages);
-            }
-            if let Some(local) = arb.peek(&lines) {
-                let req = requests.get(PortId(port), vcs[local]).expect("line implies request");
-                return Some((req, local));
-            }
+        SeparableAllocator {
+            cfg,
+            group_vcs,
+            input_arbiters,
+            output_arbiters,
+            scratch: SeparableScratch::default(),
         }
-        None
     }
+}
+
+/// Stage 1 for one virtual input: pick a champion VC among requesting VCs
+/// of the sub-group (`vcs`), preferring non-speculative requests.
+///
+/// Returns the champion's request and its *local* index within the
+/// sub-group (needed for the grant-aware pointer update). `lines`/`ages`
+/// are caller-owned scratch.
+fn input_stage<'r>(
+    cfg: &AllocatorConfig,
+    vcs: &[VcId],
+    arb: &dyn Arbiter,
+    requests: &'r RequestSet,
+    port: usize,
+    lines: &mut Vec<bool>,
+    ages: &mut Vec<u64>,
+) -> Option<(&'r SwitchRequest, usize)> {
+    let has_speculative = requests.speculative_len() > 0;
+    // Pessimistic masking: non-speculative first. A pass over an empty
+    // request class can neither win nor move arbiter state, so it is
+    // skipped outright.
+    for speculative in [false, true] {
+        if speculative && !has_speculative {
+            continue;
+        }
+        lines.clear();
+        lines.extend(vcs.iter().map(|&vc| {
+            requests.get(PortId(port), vc).is_some_and(|r| r.speculative == speculative)
+        }));
+        if cfg.priority == PriorityPolicy::OldestFirst {
+            ages.clear();
+            ages.extend(vcs.iter().map(|&vc| requests.get(PortId(port), vc).map_or(0, |r| r.age)));
+            mask_to_oldest(lines, ages);
+        }
+        if let Some(local) = arb.peek(lines) {
+            let req = requests.get(PortId(port), vcs[local]).expect("line implies request");
+            return Some((req, local));
+        }
+    }
+    None
 }
 
 /// Clears every asserted line whose age is below the maximum asserted age,
@@ -115,58 +137,100 @@ fn mask_to_oldest(lines: &mut [bool], ages: &[u64]) {
 }
 
 impl SwitchAllocator for SeparableAllocator {
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
         assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
+        grants.clear();
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
+        let virtual_inputs = ports * groups;
+        let Self { cfg, group_vcs, input_arbiters, output_arbiters, scratch } = self;
+        let SeparableScratch {
+            champions,
+            championed,
+            output_taken,
+            vi_taken,
+            in_lines,
+            in_ages,
+            out_lines,
+            out_ages,
+        } = scratch;
 
         // Stage 1: champions[vi] = (request, local VC index in sub-group).
-        let mut champions: Vec<Option<(SwitchRequest, usize)>> = vec![None; self.virtual_inputs()];
+        // Ports with no posted request are skipped whole — an all-false
+        // line vector can neither elect a champion nor move the arbiter.
+        champions.clear();
+        champions.resize(virtual_inputs, None);
+        let mut any_speculative_champion = false;
         for port in 0..ports {
-            for group in 0..groups {
-                champions[self.vi_index(port, group)] =
-                    self.input_stage(requests, port, group).map(|(r, l)| (*r, l));
+            if !requests.port_is_active(PortId(port)) {
+                continue;
             }
+            for (group, vcs) in group_vcs.iter().enumerate() {
+                let vi = port * groups + group;
+                champions[vi] = input_stage(
+                    cfg,
+                    vcs,
+                    &*input_arbiters[vi],
+                    requests,
+                    port,
+                    in_lines,
+                    in_ages,
+                )
+                .map(|(r, l)| (*r, l));
+                any_speculative_champion |=
+                    champions[vi].is_some_and(|(r, _)| r.speculative);
+            }
+        }
+
+        // Outputs no champion points at can never be granted this cycle.
+        championed.clear();
+        championed.resize(ports, false);
+        for champ in champions.iter().flatten() {
+            championed[champ.0.out_port.0] = true;
         }
 
         // Stage 2: per-output arbitration among champion virtual inputs,
         // non-speculative pass first.
-        let mut grants = GrantSet::new();
-        let mut output_taken = vec![false; ports];
-        let mut vi_taken = vec![false; self.virtual_inputs()];
+        output_taken.clear();
+        output_taken.resize(ports, false);
+        vi_taken.clear();
+        vi_taken.resize(virtual_inputs, false);
         for speculative in [false, true] {
+            if speculative && !any_speculative_champion {
+                continue;
+            }
             for out in 0..ports {
-                if output_taken[out] {
+                if output_taken[out] || !championed[out] {
                     continue;
                 }
-                let mut lines: Vec<bool> = (0..self.virtual_inputs())
-                    .map(|vi| {
-                        !vi_taken[vi]
-                            && champions[vi].as_ref().is_some_and(|(r, _)| {
-                                r.out_port == PortId(out) && r.speculative == speculative
-                            })
-                    })
-                    .collect();
-                if self.cfg.priority == PriorityPolicy::OldestFirst {
-                    let ages: Vec<u64> = (0..self.virtual_inputs())
-                        .map(|vi| champions[vi].as_ref().map_or(0, |(r, _)| r.age))
-                        .collect();
-                    mask_to_oldest(&mut lines, &ages);
+                out_lines.clear();
+                out_lines.extend((0..virtual_inputs).map(|vi| {
+                    !vi_taken[vi]
+                        && champions[vi].as_ref().is_some_and(|(r, _)| {
+                            r.out_port == PortId(out) && r.speculative == speculative
+                        })
+                }));
+                if cfg.priority == PriorityPolicy::OldestFirst {
+                    out_ages.clear();
+                    out_ages.extend(
+                        (0..virtual_inputs)
+                            .map(|vi| champions[vi].as_ref().map_or(0, |(r, _)| r.age)),
+                    );
+                    mask_to_oldest(out_lines, out_ages);
                 }
-                let Some(winner_vi) = self.output_arbiters[out].peek(&lines) else {
+                let Some(winner_vi) = output_arbiters[out].peek(out_lines) else {
                     continue;
                 };
                 let (req, local) = champions[winner_vi].expect("winner implies champion");
                 output_taken[out] = true;
                 vi_taken[winner_vi] = true;
-                self.output_arbiters[out].commit(winner_vi);
+                output_arbiters[out].commit(winner_vi);
                 // Grant-aware input pointer update.
-                self.input_arbiters[winner_vi].commit(local);
+                input_arbiters[winner_vi].commit(local);
                 grants.add(Grant { port: req.port, vc: req.vc, out_port: out.into() });
             }
         }
-        grants
     }
 
     fn partition(&self) -> &VixPartition {

@@ -29,8 +29,23 @@ pub struct WavefrontAllocator {
     cfg: AllocatorConfig,
     /// Rotating priority diagonal.
     offset: usize,
+    /// VCs of each sub-group, precomputed so sweeps never collect.
+    group_vcs: Vec<Vec<VcId>>,
     /// Champion VC selection per virtual input.
     vc_selectors: Vec<Box<dyn Arbiter>>,
+    scratch: WavefrontScratch,
+}
+
+/// Owned per-cycle working state reused across
+/// [`SwitchAllocator::allocate_into`] calls.
+#[derive(Debug, Default)]
+struct WavefrontScratch {
+    /// Virtual-input-level request matrix of one speculation class.
+    matrix: Vec<bool>,
+    unit_taken: Vec<bool>,
+    output_taken: Vec<bool>,
+    /// VC request lines of one virtual input.
+    lines: Vec<bool>,
 }
 
 impl WavefrontAllocator {
@@ -38,8 +53,11 @@ impl WavefrontAllocator {
     #[must_use]
     pub fn new(cfg: AllocatorConfig) -> Self {
         let units = cfg.ports * cfg.partition.groups();
+        let group_vcs = (0..cfg.partition.groups())
+            .map(|g| cfg.partition.vcs_in_group(vix_core::VirtualInputId(g)).collect())
+            .collect();
         let vc_selectors = (0..units).map(|_| cfg.arbiter.build(cfg.partition.group_size())).collect();
-        WavefrontAllocator { cfg, offset: 0, vc_selectors }
+        WavefrontAllocator { cfg, offset: 0, group_vcs, vc_selectors, scratch: WavefrontScratch::default() }
     }
 
     /// Current priority-diagonal offset (exposed for tests).
@@ -47,79 +65,75 @@ impl WavefrontAllocator {
     pub fn offset(&self) -> usize {
         self.offset
     }
+}
 
-    /// Virtual inputs (`ports × groups`).
-    fn units(&self) -> usize {
-        self.cfg.ports * self.cfg.partition.groups()
+/// One wavefront sweep over requests with the given speculation class.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    cfg: &AllocatorConfig,
+    offset: usize,
+    group_vcs: &[Vec<VcId>],
+    vc_selectors: &mut [Box<dyn Arbiter>],
+    requests: &RequestSet,
+    speculative: bool,
+    scratch: &mut WavefrontScratch,
+    grants: &mut GrantSet,
+) {
+    let ports = cfg.ports;
+    let groups = cfg.partition.groups();
+    let units = ports * groups;
+    let WavefrontScratch { matrix, unit_taken, output_taken, lines } = scratch;
+    // Virtual-input-level request matrix for this speculation class.
+    matrix.clear();
+    matrix.resize(units * ports, false);
+    for r in requests.active_requests().filter(|r| r.speculative == speculative) {
+        let vi = r.port.0 * groups + cfg.partition.group_of(r.vc).0;
+        matrix[vi * ports + r.out_port.0] = true;
     }
-
-    /// The VCs behind virtual input `vi`, in sub-group order.
-    fn vcs_of(&self, vi: usize) -> Vec<VcId> {
-        let group = vi % self.cfg.partition.groups();
-        self.cfg.partition.vcs_in_group(vix_core::VirtualInputId(group)).collect()
-    }
-
-    /// One wavefront sweep over requests with the given speculation class.
-    fn sweep(
-        &mut self,
-        requests: &RequestSet,
-        speculative: bool,
-        unit_taken: &mut [bool],
-        output_taken: &mut [bool],
-        grants: &mut GrantSet,
-    ) {
-        let ports = self.cfg.ports;
-        let units = self.units();
-        // Virtual-input-level request matrix for this speculation class.
-        let mut matrix = vec![false; units * ports];
-        for r in requests.active_requests().filter(|r| r.speculative == speculative) {
-            let vi = r.port.0 * self.cfg.partition.groups() + self.cfg.partition.group_of(r.vc).0;
-            matrix[vi * ports + r.out_port.0] = true;
-        }
-        // Sweep the (rectangular) matrix diagonal by diagonal. Each
-        // diagonal visits every row once; when the matrix is taller than
-        // wide (k > 1) two rows of a diagonal can share a column, and the
-        // taken flags resolve the tie in row order — the same token
-        // propagation a rectangular hardware wavefront performs.
-        for diag in 0..ports {
-            for vi in 0..units {
-                let o = (vi + self.offset + diag) % ports;
-                if !matrix[vi * ports + o] || unit_taken[vi] || output_taken[o] {
-                    continue;
-                }
-                let port = PortId(vi / self.cfg.partition.groups());
-                // Champion VC within the sub-group.
-                let vcs = self.vcs_of(vi);
-                let lines: Vec<bool> = vcs
-                    .iter()
-                    .map(|&v| {
-                        requests.get(port, v).is_some_and(|r| {
-                            r.out_port == PortId(o) && r.speculative == speculative
-                        })
-                    })
-                    .collect();
-                let sel = &mut self.vc_selectors[vi];
-                let local = sel.peek(&lines).expect("matrix entry implies a requesting VC");
-                sel.commit(local);
-                unit_taken[vi] = true;
-                output_taken[o] = true;
-                grants.add(Grant { port, vc: vcs[local], out_port: PortId(o) });
+    // Sweep the (rectangular) matrix diagonal by diagonal. Each
+    // diagonal visits every row once; when the matrix is taller than
+    // wide (k > 1) two rows of a diagonal can share a column, and the
+    // taken flags resolve the tie in row order — the same token
+    // propagation a rectangular hardware wavefront performs.
+    for diag in 0..ports {
+        for vi in 0..units {
+            let o = (vi + offset + diag) % ports;
+            if !matrix[vi * ports + o] || unit_taken[vi] || output_taken[o] {
+                continue;
             }
+            let port = PortId(vi / groups);
+            // Champion VC within the sub-group.
+            let vcs = &group_vcs[vi % groups];
+            lines.clear();
+            lines.extend(vcs.iter().map(|&v| {
+                requests
+                    .get(port, v)
+                    .is_some_and(|r| r.out_port == PortId(o) && r.speculative == speculative)
+            }));
+            let sel = &mut vc_selectors[vi];
+            let local = sel.peek(lines).expect("matrix entry implies a requesting VC");
+            sel.commit(local);
+            unit_taken[vi] = true;
+            output_taken[o] = true;
+            grants.add(Grant { port, vc: vcs[local], out_port: PortId(o) });
         }
     }
 }
 
 impl SwitchAllocator for WavefrontAllocator {
-    fn allocate(&mut self, requests: &RequestSet) -> GrantSet {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
         assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
-        let mut grants = GrantSet::new();
-        let mut unit_taken = vec![false; self.units()];
-        let mut output_taken = vec![false; self.cfg.ports];
-        self.sweep(requests, false, &mut unit_taken, &mut output_taken, &mut grants);
-        self.sweep(requests, true, &mut unit_taken, &mut output_taken, &mut grants);
-        self.offset = (self.offset + 1) % self.cfg.ports;
-        grants
+        grants.clear();
+        let units = self.cfg.ports * self.cfg.partition.groups();
+        let Self { cfg, offset, group_vcs, vc_selectors, scratch } = self;
+        scratch.unit_taken.clear();
+        scratch.unit_taken.resize(units, false);
+        scratch.output_taken.clear();
+        scratch.output_taken.resize(cfg.ports, false);
+        sweep(cfg, *offset, group_vcs, vc_selectors, requests, false, scratch, grants);
+        sweep(cfg, *offset, group_vcs, vc_selectors, requests, true, scratch, grants);
+        *offset = (*offset + 1) % cfg.ports;
     }
 
     fn partition(&self) -> &VixPartition {

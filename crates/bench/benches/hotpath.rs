@@ -1,0 +1,114 @@
+//! Hot-path benchmark: steady-state simulator cycles per second, written
+//! to `BENCH_hotpath.json` at the workspace root so successive PRs have a
+//! machine-readable perf trajectory to compare against.
+//!
+//! Run with `cargo bench -p vix-bench --bench hotpath`.
+//!
+//! Methodology: each configuration builds one 2-D mesh network at a
+//! moderate load (0.08 packets/node/cycle), warms it up for
+//! [`WARMUP_CYCLES`] cycles so buffers, queues, and scratch reach their
+//! steady-state footprint, then times [`MEASURED_CYCLES`] further cycles.
+//! The median of several samples is reported as `cycles_per_sec`.
+
+use std::time::Instant;
+use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+use vix_sim::NetworkSim;
+
+/// Cycles stepped before timing starts (buffer/scratch warmup).
+const WARMUP_CYCLES: u64 = 300;
+/// Cycles timed per sample.
+const MEASURED_CYCLES: u64 = 2_000;
+/// Samples per configuration; the median is reported.
+const SAMPLES: usize = 5;
+
+struct HotpathResult {
+    allocator: &'static str,
+    nodes: usize,
+    cycles_per_sec: f64,
+    ns_per_cycle: f64,
+}
+
+/// Times `MEASURED_CYCLES` steady-state cycles of one configuration and
+/// returns the median cycles/sec across `SAMPLES` runs.
+fn measure(kind: AllocatorKind, nodes: usize) -> HotpathResult {
+    let mut per_cycle_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut net = NetworkConfig::paper_default(TopologyKind::Mesh, kind);
+            net.nodes = nodes;
+            // Windows sized so the whole measurement stays in warmup: the
+            // bench times the cycle loop, not the statistics pipeline.
+            let cfg = SimConfig::new(net, 0.08)
+                .with_windows(WARMUP_CYCLES + MEASURED_CYCLES + 1, 1, 1);
+            let mut sim = NetworkSim::build(cfg).expect("valid config");
+            for _ in 0..WARMUP_CYCLES {
+                sim.step();
+            }
+            let start = Instant::now();
+            for _ in 0..MEASURED_CYCLES {
+                sim.step();
+            }
+            let elapsed = start.elapsed();
+            std::hint::black_box(&sim);
+            elapsed.as_nanos() as f64 / MEASURED_CYCLES as f64
+        })
+        .collect();
+    per_cycle_ns.sort_by(|a, b| a.total_cmp(b));
+    let ns_per_cycle = per_cycle_ns[SAMPLES / 2];
+    HotpathResult {
+        allocator: kind.label(),
+        nodes,
+        cycles_per_sec: 1e9 / ns_per_cycle,
+        ns_per_cycle,
+    }
+}
+
+fn main() {
+    let configs: &[(AllocatorKind, usize)] = &[
+        (AllocatorKind::InputFirst, 16),
+        (AllocatorKind::InputFirst, 64),
+        (AllocatorKind::Vix, 16),
+        (AllocatorKind::Vix, 64),
+        (AllocatorKind::Wavefront, 64),
+        (AllocatorKind::AugmentingPath, 64),
+        (AllocatorKind::PacketChaining, 64),
+        (AllocatorKind::Islip(2), 64),
+    ];
+
+    println!("hotpath (steady-state mesh cycles/sec, {MEASURED_CYCLES} cycles/sample):");
+    let results: Vec<HotpathResult> = configs
+        .iter()
+        .map(|&(kind, nodes)| {
+            let r = measure(kind, nodes);
+            println!(
+                "{:<14} nodes={:<3} {:>12.0} cycles/sec  ({:.0} ns/cycle)",
+                r.allocator, r.nodes, r.cycles_per_sec, r.ns_per_cycle
+            );
+            r
+        })
+        .collect();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"hotpath\",\n");
+    json.push_str(&format!("  \"warmup_cycles\": {WARMUP_CYCLES},\n"));
+    json.push_str(&format!("  \"measured_cycles\": {MEASURED_CYCLES},\n"));
+    json.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"allocator\": \"{}\", \"mesh_nodes\": {}, \"cycles_per_sec\": {:.1}, \"ns_per_cycle\": {:.1}}}{}\n",
+            r.allocator,
+            r.nodes,
+            r.cycles_per_sec,
+            r.ns_per_cycle,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // The bench runs from the workspace; write next to Cargo.toml so the
+    // file is easy to find and diff across PRs.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_hotpath.json");
+    std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {path}");
+}

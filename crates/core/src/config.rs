@@ -9,9 +9,10 @@ use crate::error::ConfigError;
 use crate::vix::VixPartition;
 
 /// How many virtual inputs connect each input port to the crossbar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum VirtualInputs {
     /// Baseline router: one crossbar input per port (no VIX).
+    #[default]
     None,
     /// `k` virtual inputs per port; the paper's practical design is
     /// `PerPort(2)` (a "1:2 VIX").
@@ -30,12 +31,6 @@ impl VirtualInputs {
             VirtualInputs::PerPort(k) => k,
             VirtualInputs::Ideal => vcs,
         }
-    }
-}
-
-impl Default for VirtualInputs {
-    fn default() -> Self {
-        VirtualInputs::None
     }
 }
 

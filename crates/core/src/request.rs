@@ -41,6 +41,12 @@ pub struct RequestSet {
     ports: usize,
     vcs: usize,
     slots: Vec<Option<SwitchRequest>>,
+    /// Posted requests, kept in sync by `push`/`remove`/`clear` so `len`
+    /// and emptiness checks are O(1) in the allocators' hot loops.
+    active: usize,
+    /// Posted speculative requests; lets allocators skip a whole
+    /// speculation pass when the class is empty.
+    speculative: usize,
 }
 
 impl RequestSet {
@@ -53,7 +59,7 @@ impl RequestSet {
     #[must_use]
     pub fn new(ports: usize, vcs: usize) -> Self {
         assert!(ports > 0 && vcs > 0, "request set dimensions must be nonzero");
-        RequestSet { ports, vcs, slots: vec![None; ports * vcs] }
+        RequestSet { ports, vcs, slots: vec![None; ports * vcs], active: 0, speculative: 0 }
     }
 
     fn idx(&self, port: PortId, vc: VcId) -> usize {
@@ -72,18 +78,30 @@ impl RequestSet {
     /// the same VC.
     pub fn push(&mut self, req: SwitchRequest) {
         let i = self.idx(req.port, req.vc);
-        self.slots[i] = Some(req);
+        if let Some(old) = self.slots[i].replace(req) {
+            self.speculative -= usize::from(old.speculative);
+        } else {
+            self.active += 1;
+        }
+        self.speculative += usize::from(req.speculative);
     }
 
     /// Removes the request from `(port, vc)`, if any.
     pub fn remove(&mut self, port: PortId, vc: VcId) -> Option<SwitchRequest> {
         let i = self.idx(port, vc);
-        self.slots[i].take()
+        let old = self.slots[i].take();
+        if let Some(old) = old {
+            self.active -= 1;
+            self.speculative -= usize::from(old.speculative);
+        }
+        old
     }
 
     /// Clears all requests (reusing the allocation).
     pub fn clear(&mut self) {
         self.slots.iter_mut().for_each(|s| *s = None);
+        self.active = 0;
+        self.speculative = 0;
     }
 
     /// The request posted by `(port, vc)`, if any.
@@ -123,13 +141,28 @@ impl RequestSet {
     /// True if no VC posted a request.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+        self.active == 0
     }
 
-    /// Number of posted requests.
+    /// Number of posted requests (O(1)).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.active
+    }
+
+    /// Number of posted speculative requests (O(1)). Allocators use this
+    /// to skip a whole speculative arbitration pass when the class is
+    /// empty — an empty pass can never grant or move arbiter state.
+    #[must_use]
+    pub fn speculative_len(&self) -> usize {
+        self.speculative
+    }
+
+    /// True when one of the VCs of `port` posted a request (O(vcs)).
+    #[must_use]
+    pub fn port_is_active(&self, port: PortId) -> bool {
+        let base = self.idx(port, VcId(0));
+        self.slots[base..base + self.vcs].iter().any(Option::is_some)
     }
 }
 
@@ -201,6 +234,22 @@ impl GrantSet {
         GrantSet { grants: Vec::new() }
     }
 
+    /// Creates an empty grant set with room for `capacity` grants, so a
+    /// reused set reaches its steady-state footprint without reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        GrantSet { grants: Vec::with_capacity(capacity) }
+    }
+
+    /// Empties the set, retaining its allocation. Pairing `clear` with
+    /// [`SwitchAllocator::allocate_into`]-style refills is the hot loop's
+    /// reuse contract: after warmup the backing `Vec` never grows again.
+    ///
+    /// [`SwitchAllocator::allocate_into`]: ../../vix_alloc/trait.SwitchAllocator.html#method.allocate_into
+    pub fn clear(&mut self) {
+        self.grants.clear();
+    }
+
     /// Adds a grant. Structural invariants are checked lazily by
     /// [`validate_against`](GrantSet::validate_against), not here, so that
     /// intentionally-buggy allocators can be probed in tests.
@@ -256,34 +305,33 @@ impl GrantSet {
         requests: &RequestSet,
         partition: &VixPartition,
     ) -> Result<(), GrantViolation> {
-        let mut outputs_seen: Vec<PortId> = Vec::with_capacity(self.grants.len());
-        let mut vcs_seen: Vec<(PortId, VcId)> = Vec::with_capacity(self.grants.len());
-        for g in &self.grants {
+        // Pairwise scans over the (small, ≤ ports × groups) grant list
+        // instead of `seen` collections: this runs inside per-cycle
+        // `debug_assert!`s, so it must never heap-allocate.
+        for (i, g) in self.grants.iter().enumerate() {
             match requests.get(g.port, g.vc) {
                 Some(r) if r.out_port == g.out_port => {}
                 _ => return Err(GrantViolation::UnrequestedGrant(*g)),
             }
-            if outputs_seen.contains(&g.out_port) {
+            if self.grants[..i].iter().any(|e| e.out_port == g.out_port) {
                 return Err(GrantViolation::OutputConflict(g.out_port));
             }
-            outputs_seen.push(g.out_port);
-            if vcs_seen.contains(&(g.port, g.vc)) {
+            if self.grants[..i].iter().any(|e| (e.port, e.vc) == (g.port, g.vc)) {
                 return Err(GrantViolation::DuplicateVc(g.port, g.vc));
             }
-            vcs_seen.push((g.port, g.vc));
         }
         // Per-port capacity and per-sub-group exclusivity.
         for port in (0..requests.ports()).map(PortId) {
-            let at_port: Vec<&Grant> = self.grants.iter().filter(|g| g.port == port).collect();
-            if at_port.len() > partition.groups() {
+            let granted = self.grants.iter().filter(|g| g.port == port).count();
+            if granted > partition.groups() {
                 return Err(GrantViolation::InputOverSubscribed {
                     port,
-                    granted: at_port.len(),
+                    granted,
                     capacity: partition.groups(),
                 });
             }
-            for (i, a) in at_port.iter().enumerate() {
-                for b in &at_port[i + 1..] {
+            for (i, a) in self.grants.iter().enumerate().filter(|(_, g)| g.port == port) {
+                for b in self.grants[i + 1..].iter().filter(|g| g.port == port) {
                     if partition.group_of(a.vc) == partition.group_of(b.vc) {
                         return Err(GrantViolation::SubgroupConflict(port, a.vc, b.vc));
                     }

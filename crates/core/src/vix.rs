@@ -33,7 +33,7 @@ impl VixPartition {
         if groups == 0 || groups > vcs {
             return Err(ConfigError::BadVirtualInputs { virtual_inputs: groups, vcs });
         }
-        if vcs % groups != 0 {
+        if !vcs.is_multiple_of(groups) {
             return Err(ConfigError::UnevenPartition { vcs, virtual_inputs: groups });
         }
         Ok(VixPartition { vcs, groups })

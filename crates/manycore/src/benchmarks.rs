@@ -128,7 +128,7 @@ impl Mix {
         let cores: Vec<Benchmark> = self
             .apps
             .iter()
-            .flat_map(|(b, n)| std::iter::repeat(*b).take(*n))
+            .flat_map(|(b, n)| std::iter::repeat_n(*b, *n))
             .collect();
         assert_eq!(cores.len(), 64, "a mix must fill all 64 cores");
         cores

@@ -116,7 +116,7 @@ impl L2Bank {
         self.writes += 1;
         let evicted = self.cache.insert(block)?;
         self.evictions += 1;
-        (self.evictions % 3 == 0).then_some(evicted)
+        self.evictions.is_multiple_of(3).then_some(evicted)
     }
 
     /// Writebacks absorbed so far.

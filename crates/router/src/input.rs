@@ -27,6 +27,13 @@ impl VirtualChannel {
         VirtualChannel::default()
     }
 
+    /// Creates an empty VC whose buffer is pre-sized to `depth` flits, so
+    /// no push ever grows it — steady-state operation stays off the heap.
+    #[must_use]
+    pub fn with_depth(depth: usize) -> Self {
+        VirtualChannel { buffer: VecDeque::with_capacity(depth), ..VirtualChannel::default() }
+    }
+
     /// Buffered flit count.
     #[must_use]
     pub fn occupancy(&self) -> usize {
@@ -128,6 +135,13 @@ impl InputPort {
     #[must_use]
     pub fn new(id: PortId, vcs: usize) -> Self {
         InputPort { id, vcs: (0..vcs).map(|_| VirtualChannel::new()).collect() }
+    }
+
+    /// Creates an input port whose VC buffers are pre-sized to `depth`
+    /// flits each (see [`VirtualChannel::with_depth`]).
+    #[must_use]
+    pub fn with_depth(id: PortId, vcs: usize, depth: usize) -> Self {
+        InputPort { id, vcs: (0..vcs).map(|_| VirtualChannel::with_depth(depth)).collect() }
     }
 
     /// This port's id.

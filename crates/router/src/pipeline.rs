@@ -22,6 +22,16 @@ pub struct RouterOutput {
     pub credits: Vec<(PortId, VcId)>,
 }
 
+impl RouterOutput {
+    /// Empties both lists, retaining their allocations. [`Router::step_into`]
+    /// calls this on entry, so a caller that drains and re-passes the same
+    /// `RouterOutput` every cycle never reallocates it.
+    pub fn clear(&mut self) {
+        self.flits.clear();
+        self.credits.clear();
+    }
+}
+
 /// A virtual-channel router with configurable switch allocation and
 /// virtual-input (VIX) datapath.
 ///
@@ -40,6 +50,15 @@ pub struct Router {
     /// Rotating start index for VC-allocation fairness.
     va_pointer: usize,
     activity: ActivityCounters,
+    /// Per-cycle buffers below are owned by the router and reused by every
+    /// [`Router::step_into`] call: cleared, refilled, never reallocated in
+    /// steady state.
+    requests: RequestSet,
+    grants: GrantSet,
+    traversed: GrantSet,
+    rc_this_cycle: Vec<bool>,
+    bound_this_cycle: Vec<bool>,
+    va_failed_this_cycle: Vec<bool>,
 }
 
 impl Router {
@@ -59,7 +78,9 @@ impl Router {
         cfg.validate().expect("router config must be valid");
         assert_eq!(env.port_dims.len(), cfg.ports(), "dimension table size mismatch");
         assert_eq!(env.sink_ports.len(), cfg.ports(), "sink table size mismatch");
-        let inputs = (0..cfg.ports()).map(|p| InputPort::new(PortId(p), cfg.vcs_per_port())).collect();
+        let inputs = (0..cfg.ports())
+            .map(|p| InputPort::with_depth(PortId(p), cfg.vcs_per_port(), cfg.buffer_depth()))
+            .collect();
         let outputs = (0..cfg.ports())
             .map(|p| {
                 if env.sink_ports[p] {
@@ -71,7 +92,23 @@ impl Router {
             .collect();
         let mut activity = ActivityCounters::new();
         activity.routers = 1;
-        Router { id, cfg, env, allocator, inputs, outputs, va_pointer: 0, activity }
+        let total_vcs = cfg.ports() * cfg.vcs_per_port();
+        Router {
+            id,
+            env,
+            allocator,
+            inputs,
+            outputs,
+            va_pointer: 0,
+            activity,
+            requests: RequestSet::new(cfg.ports(), cfg.vcs_per_port()),
+            grants: GrantSet::new(),
+            traversed: GrantSet::new(),
+            rc_this_cycle: vec![false; total_vcs],
+            bound_this_cycle: vec![false; total_vcs],
+            va_failed_this_cycle: vec![false; total_vcs],
+            cfg,
+        }
     }
 
     /// This router's id.
@@ -136,7 +173,25 @@ impl Router {
     }
 
     /// Runs one cycle: VC allocation, switch allocation, switch traversal.
-    pub fn step(&mut self, _now: Cycle) -> RouterOutput {
+    ///
+    /// Convenience wrapper over [`Router::step_into`] returning a fresh
+    /// [`RouterOutput`]; per-cycle loops should reuse one output buffer via
+    /// `step_into` instead.
+    pub fn step(&mut self, now: Cycle) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Runs one cycle — VC allocation, switch allocation, switch traversal
+    /// — writing the outbound flits and freed-buffer credits into the
+    /// caller-owned `out` (cleared on entry).
+    ///
+    /// All per-cycle working state (request/grant sets, stage bitvecs, the
+    /// allocator's scratch) is owned and reused, so a steady-state call
+    /// performs zero heap allocations.
+    pub fn step_into(&mut self, _now: Cycle, out: &mut RouterOutput) {
+        out.clear();
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         let total_vcs = ports * vcs;
@@ -145,15 +200,32 @@ impl Router {
         let five_stage = self.cfg.pipeline == PipelineKind::FiveStage;
         let speculation = self.cfg.speculative_sa && !five_stage;
 
+        let Self {
+            cfg,
+            env,
+            allocator,
+            inputs,
+            outputs,
+            va_pointer,
+            activity,
+            requests,
+            grants,
+            traversed,
+            rc_this_cycle,
+            bound_this_cycle,
+            va_failed_this_cycle,
+            ..
+        } = self;
+
         // ---- Route computation stage (five-stage pipeline only): a head
         // flit reaching the front of its VC spends one cycle in RC before
         // becoming a VA candidate. Three-stage routers skip this — the
         // route arrived with the flit (lookahead).
-        let mut rc_this_cycle = vec![false; total_vcs];
+        rc_this_cycle.fill(false);
         if five_stage {
             for p in 0..ports {
                 for v in 0..vcs {
-                    let vc = self.inputs[p].vc_mut(VcId(v));
+                    let vc = inputs[p].vc_mut(VcId(v));
                     if vc.needs_va() && !vc.rc_done() {
                         vc.mark_rc_done();
                         rc_this_cycle[p * vcs + v] = true;
@@ -163,61 +235,61 @@ impl Router {
         }
 
         // ---- VC allocation (with speculative SA run in the same cycle).
-        let mut bound_this_cycle = vec![false; total_vcs];
-        let mut va_failed_this_cycle = vec![false; total_vcs];
+        bound_this_cycle.fill(false);
+        va_failed_this_cycle.fill(false);
         for k in 0..total_vcs {
-            let flat = (self.va_pointer + k) % total_vcs;
+            let flat = (*va_pointer + k) % total_vcs;
             let (p, v) = (flat / vcs, flat % vcs);
-            if !self.inputs[p].vc(VcId(v)).needs_va() {
+            if !inputs[p].vc(VcId(v)).needs_va() {
                 continue;
             }
             if five_stage && rc_this_cycle[flat] {
                 continue; // RC occupied this cycle; VA starts next cycle
             }
-            self.activity.va_arbitrations += 1;
-            let head = *self.inputs[p].vc(VcId(v)).head().expect("needs_va implies a head");
-            let out = head.out_port;
-            let output = &mut self.outputs[out.0];
+            activity.va_arbitrations += 1;
+            let head = *inputs[p].vc(VcId(v)).head().expect("needs_va implies a head");
+            let out_port = head.out_port;
+            let output = &mut outputs[out_port.0];
             if output.is_sink() {
                 // Ejection: no downstream VC contention to track.
-                self.inputs[p].vc_mut(VcId(v)).bind_out_vc(VcId(0));
+                inputs[p].vc_mut(VcId(v)).bind_out_vc(VcId(0));
                 bound_this_cycle[flat] = true;
                 continue;
             }
-            let policy = if self.cfg.dimension_aware_va && partition.groups() > 1 {
+            let policy = if cfg.dimension_aware_va && partition.groups() > 1 {
                 VcAllocPolicy::DimensionAware
             } else {
                 VcAllocPolicy::MaxCredits
             };
-            let dim = self.env.port_dims[head.lookahead_port.0];
+            let dim = env.port_dims[head.lookahead_port.0];
             match select_output_vc(policy, output, &partition, dim) {
                 Some(w) => {
                     output.allocate(w);
-                    self.inputs[p].vc_mut(VcId(v)).bind_out_vc(w);
+                    inputs[p].vc_mut(VcId(v)).bind_out_vc(w);
                     bound_this_cycle[flat] = true;
                 }
                 None => va_failed_this_cycle[flat] = true,
             }
         }
-        self.va_pointer = (self.va_pointer + 1) % total_vcs;
+        *va_pointer = (*va_pointer + 1) % total_vcs;
 
         // ---- Build the switch-allocation request set.
-        let mut requests = RequestSet::new(ports, vcs);
-        for p in 0..ports {
+        requests.clear();
+        for (p, input) in inputs.iter().enumerate() {
             for v in 0..vcs {
                 let flat = p * vcs + v;
-                let vc = self.inputs[p].vc(VcId(v));
+                let vc = input.vc(VcId(v));
                 let Some(head) = vc.head() else { continue };
-                let out = head.out_port;
+                let out_port = head.out_port;
                 match vc.out_vc() {
                     Some(w) if !bound_this_cycle[flat] => {
                         // Established packet: request only when a credit
                         // guarantees the traversal.
-                        if self.outputs[out.0].can_send(w) {
+                        if outputs[out_port.0].can_send(w) {
                             requests.push(SwitchRequest {
                                 port: PortId(p),
                                 vc: VcId(v),
-                                out_port: out,
+                                out_port,
                                 speculative: false,
                                 age: vc.hol_wait(),
                             });
@@ -233,7 +305,7 @@ impl Router {
                             requests.push(SwitchRequest {
                                 port: PortId(p),
                                 vc: VcId(v),
-                                out_port: out,
+                                out_port,
                                 speculative: true,
                                 age: vc.hol_wait(),
                             });
@@ -244,51 +316,49 @@ impl Router {
         }
 
         // ---- Switch allocation.
-        self.activity.sa_arbitrations += requests.len() as u64;
-        let grants = self.allocator.allocate(&requests);
+        activity.sa_arbitrations += requests.len() as u64;
+        allocator.allocate_into(requests, grants);
         debug_assert!(
-            grants.validate_against(&requests, &partition).is_ok(),
+            grants.validate_against(requests, &partition).is_ok(),
             "allocator produced conflicting grants"
         );
 
         // ---- Switch traversal.
-        let mut out = RouterOutput::default();
-        let mut traversed = GrantSet::new();
-        for g in &grants {
-            let vc = self.inputs[g.port.0].vc(g.vc);
+        traversed.clear();
+        for g in grants.iter() {
+            let vc = inputs[g.port.0].vc(g.vc);
             let Some(w) = vc.out_vc() else { continue }; // failed speculation
-            if !self.outputs[g.out_port.0].can_send(w) {
+            if !outputs[g.out_port.0].can_send(w) {
                 continue; // speculative grant without a credit
             }
-            let mut flit = self.inputs[g.port.0].vc_mut(g.vc).pop();
+            let mut flit = inputs[g.port.0].vc_mut(g.vc).pop();
             flit.out_vc = Some(w);
-            let output_port = &mut self.outputs[g.out_port.0];
+            let output_port = &mut outputs[g.out_port.0];
             output_port.consume_credit(w);
             if flit.is_tail() {
                 output_port.release(w);
             }
-            self.activity.buffer_reads += 1;
-            self.activity.crossbar_traversals += 1;
+            activity.buffer_reads += 1;
+            activity.crossbar_traversals += 1;
             if output_port.is_sink() {
-                self.activity.ejections += 1;
-                self.activity.bits_delivered += self.cfg.flit_width_bits as u64;
+                activity.ejections += 1;
+                activity.bits_delivered += cfg.flit_width_bits as u64;
             } else {
-                self.activity.link_traversals += 1;
+                activity.link_traversals += 1;
             }
             out.credits.push((g.port, g.vc));
             out.flits.push((g.out_port, flit));
             traversed.add(*g);
         }
-        self.allocator.observe_traversals(&traversed);
+        allocator.observe_traversals(traversed);
         // Age the head-of-line flits that did not move this cycle (pop
         // reset the winners' counters above).
-        for input in &mut self.inputs {
+        for input in inputs.iter_mut() {
             for v in 0..vcs {
                 input.vc_mut(VcId(v)).age_hol();
             }
         }
-        self.activity.cycles += 1;
-        out
+        activity.cycles += 1;
     }
 }
 

@@ -47,14 +47,13 @@ pub fn select_output_vc(
     partition: &VixPartition,
     downstream_dim: usize,
 ) -> Option<VcId> {
-    let free: Vec<VcId> =
-        output.iter().filter(|(_, s)| !s.is_allocated()).map(|(vc, _)| vc).collect();
-    if free.is_empty() {
-        return None;
-    }
+    // Iterate the free VCs directly — no intermediate Vec. The winner is
+    // identical because keys are unique (lowest-index tie-break via
+    // `Reverse(vc.0)`), so `max_by_key` order-independence holds.
+    let free = output.iter().filter(|(_, s)| !s.is_allocated()).map(|(vc, _)| vc);
     match policy {
         VcAllocPolicy::MaxCredits => {
-            free.into_iter().max_by_key(|&vc| (output.vc(vc).credits(), std::cmp::Reverse(vc.0)))
+            free.max_by_key(|&vc| (output.vc(vc).credits(), std::cmp::Reverse(vc.0)))
         }
         VcAllocPolicy::DimensionAware => {
             let preferred = preferred_group(downstream_dim, partition.groups());
@@ -65,7 +64,7 @@ pub fn select_output_vc(
                     .filter(|&vc| output.vc(vc).is_allocated())
                     .count()
             };
-            free.into_iter().max_by_key(|&vc| {
+            free.max_by_key(|&vc| {
                 let group = partition.group_of(vc).0;
                 let in_preferred = preferred == Some(group);
                 // Rank: preferred sub-group first, then lightest-loaded

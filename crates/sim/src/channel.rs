@@ -52,12 +52,30 @@ impl<T> Pipe<T> {
         self.queue.push_back((deliver, item));
     }
 
+    /// Removes and returns the next item due at or before cycle `now`, if
+    /// any. Loop with `while let Some(..) = pipe.pop_ready(now)` to drain
+    /// without allocating.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.queue.front().is_some_and(|(t, _)| *t <= now.0) {
+            Some(self.queue.pop_front().expect("front checked").1)
+        } else {
+            None
+        }
+    }
+
+    /// True when at least one item is due at or before cycle `now`.
+    #[must_use]
+    pub fn has_ready(&self, now: Cycle) -> bool {
+        self.queue.front().is_some_and(|(t, _)| *t <= now.0)
+    }
+
     /// Removes and returns every item due at or before cycle `now`, in
-    /// arrival order.
+    /// arrival order. Allocates a fresh `Vec`; hot paths should prefer
+    /// [`Pipe::pop_ready`].
     pub fn drain_ready(&mut self, now: Cycle) -> Vec<T> {
         let mut out = Vec::new();
-        while self.queue.front().is_some_and(|(t, _)| *t <= now.0) {
-            out.push(self.queue.pop_front().expect("front checked").1);
+        while let Some(item) = self.pop_ready(now) {
+            out.push(item);
         }
         out
     }

@@ -75,6 +75,10 @@ pub struct NetworkSim {
     next_packet: u64,
     stats: NetworkStats,
     ejected: Vec<EjectedPacket>,
+    /// Reused router-output buffer: [`vix_router::Router::step_into`]
+    /// writes each router's flits and credits here every cycle, so the
+    /// steady-state network step performs no heap allocation.
+    step_out: vix_router::RouterOutput,
 }
 
 impl NetworkSim {
@@ -181,6 +185,7 @@ impl NetworkSim {
             next_packet: 0,
             stats,
             ejected: Vec::new(),
+            step_out: vix_router::RouterOutput::default(),
         })
     }
 
@@ -279,22 +284,25 @@ impl NetworkSim {
             let node = NodeId(n);
             let router = self.topology.router_of(node);
             let port = self.topology.local_port_of(node);
-            for flit in self.inject_pipes[n].drain_ready(now) {
+            while let Some(flit) = self.inject_pipes[n].pop_ready(now) {
                 self.routers[router.0].accept_flit(port, flit);
             }
         }
         for r in 0..self.routers.len() {
             for p in 0..self.topology.radix() {
                 let Some(pipe) = self.flit_pipes[r][p].as_mut() else { continue };
-                let arrivals = pipe.drain_ready(now);
-                if arrivals.is_empty() {
+                if !pipe.has_ready(now) {
                     continue;
                 }
                 let (down, down_port) = self
                     .topology
                     .neighbor(RouterId(r), PortId(p))
                     .expect("flit pipe exists only on connected ports");
-                for flit in arrivals {
+                while let Some(flit) = self.flit_pipes[r][p]
+                    .as_mut()
+                    .expect("checked above")
+                    .pop_ready(now)
+                {
                     self.routers[down.0].accept_flit(down_port, flit);
                 }
             }
@@ -303,18 +311,17 @@ impl NetworkSim {
         // 4. Deliver credits due this cycle.
         for r in 0..self.routers.len() {
             for p in 0..self.topology.radix() {
-                let credits = self.credit_pipes[r][p].drain_ready(now);
-                if credits.is_empty() {
+                if !self.credit_pipes[r][p].has_ready(now) {
                     continue;
                 }
                 match self.credit_dests[r][p] {
                     CreditDest::Upstream(ur, up) => {
-                        for vc in credits {
+                        while let Some(vc) = self.credit_pipes[r][p].pop_ready(now) {
                             self.routers[ur.0].credit_return(up, vc);
                         }
                     }
                     CreditDest::Source(node) => {
-                        for vc in credits {
+                        while let Some(vc) = self.credit_pipes[r][p].pop_ready(now) {
                             self.sources[node.0].credit_return(vc);
                         }
                     }
@@ -325,10 +332,12 @@ impl NetworkSim {
             }
         }
 
-        // 5. Clock every router; fan out its flits and credits.
+        // 5. Clock every router; fan out its flits and credits. One
+        // RouterOutput is reused across every router and every cycle.
+        let mut out = std::mem::take(&mut self.step_out);
         for r in 0..self.routers.len() {
-            let out = self.routers[r].step(now);
-            for (p, mut flit) in out.flits {
+            self.routers[r].step_into(now, &mut out);
+            for (p, mut flit) in out.flits.drain(..) {
                 if self.topology.is_local_port(p) {
                     debug_assert_eq!(
                         self.topology.node_at(RouterId(r), p),
@@ -360,10 +369,11 @@ impl NetworkSim {
                         .push(now, flit);
                 }
             }
-            for (p, vc) in out.credits {
+            for (p, vc) in out.credits.drain(..) {
                 self.credit_pipes[r][p.0].push(now, vc);
             }
         }
+        self.step_out = out;
 
         self.now = now.plus(1);
     }

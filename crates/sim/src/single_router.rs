@@ -8,7 +8,7 @@
 use vix_rng::rngs::StdRng;
 use vix_rng::{Rng, SeedableRng};
 use vix_alloc::SwitchAllocator;
-use vix_core::{PortId, RequestSet, VcId};
+use vix_core::{GrantSet, PortId, RequestSet, VcId};
 
 /// Result of one harness run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,14 +66,18 @@ impl SingleRouterHarness {
     /// Runs `cycles` saturated cycles and returns the flit count.
     pub fn run(&mut self, cycles: u64) -> SingleRouterResult {
         let mut flits = 0;
+        // Request and grant buffers are reused across all cycles — the
+        // saturated loop is allocation-free after the first iteration.
+        let mut requests = RequestSet::new(self.ports, self.vcs);
+        let mut grants = GrantSet::new();
         for _ in 0..cycles {
-            let mut requests = RequestSet::new(self.ports, self.vcs);
+            requests.clear();
             for p in 0..self.ports {
                 for v in 0..self.vcs {
                     requests.request(PortId(p), VcId(v), self.hol[p * self.vcs + v]);
                 }
             }
-            let grants = self.allocator.allocate(&requests);
+            self.allocator.allocate_into(&requests, &mut grants);
             debug_assert!(
                 grants.validate_against(&requests, self.allocator.partition()).is_ok(),
                 "allocator produced conflicting grants"

@@ -18,6 +18,10 @@ pub struct NetworkStats {
     latency_max: u64,
     /// Every measured packet latency, for percentile queries.
     latencies: Vec<u64>,
+    /// Lazily-filled working copy of `latencies` for percentile selection,
+    /// so queries never clone the full latency vector. Invisible to
+    /// equality and cleared by clone — a pure cache.
+    percentile_cache: PercentileCache,
     packets_counted: u64,
     flits_ejected: u64,
     packets_ejected: u64,
@@ -38,6 +42,7 @@ impl NetworkStats {
             latency_sum: 0,
             latency_max: 0,
             latencies: Vec::new(),
+            percentile_cache: PercentileCache::default(),
             packets_counted: 0,
             flits_ejected: 0,
             packets_ejected: 0,
@@ -118,10 +123,16 @@ impl NetworkStats {
         if self.latencies.is_empty() {
             return None;
         }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
-        Some(sorted[rank - 1])
+        let mut cache = self.percentile_cache.0.borrow_mut();
+        // Refill only when new latencies arrived since the last query
+        // (`latencies` is append-only, so a length check suffices).
+        if cache.len() != self.latencies.len() {
+            cache.clear();
+            cache.extend_from_slice(&self.latencies);
+        }
+        let rank = ((p / 100.0 * cache.len() as f64).ceil() as usize).max(1);
+        let (_, &mut value, _) = cache.select_nth_unstable(rank - 1);
+        Some(value)
     }
 
     /// Median packet latency (`None` for an idle window).
@@ -210,6 +221,26 @@ impl NetworkStats {
     #[must_use]
     pub fn packet_len(&self) -> usize {
         self.packet_len
+    }
+}
+
+/// Interior-mutable scratch buffer behind [`NetworkStats::latency_percentile`].
+///
+/// Deliberately invisible to the derived `PartialEq`/`Clone` of
+/// [`NetworkStats`]: two stats differing only in cache state compare equal,
+/// and a clone starts with an empty cache (refilled on first query).
+#[derive(Debug, Default)]
+struct PercentileCache(std::cell::RefCell<Vec<u64>>);
+
+impl Clone for PercentileCache {
+    fn clone(&self) -> Self {
+        PercentileCache::default()
+    }
+}
+
+impl PartialEq for PercentileCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
     }
 }
 

@@ -46,7 +46,7 @@ impl CMesh {
             nodes,
             requirement: "concentrated mesh requires 4 x a perfect square >= 4",
         };
-        if nodes % CONCENTRATION != 0 {
+        if !nodes.is_multiple_of(CONCENTRATION) {
             return Err(err);
         }
         let routers = nodes / CONCENTRATION;

@@ -39,7 +39,7 @@ impl FlattenedButterfly {
             nodes,
             requirement: "flattened butterfly requires 4 x a perfect square >= 4",
         };
-        if nodes % CONCENTRATION != 0 {
+        if !nodes.is_multiple_of(CONCENTRATION) {
             return Err(err);
         }
         let routers = nodes / CONCENTRATION;

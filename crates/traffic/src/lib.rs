@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn uniform_never_self_addresses_and_covers_all() {
         let mut r = rng();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..2000 {
             let d = TrafficPattern::UniformRandom.pick_dest(NodeId(5), 16, &mut r);
             assert_ne!(d, NodeId(5));
@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn uniform_is_roughly_uniform() {
         let mut r = rng();
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         let trials = 30_000;
         for _ in 0..trials {
             counts[TrafficPattern::UniformRandom.pick_dest(NodeId(0), 16, &mut r).0] += 1;

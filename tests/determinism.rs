@@ -69,6 +69,89 @@ fn parallel_sweeps_match_serial_point_for_point() {
     }
 }
 
+/// FNV-1a over a stream of `u64` words. Hand-rolled because the golden
+/// constants below must survive Rust upgrades, and `DefaultHasher`'s
+/// output is explicitly not guaranteed stable across releases.
+fn fnv1a(h: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Drives one allocator for 500 cycles of pseudo-random request traffic
+/// (speculative bits, ages, and packet-chaining feedback included) and
+/// hashes the full grant trace: cycle number plus every granted
+/// `(port, vc, out_port)` triple in emission order.
+fn grant_trace_hash(kind: vix::AllocatorKind) -> u64 {
+    use vix::alloc::build_allocator;
+    use vix::core::{
+        AllocatorKind, PortId, RequestSet, RouterConfig, SwitchRequest, VcId, VirtualInputs,
+    };
+    use vix_rng::{rngs::StdRng, Rng, SeedableRng};
+
+    const PORTS: usize = 5;
+    const VCS: usize = 6;
+    let mut router = RouterConfig::paper_default(PORTS);
+    if matches!(kind, AllocatorKind::Vix | AllocatorKind::WavefrontVix) {
+        router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
+    }
+    let mut alloc = build_allocator(kind, &router);
+    let mut rng = StdRng::seed_from_u64(0x51C4_B0A7);
+    let mut requests = RequestSet::new(PORTS, VCS);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for cycle in 0..500u64 {
+        requests.clear();
+        for port in 0..PORTS {
+            for vc in 0..VCS {
+                if rng.gen_range(0..100_u64) < 55 {
+                    requests.push(SwitchRequest {
+                        port: PortId(port),
+                        vc: VcId(vc),
+                        out_port: PortId(rng.gen_range(0..PORTS)),
+                        speculative: rng.gen_range(0..4_u64) == 0,
+                        age: rng.gen_range(0..16_u64),
+                    });
+                }
+            }
+        }
+        let grants = alloc.allocate(&requests);
+        grants.validate_against(&requests, alloc.partition()).expect("grants must be legal");
+        fnv1a(&mut h, cycle);
+        for g in grants.iter() {
+            fnv1a(&mut h, g.port.0 as u64);
+            fnv1a(&mut h, g.vc.0 as u64);
+            fnv1a(&mut h, g.out_port.0 as u64);
+        }
+        alloc.observe_traversals(&grants);
+    }
+    h
+}
+
+/// Golden grant traces recorded from the pre-refactor allocators (the
+/// `allocate(&RequestSet) -> GrantSet` era). The buffer-reuse refactor —
+/// `allocate_into` plus owned scratch — must reproduce every trace
+/// bit-for-bit; a mismatch here means allocator *behaviour* changed, not
+/// just its memory profile.
+#[test]
+fn grant_traces_match_goldens() {
+    use vix::AllocatorKind;
+    let goldens: &[(AllocatorKind, u64)] = &[
+        (AllocatorKind::InputFirst, 0x2D7B_8B20_18DD_3E10),
+        (AllocatorKind::OutputFirst, 0x8B40_4CBC_BCF9_F828),
+        (AllocatorKind::Wavefront, 0x0AB1_07F0_3969_6126),
+        (AllocatorKind::AugmentingPath, 0xDFE1_36EF_FB69_7997),
+        (AllocatorKind::Vix, 0x5964_013F_FFC2_7D9B),
+        (AllocatorKind::WavefrontVix, 0x330B_6E69_AF93_401D),
+        (AllocatorKind::PacketChaining, 0x78FA_F35F_1509_8A3B),
+        (AllocatorKind::Islip(2), 0xA2C7_4231_3DFD_01A2),
+    ];
+    for &(kind, expected) in goldens {
+        let got = grant_trace_hash(kind);
+        assert_eq!(got, expected, "{kind:?}: grant trace diverged from recorded golden");
+    }
+}
+
 #[test]
 fn single_router_harness_is_deterministic() {
     use vix::alloc::build_allocator;

@@ -1,0 +1,82 @@
+//! Allocation-regression gate for the steady-state hot path.
+//!
+//! A counting `GlobalAlloc` wraps the system allocator; after a warmup
+//! phase that grows every reusable buffer (router request/grant sets,
+//! allocator scratch, link pipes, source queues) to its steady-state size,
+//! clocking the network must stay off the heap. The gate is deliberately
+//! loose (`< nodes` allocations over 1,000 cycles) so that rare amortised
+//! growth — e.g. the ejection log doubling — cannot flake the test, while
+//! a per-cycle or per-router allocation (≥ 1,000) fails it by orders of
+//! magnitude.
+//!
+//! This lives in its own integration-test binary because the
+//! `#[global_allocator]` attribute is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vix::prelude::*;
+
+/// System allocator wrapper that counts every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_in_steady_state(kind: AllocatorKind) -> u64 {
+    const NODES: usize = 64; // 8×8 mesh
+    const WARMUP_CYCLES: usize = 500;
+    const MEASURED_CYCLES: usize = 1_000;
+
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, kind);
+    network.nodes = NODES;
+    // Keep the whole run inside the sim's warmup window: traffic flows the
+    // entire time and the measurement stats never record (their latency
+    // log grows unboundedly by design — it is not part of the hot path).
+    let cfg = SimConfig::new(network, 0.08)
+        .with_windows((WARMUP_CYCLES + MEASURED_CYCLES + 1) as u64, 1, 1);
+    let mut sim = NetworkSim::build(cfg).expect("valid config");
+
+    // Warmup: every reusable buffer reaches its steady-state capacity.
+    for _ in 0..WARMUP_CYCLES {
+        sim.step();
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED_CYCLES {
+        sim.step();
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    drop(sim);
+    after - before
+}
+
+#[test]
+fn steady_state_network_steps_stay_off_the_heap() {
+    for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
+        let allocs = allocations_in_steady_state(kind);
+        assert!(
+            allocs < 64,
+            "{kind:?}: {allocs} heap allocations in 1,000 steady-state cycles \
+             of an 8×8 mesh (gate: < 64)"
+        );
+    }
+}
