@@ -145,6 +145,15 @@ impl SwitchAllocator for PacketChainingAllocator {
             self.held[g.out_port.0] = Some(g.port);
         }
     }
+
+    fn note_idle_cycles(&mut self, n: u64) {
+        // The first empty cycle breaks every chain (no VC of the held input
+        // requests the held output, and the empty traversal feedback clears
+        // the history); further empty cycles are no-ops. The arbiters and
+        // the inner separable allocator do not move without grants.
+        debug_assert!(n > 0);
+        self.held.iter_mut().for_each(|h| *h = None);
+    }
 }
 
 #[cfg(test)]

@@ -168,6 +168,22 @@ pub trait SwitchAllocator: std::fmt::Debug {
     /// failed speculation). Stateful allocators — packet chaining — use it;
     /// the default is a no-op.
     fn observe_traversals(&mut self, _traversed: &GrantSet) {}
+
+    /// Fast-forwards the allocator over `n` cycles in which it would have
+    /// been called with an **empty** request set (followed by an empty
+    /// [`observe_traversals`](SwitchAllocator::observe_traversals)).
+    ///
+    /// The activity-gated scheduler skips a router's cycle entirely when it
+    /// is quiescent; this hook keeps allocators whose internal state
+    /// advances even on empty cycles bit-identical with the ungated
+    /// schedule. The contract: after `note_idle_cycles(n)` the allocator
+    /// must be in exactly the state `n` empty `allocate_into` + empty
+    /// `observe_traversals` calls would have left it in. Allocators whose
+    /// state only moves on grants (separable IF/VIX, output-first, iSLIP)
+    /// keep the default no-op; rotating-offset allocators (wavefront,
+    /// augmenting-path) advance their offsets, and packet chaining drops
+    /// its held connections.
+    fn note_idle_cycles(&mut self, _n: u64) {}
 }
 
 /// Builds the allocator named by `kind` for a router described by `router`.
@@ -250,5 +266,67 @@ mod tests {
         let router = RouterConfig::paper_default(5).with_virtual_inputs(VirtualInputs::Ideal);
         let alloc = build_ideal_allocator(&router);
         assert_eq!(alloc.partition().groups(), 6);
+    }
+
+    /// `note_idle_cycles(n)` must be indistinguishable from `n` empty
+    /// `allocate_into` + empty `observe_traversals` calls — the contract
+    /// the activity-gated scheduler relies on for bit-identical skipping.
+    #[test]
+    fn note_idle_cycles_matches_empty_allocations() {
+        use vix_core::{Grant, PortId, VcId};
+
+        let kinds = [
+            AllocatorKind::InputFirst,
+            AllocatorKind::OutputFirst,
+            AllocatorKind::Wavefront,
+            AllocatorKind::AugmentingPath,
+            AllocatorKind::Vix,
+            AllocatorKind::WavefrontVix,
+            AllocatorKind::PacketChaining,
+            AllocatorKind::Islip(2),
+        ];
+        for kind in kinds {
+            let mut router = RouterConfig::paper_default(5);
+            if matches!(kind, AllocatorKind::Vix | AllocatorKind::WavefrontVix) {
+                router = router.with_virtual_inputs(VirtualInputs::PerPort(2));
+            }
+            let mut stepped = build_allocator(kind, &router);
+            let mut skipped = build_allocator(kind, &router);
+            let empty = RequestSet::new(5, 6);
+            let mut busy = RequestSet::new(5, 6);
+            // Dense enough to exercise held chains, rotating offsets, and
+            // arbiter pointers before and after each idle gap.
+            for p in 0..5 {
+                for v in 0..6 {
+                    busy.request(PortId(p), VcId(v), PortId((p + v) % 5));
+                }
+            }
+            let mut g = GrantSet::new();
+            for idle in [1u64, 3, 7, 23] {
+                // Desynchronise any lazily-initialised state, then idle.
+                for alloc in [&mut stepped, &mut skipped] {
+                    alloc.allocate_into(&busy, &mut g);
+                    alloc.observe_traversals(&g);
+                }
+                for _ in 0..idle {
+                    stepped.allocate_into(&empty, &mut g);
+                    assert!(g.is_empty(), "{kind:?}: empty requests granted something");
+                    stepped.observe_traversals(&g);
+                }
+                skipped.note_idle_cycles(idle);
+                // Both must now produce the same grants on real traffic.
+                let mut a = GrantSet::new();
+                let mut b = GrantSet::new();
+                stepped.allocate_into(&busy, &mut a);
+                skipped.allocate_into(&busy, &mut b);
+                assert_eq!(
+                    a.iter().copied().collect::<Vec<Grant>>(),
+                    b.iter().copied().collect::<Vec<Grant>>(),
+                    "{kind:?}: {idle} idle cycles diverged from note_idle_cycles"
+                );
+                stepped.observe_traversals(&a);
+                skipped.observe_traversals(&b);
+            }
+        }
     }
 }

@@ -137,6 +137,14 @@ impl SwitchAllocator for MaxMatchingAllocator {
             "AP"
         }
     }
+
+    fn note_idle_cycles(&mut self, n: u64) {
+        // An empty allocate_into produces an empty matching (no arbiter
+        // commits) but still rotates the scan-start offset; replay just the
+        // rotations.
+        let units = self.cfg.ports * self.cfg.partition.groups();
+        self.offset = (self.offset + (n % units as u64) as usize) % units;
+    }
 }
 
 #[cfg(test)]

@@ -147,6 +147,13 @@ impl SwitchAllocator for WavefrontAllocator {
             "WF"
         }
     }
+
+    fn note_idle_cycles(&mut self, n: u64) {
+        // An empty allocate_into touches nothing but the rotating priority
+        // diagonal (the VC selectors only commit on a grant), so n empty
+        // cycles are exactly n offset rotations.
+        self.offset = (self.offset + (n % self.cfg.ports as u64) as usize) % self.cfg.ports;
+    }
 }
 
 #[cfg(test)]

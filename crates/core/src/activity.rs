@@ -38,6 +38,16 @@ impl ActivityCounters {
     }
 
     /// Element-wise accumulation (e.g. summing per-router counters).
+    ///
+    /// `cycles` is *maxed*, not summed: per-router counters from one run
+    /// share a timebase, so the aggregate's `routers × cycles` (the clock
+    /// and leakage term in `vix-power`) counts every router for the full
+    /// run exactly once. This requires each input to report wall-clock
+    /// cycles — an activity-gated simulation must credit back the cycles
+    /// it skipped for a quiescent router (the network sim does this at
+    /// reporting time), or idle leakage would be under-counted while
+    /// `routers` still summed to the full network. Pinned end-to-end by
+    /// the energy-parity test in `tests/gating_parity.rs`.
     pub fn merge(&mut self, other: &ActivityCounters) {
         self.cycles = self.cycles.max(other.cycles);
         self.routers += other.routers;
@@ -64,6 +74,22 @@ mod tests {
         assert_eq!(a.cycles, 100);
         assert_eq!(a.buffer_writes, 12);
         assert_eq!(a.link_traversals, 3);
+    }
+
+    #[test]
+    fn aggregate_router_cycles_product_counts_each_router_once() {
+        // The power model's static term is `routers × cycles` of the
+        // aggregate. Merging N per-router counters that share a timebase
+        // must make that product equal the sum of the per-router products
+        // — no double-count from summing cycles, no idle leakage lost.
+        let per_router = ActivityCounters { cycles: 1_000, routers: 1, ..Default::default() };
+        let mut total = ActivityCounters::new();
+        for _ in 0..16 {
+            total.merge(&per_router);
+        }
+        assert_eq!(total.routers, 16);
+        assert_eq!(total.cycles, 1_000);
+        assert_eq!(total.routers * total.cycles, 16 * per_router.routers * per_router.cycles);
     }
 
     #[test]

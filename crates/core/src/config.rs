@@ -371,6 +371,15 @@ pub struct SimConfig {
     /// is bit-identical for every `jobs` value. A single simulation run
     /// is always sequential — `jobs` only fans out *independent* runs.
     pub jobs: usize,
+    /// Whether the network simulator skips quiescent routers and idle
+    /// channel pipes (activity-gated scheduling, on by default).
+    ///
+    /// Gating is a pure scheduling optimisation: it only elides work whose
+    /// result is provably a no-op, so statistics, activity counters, and
+    /// grant traces are bit-identical with gating on or off (enforced by
+    /// `tests/gating_parity.rs`). Turn it off only to measure its own
+    /// speedup or to debug the scheduler.
+    pub activity_gating: bool,
 }
 
 impl SimConfig {
@@ -387,6 +396,7 @@ impl SimConfig {
             drain: 10_000,
             seed: 0xC0FFEE,
             jobs: 1,
+            activity_gating: true,
         }
     }
 
@@ -428,6 +438,24 @@ impl SimConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables activity-gated scheduling (default: enabled).
+    /// Results are bit-identical either way; disable only to measure the
+    /// gating speedup itself or to debug the scheduler.
+    ///
+    /// ```
+    /// use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+    ///
+    /// let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    /// let cfg = SimConfig::new(net, 0.05);
+    /// assert!(cfg.activity_gating, "gating is on by default");
+    /// assert!(!cfg.with_activity_gating(false).activity_gating);
+    /// ```
+    #[must_use]
+    pub fn with_activity_gating(mut self, on: bool) -> Self {
+        self.activity_gating = on;
         self
     }
 
@@ -530,6 +558,16 @@ mod tests {
         assert_eq!(cfg.with_jobs(0).jobs, 0);
         assert_eq!(cfg.with_jobs(4).jobs, 4);
         cfg.with_jobs(0).validate().unwrap();
+    }
+
+    #[test]
+    fn activity_gating_default_on_and_builder() {
+        let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::InputFirst);
+        let cfg = SimConfig::new(net, 0.05);
+        assert!(cfg.activity_gating, "gating must default on");
+        assert!(!cfg.with_activity_gating(false).activity_gating);
+        assert!(cfg.with_activity_gating(false).with_activity_gating(true).activity_gating);
+        cfg.with_activity_gating(false).validate().unwrap();
     }
 
     #[test]

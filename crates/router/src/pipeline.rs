@@ -49,6 +49,10 @@ pub struct Router {
     outputs: Vec<OutputPort>,
     /// Rotating start index for VC-allocation fairness.
     va_pointer: usize,
+    /// Flits currently buffered across all input VCs — maintained
+    /// incrementally so [`Router::is_quiescent`] is O(1) on the network
+    /// scheduler's hot path.
+    buffered: usize,
     activity: ActivityCounters,
     /// Per-cycle buffers below are owned by the router and reused by every
     /// [`Router::step_into`] call: cleared, refilled, never reallocated in
@@ -100,6 +104,7 @@ impl Router {
             inputs,
             outputs,
             va_pointer: 0,
+            buffered: 0,
             activity,
             requests: RequestSet::new(cfg.ports(), cfg.vcs_per_port()),
             grants: GrantSet::new(),
@@ -150,7 +155,39 @@ impl Router {
     /// True when no flit is buffered anywhere in the router.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inputs.iter().all(|p| p.occupancy() == 0)
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs.iter().map(InputPort::occupancy).sum::<usize>(),
+            "incremental occupancy count out of sync"
+        );
+        self.buffered == 0
+    }
+
+    /// True when stepping this router would be a provable no-op apart from
+    /// the per-cycle bookkeeping that [`Router::note_idle_cycles`] can
+    /// replay: every input VC FIFO is empty, so no RC/VA candidate, no
+    /// switch request, and no traversal can arise. Output-side state —
+    /// mid-packet VC bindings and outstanding downstream credits — is
+    /// never read or written by an empty cycle, so it is irrelevant here;
+    /// the events that change it (flit or credit delivery) re-activate the
+    /// router in the network scheduler.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.is_empty()
+    }
+
+    /// Fast-forwards the router over `n` skipped quiescent cycles, leaving
+    /// it in exactly the state `n` empty [`Router::step_into`] calls would
+    /// have produced: the VA fairness pointer rotates, the cycle counter
+    /// advances, and the allocator replays its own empty-cycle drift via
+    /// [`vix_alloc::SwitchAllocator::note_idle_cycles`]. Everything else an
+    /// empty step touches (request/grant scratch, stage bitvecs) is
+    /// rebuilt from scratch at the start of the next real step.
+    pub fn note_idle_cycles(&mut self, n: u64) {
+        let total_vcs = self.cfg.ports() * self.cfg.vcs_per_port();
+        self.va_pointer = (self.va_pointer + (n % total_vcs as u64) as usize) % total_vcs;
+        self.activity.cycles += n;
+        self.allocator.note_idle_cycles(n);
     }
 
     /// Delivers a flit into input VC `(port, flit.out_vc)` — the VC the
@@ -163,6 +200,7 @@ impl Router {
     pub fn accept_flit(&mut self, port: PortId, flit: Flit) {
         let vc = flit.out_vc.expect("delivered flit must carry its input VC");
         self.inputs[port.0].vc_mut(vc).push(flit, self.cfg.buffer_depth());
+        self.buffered += 1;
         self.activity.buffer_writes += 1;
     }
 
@@ -207,6 +245,7 @@ impl Router {
             inputs,
             outputs,
             va_pointer,
+            buffered,
             activity,
             requests,
             grants,
@@ -332,6 +371,7 @@ impl Router {
                 continue; // speculative grant without a credit
             }
             let mut flit = inputs[g.port.0].vc_mut(g.vc).pop();
+            *buffered -= 1;
             flit.out_vc = Some(w);
             let output_port = &mut outputs[g.out_port.0];
             output_port.consume_credit(w);

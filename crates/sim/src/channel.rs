@@ -69,15 +69,14 @@ impl<T> Pipe<T> {
         self.queue.front().is_some_and(|(t, _)| *t <= now.0)
     }
 
-    /// Removes and returns every item due at or before cycle `now`, in
-    /// arrival order. Allocates a fresh `Vec`; hot paths should prefer
-    /// [`Pipe::pop_ready`].
-    pub fn drain_ready(&mut self, now: Cycle) -> Vec<T> {
-        let mut out = Vec::new();
-        while let Some(item) = self.pop_ready(now) {
-            out.push(item);
-        }
-        out
+    /// Cycle at which the earliest in-flight item becomes deliverable, or
+    /// `None` when nothing is in flight. Pushes are time-ordered, so this
+    /// is the pipe's next event — the activity-gated scheduler aggregates
+    /// it into a per-router earliest-event cycle so idle pipes are never
+    /// polled.
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        self.queue.front().map(|(t, _)| *t)
     }
 }
 
@@ -85,13 +84,23 @@ impl<T> Pipe<T> {
 mod tests {
     use super::*;
 
+    /// Test helper: drains every ready item into a `Vec` via the
+    /// non-allocating [`Pipe::pop_ready`] loop the hot path uses.
+    fn drain<T>(pipe: &mut Pipe<T>, now: Cycle) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = pipe.pop_ready(now) {
+            out.push(item);
+        }
+        out
+    }
+
     #[test]
     fn delivers_after_latency() {
         let mut pipe = Pipe::new(2);
         pipe.push(Cycle(10), "a");
-        assert!(pipe.drain_ready(Cycle(10)).is_empty());
-        assert!(pipe.drain_ready(Cycle(11)).is_empty());
-        assert_eq!(pipe.drain_ready(Cycle(12)), vec!["a"]);
+        assert!(drain(&mut pipe, Cycle(10)).is_empty());
+        assert!(drain(&mut pipe, Cycle(11)).is_empty());
+        assert_eq!(drain(&mut pipe, Cycle(12)), vec!["a"]);
         assert!(pipe.is_empty());
     }
 
@@ -101,8 +110,8 @@ mod tests {
         pipe.push(Cycle(0), 1);
         pipe.push(Cycle(0), 2);
         pipe.push(Cycle(1), 3);
-        assert_eq!(pipe.drain_ready(Cycle(1)), vec![1, 2]);
-        assert_eq!(pipe.drain_ready(Cycle(2)), vec![3]);
+        assert_eq!(drain(&mut pipe, Cycle(1)), vec![1, 2]);
+        assert_eq!(drain(&mut pipe, Cycle(2)), vec![3]);
     }
 
     #[test]
@@ -110,7 +119,20 @@ mod tests {
         let mut pipe = Pipe::new(1);
         pipe.push(Cycle(0), 'x');
         pipe.push(Cycle(5), 'y');
-        assert_eq!(pipe.drain_ready(Cycle(100)), vec!['x', 'y']);
+        assert_eq!(drain(&mut pipe, Cycle(100)), vec!['x', 'y']);
+    }
+
+    #[test]
+    fn next_due_tracks_the_earliest_in_flight_item() {
+        let mut pipe = Pipe::new(3);
+        assert_eq!(pipe.next_due(), None);
+        pipe.push(Cycle(4), 'a');
+        pipe.push(Cycle(6), 'b');
+        assert_eq!(pipe.next_due(), Some(7), "first push due at 4 + 3");
+        assert_eq!(pipe.pop_ready(Cycle(7)), Some('a'));
+        assert_eq!(pipe.next_due(), Some(9));
+        assert_eq!(pipe.pop_ready(Cycle(9)), Some('b'));
+        assert_eq!(pipe.next_due(), None);
     }
 
     #[test]

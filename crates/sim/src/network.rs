@@ -51,6 +51,83 @@ enum CreditDest {
     Unconnected,
 }
 
+/// Size of the wake-calendar ring. Must exceed every pipe latency in the
+/// network (flit links, credit links, and the 1-cycle injection link) so a
+/// slot is always fully drained before an event can be scheduled back into
+/// it.
+const WAKE_RING: usize = 4;
+const _: () = {
+    assert!(WAKE_RING as u64 > FLIT_LATENCY);
+    assert!(WAKE_RING as u64 > CREDIT_LATENCY);
+};
+
+/// A deferred delivery: drain this pipe when its due cycle arrives and wake
+/// the receiving router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeEvent {
+    /// Injection link of node `n` has a flit due.
+    Inject(usize),
+    /// Flit link leaving router `r` through port `p` has flits due.
+    FlitLink(usize, usize),
+    /// Credit link leaving router `r`'s input port `p` has credits due.
+    CreditLink(usize, usize),
+}
+
+/// Bookkeeping for activity-gated scheduling (see DESIGN.md §6c).
+///
+/// The gated [`NetworkSim::step`] touches only *active* routers and pipes
+/// with something due, instead of sweeping every router and every link each
+/// cycle. Correctness contract: a gated run is bit-identical to an ungated
+/// run — skipped cycles are replayed through
+/// [`vix_router::Router::note_idle_cycles`] before a router steps again.
+#[derive(Debug)]
+struct GatingState {
+    /// `calendar[t % WAKE_RING]` — deliveries due at cycle `t`.
+    calendar: [Vec<WakeEvent>; WAKE_RING],
+    /// Routers to step this cycle (sorted ascending before phase 5 so that
+    /// stats accumulation and ejection order match the ungated sweep).
+    work: Vec<usize>,
+    /// Routers pre-activated for the next cycle (retention: a router only
+    /// leaves the active set after a step that begins *and* ends quiescent).
+    pending: Vec<usize>,
+    /// `active_mark[r]` — last cycle router `r` was queued for; dedups
+    /// multiple wakeups in one cycle.
+    active_mark: Vec<u64>,
+    /// `stepped_until[r]` — cycles of router `r`'s history that have been
+    /// executed or replayed; the gap to `now` is replayed lazily via
+    /// `note_idle_cycles` when the router re-activates.
+    stepped_until: Vec<u64>,
+    /// Per-pipe scheduled-stamp dedup: the due cycle already scheduled, so
+    /// multiple same-cycle pushes (e.g. VIX multi-grant credits) enqueue
+    /// one event.
+    inject_sched: Vec<u64>,
+    flit_sched: Vec<Vec<u64>>,
+    credit_sched: Vec<Vec<u64>>,
+    /// Total `Router::step_into` calls over the run (gated and ungated);
+    /// the observable for O(active) scheduling tests.
+    router_steps: u64,
+}
+
+impl GatingState {
+    fn new(nodes: usize, routers: usize, radix: usize) -> Self {
+        // Worst-case slot population: every injection link plus every flit
+        // and credit link delivers on the same cycle. Reserving it up front
+        // keeps the steady-state gated step allocation-free.
+        let slot_cap = nodes + 2 * routers * radix;
+        GatingState {
+            calendar: std::array::from_fn(|_| Vec::with_capacity(slot_cap)),
+            work: Vec::with_capacity(routers),
+            pending: Vec::with_capacity(routers),
+            active_mark: vec![u64::MAX; routers],
+            stepped_until: vec![0; routers],
+            inject_sched: vec![u64::MAX; nodes],
+            flit_sched: vec![vec![u64::MAX; radix]; routers],
+            credit_sched: vec![vec![u64::MAX; radix]; routers],
+            router_steps: 0,
+        }
+    }
+}
+
 /// A cycle-accurate simulation of one network configuration.
 ///
 /// Build with [`NetworkSim::build`], then either call [`NetworkSim::run`]
@@ -79,6 +156,9 @@ pub struct NetworkSim {
     /// writes each router's flits and credits here every cycle, so the
     /// steady-state network step performs no heap allocation.
     step_out: vix_router::RouterOutput,
+    /// Activity-gated scheduling state (used when
+    /// [`SimConfig::activity_gating`] is on).
+    gating: GatingState,
 }
 
 impl NetworkSim {
@@ -169,6 +249,7 @@ impl NetworkSim {
 
         let injector = BernoulliInjector::new(cfg.injection_rate)?;
         let stats = NetworkStats::new(cfg.network.nodes, cfg.measure, cfg.packet_len);
+        let gating = GatingState::new(cfg.network.nodes, topology.routers(), radix);
         Ok(NetworkSim {
             cfg: run_cfg,
             topology,
@@ -186,6 +267,7 @@ impl NetworkSim {
             stats,
             ejected: Vec::new(),
             step_out: vix_router::RouterOutput::default(),
+            gating,
         })
     }
 
@@ -243,7 +325,23 @@ impl NetworkSim {
     }
 
     /// Runs one cycle of the whole network.
+    ///
+    /// With [`SimConfig::activity_gating`] on (the default) the step visits
+    /// only active routers and links with a delivery due; quiescent routers
+    /// are skipped and their idle history replayed on re-activation. The two
+    /// paths are bit-identical — same statistics, same activity counters,
+    /// same ejection order (`tests/gating_parity.rs` holds them side by
+    /// side for every allocator).
     pub fn step(&mut self) {
+        if self.cfg.activity_gating {
+            self.step_gated();
+        } else {
+            self.step_ungated();
+        }
+    }
+
+    /// The ungated reference step: sweeps every node, link, and router.
+    fn step_ungated(&mut self) {
         let now = self.now;
         let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
         let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
@@ -337,6 +435,7 @@ impl NetworkSim {
         let mut out = std::mem::take(&mut self.step_out);
         for r in 0..self.routers.len() {
             self.routers[r].step_into(now, &mut out);
+            self.gating.router_steps += 1;
             for (p, mut flit) in out.flits.drain(..) {
                 if self.topology.is_local_port(p) {
                     debug_assert_eq!(
@@ -378,6 +477,224 @@ impl NetworkSim {
         self.now = now.plus(1);
     }
 
+    /// Marks router `r` active for cycle `at`, queueing it in `queue`
+    /// unless already queued for that cycle.
+    fn activate(
+        active_mark: &mut [u64],
+        queue: &mut Vec<usize>,
+        r: usize,
+        at: u64,
+    ) {
+        if active_mark[r] != at {
+            active_mark[r] = at;
+            queue.push(r);
+        }
+    }
+
+    /// The activity-gated step. Phases 1–2 are identical to the ungated
+    /// path (per-node RNG draws and `try_send` calls must happen every
+    /// cycle for bit-identity; an idle source's `try_send` is a pure
+    /// no-op). Phases 3–4 drain the wake calendar instead of sweeping every
+    /// link, and phase 5 steps only the active routers, in ascending index
+    /// order, replaying each one's skipped quiescent cycles first.
+    fn step_gated(&mut self) {
+        let now = self.now;
+        let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
+        let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
+
+        // 1. Traffic generation — all nodes, every cycle (RNG bit-identity).
+        if now.0 < warm_plus_measure {
+            for n in 0..self.cfg.network.nodes {
+                if self.injector.fires(&mut self.rng) {
+                    let dest = self.pattern.pick_dest(NodeId(n), self.cfg.network.nodes, &mut self.rng);
+                    let packet = PacketDescriptor::new(
+                        PacketId(self.next_packet),
+                        NodeId(n),
+                        dest,
+                        self.cfg.packet_len,
+                        now,
+                    );
+                    self.next_packet += 1;
+                    self.sources[n].enqueue(packet);
+                    if in_window {
+                        self.stats.record_offered(1);
+                    }
+                }
+            }
+        }
+
+        // 2. Sources stream flits toward their routers. A push schedules
+        // the injection link's delivery one cycle out.
+        for n in 0..self.cfg.network.nodes {
+            let topo = self.topology.as_ref();
+            let router = topo.router_of(NodeId(n));
+            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            if let Some(flit) = self.sources[n].try_send(now, resolve) {
+                self.inject_pipes[n].push(now, flit);
+                let due = now.0 + 1;
+                if self.gating.inject_sched[n] != due {
+                    self.gating.inject_sched[n] = due;
+                    self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                        .push(WakeEvent::Inject(n));
+                }
+            }
+        }
+
+        // 3 + 4. Deliver everything due this cycle. Distinct events touch
+        // disjoint state (each pipe feeds one buffer; credits are counter
+        // increments), so calendar order is interchangeable with the
+        // ungated sweep order. Every delivery wakes the receiving router.
+        let slot = (now.0 % WAKE_RING as u64) as usize;
+        let mut events = std::mem::take(&mut self.gating.calendar[slot]);
+        for &ev in &events {
+            match ev {
+                WakeEvent::Inject(n) => {
+                    let node = NodeId(n);
+                    let router = self.topology.router_of(node);
+                    let port = self.topology.local_port_of(node);
+                    while let Some(flit) = self.inject_pipes[n].pop_ready(now) {
+                        self.routers[router.0].accept_flit(port, flit);
+                    }
+                    Self::activate(
+                        &mut self.gating.active_mark,
+                        &mut self.gating.work,
+                        router.0,
+                        now.0,
+                    );
+                }
+                WakeEvent::FlitLink(r, p) => {
+                    let (down, down_port) = self
+                        .topology
+                        .neighbor(RouterId(r), PortId(p))
+                        .expect("flit pipe exists only on connected ports");
+                    while let Some(flit) = self.flit_pipes[r][p]
+                        .as_mut()
+                        .expect("connected port has a pipe")
+                        .pop_ready(now)
+                    {
+                        self.routers[down.0].accept_flit(down_port, flit);
+                    }
+                    Self::activate(
+                        &mut self.gating.active_mark,
+                        &mut self.gating.work,
+                        down.0,
+                        now.0,
+                    );
+                }
+                // Credit deliveries never wake a router: a credit only
+                // increments an output-side counter, and output state is
+                // unread by an empty cycle — a quiescent router has no flit
+                // the credit could release. A non-quiescent receiver is
+                // already in the active set (flit delivery activated it and
+                // retention holds it until it drains), so the credit is
+                // applied before its step either way.
+                WakeEvent::CreditLink(r, p) => match self.credit_dests[r][p] {
+                    CreditDest::Upstream(ur, up) => {
+                        while let Some(vc) = self.credit_pipes[r][p].pop_ready(now) {
+                            self.routers[ur.0].credit_return(up, vc);
+                        }
+                    }
+                    CreditDest::Source(node) => {
+                        while let Some(vc) = self.credit_pipes[r][p].pop_ready(now) {
+                            self.sources[node.0].credit_return(vc);
+                        }
+                    }
+                    CreditDest::Unconnected => {
+                        unreachable!("credit on unconnected port {p} of router {r}")
+                    }
+                },
+            }
+        }
+        events.clear();
+        self.gating.calendar[slot] = events;
+
+        // 5. Step the active routers in ascending index order (stats
+        // accumulation and ejection order must match the ungated sweep).
+        // Skipped quiescent cycles are replayed first; a router leaves the
+        // set only after a step that begins and ends quiescent, so its last
+        // executed cycle before a skip is always a real empty cycle.
+        let mut out = std::mem::take(&mut self.step_out);
+        let mut work = std::mem::take(&mut self.gating.work);
+        work.sort_unstable();
+        for &r in &work {
+            let was_quiescent = self.routers[r].is_quiescent();
+            let gap = now.0 - self.gating.stepped_until[r];
+            if gap > 0 {
+                self.routers[r].note_idle_cycles(gap);
+            }
+            self.routers[r].step_into(now, &mut out);
+            self.gating.router_steps += 1;
+            self.gating.stepped_until[r] = now.0 + 1;
+            for (p, mut flit) in out.flits.drain(..) {
+                if self.topology.is_local_port(p) {
+                    debug_assert_eq!(
+                        self.topology.node_at(RouterId(r), p),
+                        Some(flit.packet.dest),
+                        "flit ejected at the wrong terminal"
+                    );
+                    if in_window {
+                        self.stats.record_ejection(
+                            flit.packet.source,
+                            flit.is_tail(),
+                            flit.packet.created_at,
+                            now,
+                        );
+                    }
+                    if flit.is_tail() {
+                        self.ejected.push(EjectedPacket { packet: flit.packet, at: now });
+                    }
+                } else {
+                    let (down, _) =
+                        self.topology.neighbor(RouterId(r), p).expect("route uses connected ports");
+                    let (out_port, lookahead, _) = self.resolve_route(down, flit.packet.dest);
+                    flit.out_port = out_port;
+                    flit.lookahead_port = lookahead;
+                    self.flit_pipes[r][p.0]
+                        .as_mut()
+                        .expect("connected port has a pipe")
+                        .push(now, flit);
+                    let due = now.0 + FLIT_LATENCY;
+                    if self.gating.flit_sched[r][p.0] != due {
+                        self.gating.flit_sched[r][p.0] = due;
+                        self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                            .push(WakeEvent::FlitLink(r, p.0));
+                    }
+                }
+            }
+            for (p, vc) in out.credits.drain(..) {
+                self.credit_pipes[r][p.0].push(now, vc);
+                let due = now.0 + CREDIT_LATENCY;
+                if self.gating.credit_sched[r][p.0] != due {
+                    self.gating.credit_sched[r][p.0] = due;
+                    self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                        .push(WakeEvent::CreditLink(r, p.0));
+                }
+            }
+            if !(was_quiescent && self.routers[r].is_quiescent()) {
+                Self::activate(
+                    &mut self.gating.active_mark,
+                    &mut self.gating.pending,
+                    r,
+                    now.0 + 1,
+                );
+            }
+        }
+        work.clear();
+        self.gating.work = work;
+        std::mem::swap(&mut self.gating.work, &mut self.gating.pending);
+        self.step_out = out;
+
+        self.now = now.plus(1);
+    }
+
+    /// Total [`vix_router::Router::step_into`] calls so far. Under activity
+    /// gating this counts only the routers actually visited — an idle
+    /// network performs zero router steps per cycle.
+    #[must_use]
+    pub fn router_steps(&self) -> u64 {
+        self.gating.router_steps
+    }
+
     /// True when no flit remains anywhere (buffers, links, sources).
     #[must_use]
     pub fn is_drained(&self) -> bool {
@@ -391,11 +708,22 @@ impl NetworkSim {
                 .all(|p| p.as_ref().is_none_or(Pipe::is_empty))
     }
 
+    /// Activity counters of router `r`, with the cycles a gated run has
+    /// not yet replayed credited back, so gated and ungated runs report
+    /// identical activity (and, through `vix-power`, identical energy).
+    fn router_activity(&self, r: usize) -> ActivityCounters {
+        let mut a = *self.routers[r].activity();
+        if self.cfg.activity_gating {
+            a.cycles += self.now.0 - self.gating.stepped_until[r];
+        }
+        a
+    }
+
     /// Per-router activity counters (index = router id), e.g. for energy
     /// or hotspot maps.
     #[must_use]
     pub fn per_router_activity(&self) -> Vec<ActivityCounters> {
-        self.routers.iter().map(|r| *r.activity()).collect()
+        (0..self.routers.len()).map(|r| self.router_activity(r)).collect()
     }
 
     /// Per-router crossbar utilisation over the run so far: flits
@@ -404,10 +732,9 @@ impl NetworkSim {
     #[must_use]
     pub fn utilization_map(&self) -> Vec<f64> {
         let ports = self.topology.radix() as f64;
-        self.routers
-            .iter()
+        (0..self.routers.len())
             .map(|r| {
-                let a = r.activity();
+                let a = self.router_activity(r);
                 if a.cycles == 0 {
                     0.0
                 } else {
@@ -421,8 +748,8 @@ impl NetworkSim {
     #[must_use]
     pub fn aggregate_activity(&self) -> ActivityCounters {
         let mut total = ActivityCounters::new();
-        for r in &self.routers {
-            total.merge(r.activity());
+        for r in 0..self.routers.len() {
+            total.merge(&self.router_activity(r));
         }
         total
     }
@@ -630,5 +957,76 @@ mod tests {
     fn vix_network_uses_vix_allocator() {
         let sim = NetworkSim::build(small_cfg(AllocatorKind::Vix, 0.01)).unwrap();
         assert_eq!(sim.config().network.router.virtual_inputs_per_port(), 2);
+    }
+
+    #[test]
+    fn gated_and_ungated_runs_are_bit_identical() {
+        for alloc in [AllocatorKind::Vix, AllocatorKind::PacketChaining] {
+            let cfg = small_cfg(alloc, 0.05);
+            let gated = NetworkSim::build(cfg.with_activity_gating(true)).unwrap().run();
+            let ungated = NetworkSim::build(cfg.with_activity_gating(false)).unwrap().run();
+            assert_eq!(gated.packets_ejected(), ungated.packets_ejected());
+            assert_eq!(gated.avg_packet_latency(), ungated.avg_packet_latency());
+            assert_eq!(gated.per_source_packets(), ungated.per_source_packets());
+            assert_eq!(gated.activity(), ungated.activity(), "{alloc:?} activity differs");
+        }
+    }
+
+    #[test]
+    fn gated_idle_network_steps_no_routers() {
+        let cfg = small_cfg(AllocatorKind::InputFirst, 0.0);
+        let mut gated = NetworkSim::build(cfg).unwrap();
+        let mut ungated = NetworkSim::build(cfg.with_activity_gating(false)).unwrap();
+        for _ in 0..100 {
+            gated.step();
+            ungated.step();
+        }
+        assert_eq!(gated.router_steps(), 0, "idle routers must never be visited");
+        assert_eq!(ungated.router_steps(), 100 * 16);
+        assert_eq!(gated.aggregate_activity(), ungated.aggregate_activity());
+        assert_eq!(gated.per_router_activity(), ungated.per_router_activity());
+        assert_eq!(gated.utilization_map(), ungated.utilization_map());
+    }
+
+    #[test]
+    fn gated_network_requiesces_after_traffic_drains() {
+        let mut sim = NetworkSim::build(small_cfg(AllocatorKind::Vix, 0.0)).unwrap();
+        sim.inject(NodeId(0), NodeId(15), 4, 0);
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert_eq!(sim.take_ejections().len(), 1);
+        assert!(sim.is_drained());
+        let busy_steps = sim.router_steps();
+        assert!(busy_steps > 0);
+        for _ in 0..50 {
+            sim.step();
+        }
+        assert_eq!(sim.router_steps(), busy_steps, "drained network must go fully quiescent");
+    }
+
+    #[test]
+    fn gated_stepping_matches_ungated_at_every_cycle() {
+        // Lockstep, not just end-of-run: per-cycle ejections and activity
+        // must agree while packets are still in flight.
+        let cfg = small_cfg(AllocatorKind::WavefrontVix, 0.08);
+        let mut gated = NetworkSim::build(cfg.with_activity_gating(true)).unwrap();
+        let mut ungated = NetworkSim::build(cfg.with_activity_gating(false)).unwrap();
+        for cycle in 0..600 {
+            gated.step();
+            ungated.step();
+            assert_eq!(
+                gated.take_ejections(),
+                ungated.take_ejections(),
+                "ejections diverge at cycle {cycle}"
+            );
+            if cycle % 97 == 0 {
+                assert_eq!(
+                    gated.aggregate_activity(),
+                    ungated.aggregate_activity(),
+                    "activity diverges at cycle {cycle}"
+                );
+            }
+        }
     }
 }

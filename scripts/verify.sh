@@ -15,6 +15,16 @@ cargo test -q
 echo "==> cargo test -q --workspace --release"
 cargo test -q --workspace --release
 
+# Activity-gating contract: gated vs ungated bit-identity across all
+# allocator configs, plus the O(1)/heap-free idle-network guarantee.
+# Already covered by the suites above; re-run by name so a failure here
+# points straight at the gating invariant.
+echo "==> cargo test -q --release --test gating_parity --test zero_alloc"
+cargo test -q --release --test gating_parity --test zero_alloc
+
+echo "==> cargo bench -p vix-bench --bench loadsweep -- --smoke"
+cargo bench -p vix-bench --bench loadsweep -- --smoke
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -80,3 +80,35 @@ fn steady_state_network_steps_stay_off_the_heap() {
         );
     }
 }
+
+#[test]
+fn idle_network_cycles_are_constant_time_and_heap_free() {
+    // Zero injection: with activity gating (the default) no router is ever
+    // woken, so 10,000 cycles of an idle 8×8 mesh must perform zero router
+    // steps — O(1) per-cycle work instead of 64 router visits — and stay
+    // off the heap entirely.
+    const CYCLES: u64 = 10_000;
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    network.nodes = 64;
+    let cfg = SimConfig::new(network, 0.0).with_windows(CYCLES + 1, 1, 1);
+    let mut sim = NetworkSim::build(cfg).expect("valid config");
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..CYCLES {
+        sim.step();
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert_eq!(sim.router_steps(), 0, "an idle network must never visit a router");
+    assert!(
+        after - before < 64,
+        "{} heap allocations over {CYCLES} idle cycles (gate: < 64)",
+        after - before
+    );
+    // The skipped cycles are still accounted: reported activity matches a
+    // sim that really stepped every router every cycle.
+    let total = sim.aggregate_activity();
+    assert_eq!(total.cycles, CYCLES);
+    assert_eq!(total.routers, 64);
+    assert_eq!(total.crossbar_traversals, 0);
+}
