@@ -5,6 +5,7 @@ use crate::separable::SeparableAllocator;
 use crate::{AllocatorConfig, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+use vix_telemetry::MatchingStats;
 
 /// Packet-chaining switch allocator ("PC").
 ///
@@ -37,6 +38,9 @@ pub struct PacketChainingAllocator {
     /// Reused output buffer of the inner allocator.
     inner_grants: GrantSet,
     scratch: ChainingScratch,
+    /// PC's own matching record over the *full* request set (the inner
+    /// separable allocator only ever sees the residual).
+    matching: MatchingStats,
 }
 
 /// Owned per-cycle working state reused across
@@ -63,6 +67,7 @@ impl PacketChainingAllocator {
             residual: RequestSet::new(cfg.ports, cfg.partition.vcs()),
             inner_grants: GrantSet::new(),
             scratch: ChainingScratch::default(),
+            matching: MatchingStats::new(cfg.ports * cfg.partition.groups()),
         }
     }
 
@@ -79,7 +84,8 @@ impl SwitchAllocator for PacketChainingAllocator {
         grants.clear();
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
-        let Self { inner, held, vc_selectors, residual, inner_grants, scratch, .. } = self;
+        let Self { cfg, inner, held, vc_selectors, residual, inner_grants, scratch, matching } =
+            self;
         let ChainingScratch { input_taken, output_taken, lines } = scratch;
         input_taken.clear();
         input_taken.resize(ports, false);
@@ -129,6 +135,7 @@ impl SwitchAllocator for PacketChainingAllocator {
         }
         inner.allocate_into(residual, inner_grants);
         grants.extend(inner_grants.iter().copied());
+        matching.record(requests, grants, &cfg.partition);
     }
 
     fn partition(&self) -> &VixPartition {
@@ -153,6 +160,10 @@ impl SwitchAllocator for PacketChainingAllocator {
         // the inner separable allocator do not move without grants.
         debug_assert!(n > 0);
         self.held.iter_mut().for_each(|h| *h = None);
+    }
+
+    fn matching_stats(&self) -> &MatchingStats {
+        &self.matching
     }
 }
 

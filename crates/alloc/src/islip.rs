@@ -4,6 +4,7 @@
 use crate::{AllocatorConfig, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+use vix_telemetry::MatchingStats;
 
 /// Iterative grant–accept allocator after McKeown's iSLIP.
 ///
@@ -29,6 +30,7 @@ pub struct IslipAllocator {
     /// Champion VC selection per input port.
     vc_selectors: Vec<Box<dyn Arbiter>>,
     scratch: IslipScratch,
+    matching: MatchingStats,
 }
 
 /// Owned per-cycle working state reused across
@@ -63,6 +65,7 @@ impl IslipAllocator {
             accept_pointers: vec![0; cfg.ports],
             vc_selectors,
             scratch: IslipScratch::default(),
+            matching: MatchingStats::new(cfg.ports * cfg.partition.groups()),
         }
     }
 
@@ -80,7 +83,8 @@ impl SwitchAllocator for IslipAllocator {
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
         let iterations = self.iterations;
-        let Self { grant_pointers, accept_pointers, vc_selectors, scratch, .. } = self;
+        let Self { cfg, grant_pointers, accept_pointers, vc_selectors, scratch, matching, .. } =
+            self;
         let IslipScratch { wants, matched_out_of_in, out_matched, grants_to_input, lines } =
             scratch;
 
@@ -157,6 +161,7 @@ impl SwitchAllocator for IslipAllocator {
             let vc = chosen.expect("matched pair implies a requesting VC");
             grants.add(Grant { port: PortId(input), vc, out_port: PortId(out) });
         }
+        matching.record(requests, grants, &cfg.partition);
     }
 
     fn partition(&self) -> &VixPartition {
@@ -165,6 +170,10 @@ impl SwitchAllocator for IslipAllocator {
 
     fn name(&self) -> &'static str {
         "iSLIP"
+    }
+
+    fn matching_stats(&self) -> &MatchingStats {
+        &self.matching
     }
 }
 

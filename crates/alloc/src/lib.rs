@@ -57,6 +57,7 @@ pub use wavefront::WavefrontAllocator;
 
 use vix_arbiter::ArbiterKind;
 use vix_core::{AllocatorKind, GrantSet, RequestSet, RouterConfig, VixPartition};
+use vix_telemetry::{MatchingStats, MatchingSummary};
 
 /// How separable stages break ties between simultaneous requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -184,6 +185,22 @@ pub trait SwitchAllocator: std::fmt::Debug {
     /// augmenting-path) advance their offsets, and packet chaining drops
     /// its held connections.
     fn note_idle_cycles(&mut self, _n: u64) {}
+
+    /// Matching-efficiency counters accumulated by every non-empty
+    /// [`allocate_into`](SwitchAllocator::allocate_into) call — requests
+    /// offered, requests surviving input arbitration, grants issued, and
+    /// the per-cycle matching bound (the paper's §4 metric).
+    ///
+    /// Recording is always on and purely observational: it reads the
+    /// request and grant sets after the fact, never touches arbiter
+    /// state, and skips empty cycles so gated and ungated schedules
+    /// report identical numbers.
+    fn matching_stats(&self) -> &MatchingStats;
+
+    /// Convenience snapshot of [`matching_stats`](SwitchAllocator::matching_stats).
+    fn matching_summary(&self) -> MatchingSummary {
+        self.matching_stats().summary()
+    }
 }
 
 /// Builds the allocator named by `kind` for a router described by `router`.

@@ -4,6 +4,7 @@
 use crate::{AllocatorConfig, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
+use vix_telemetry::MatchingStats;
 
 /// Augmented-path maximum-matching allocator.
 ///
@@ -37,6 +38,7 @@ pub struct MaxMatchingAllocator {
     /// while keeping the greedy maximum-matching structure.
     offset: usize,
     scratch: MaxMatchingScratch,
+    match_stats: MatchingStats,
 }
 
 /// Owned per-cycle working state reused across
@@ -61,12 +63,14 @@ impl MaxMatchingAllocator {
             .collect();
         let vc_selectors =
             (0..cfg.ports * groups).map(|_| cfg.arbiter.build(cfg.partition.group_size())).collect();
+        let match_stats = MatchingStats::new(cfg.ports * groups);
         MaxMatchingAllocator {
             cfg,
             group_vcs,
             vc_selectors,
             offset: 0,
             scratch: MaxMatchingScratch::default(),
+            match_stats,
         }
     }
 }
@@ -78,7 +82,7 @@ impl SwitchAllocator for MaxMatchingAllocator {
         grants.clear();
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
-        let Self { group_vcs, vc_selectors, offset, scratch, .. } = self;
+        let Self { cfg, group_vcs, vc_selectors, offset, scratch, match_stats } = self;
         let MaxMatchingScratch { adjacency, matching, lines } = scratch;
 
         // Edge (virtual input → output) iff some VC of the sub-group
@@ -122,6 +126,7 @@ impl SwitchAllocator for MaxMatchingAllocator {
                 grants.add(Grant { port: PortId(port), vc: vcs[local], out_port: PortId(out) });
             }
         }
+        match_stats.record(requests, grants, &cfg.partition);
     }
 
     fn partition(&self) -> &VixPartition {
@@ -144,6 +149,10 @@ impl SwitchAllocator for MaxMatchingAllocator {
         // rotations.
         let units = self.cfg.ports * self.cfg.partition.groups();
         self.offset = (self.offset + (n % units as u64) as usize) % units;
+    }
+
+    fn matching_stats(&self) -> &MatchingStats {
+        &self.match_stats
     }
 }
 

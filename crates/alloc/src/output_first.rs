@@ -5,6 +5,7 @@
 use crate::{AllocatorConfig, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+use vix_telemetry::MatchingStats;
 
 /// Output-first separable switch allocator.
 ///
@@ -29,6 +30,7 @@ pub struct OutputFirstAllocator {
     /// One per virtual input, over the output ports.
     input_arbiters: Vec<Box<dyn Arbiter>>,
     scratch: OutputFirstScratch,
+    matching: MatchingStats,
 }
 
 /// Owned per-cycle working state reused across
@@ -56,6 +58,7 @@ impl OutputFirstAllocator {
             output_arbiters: (0..cfg.ports).map(|_| cfg.arbiter.build(vcs_total)).collect(),
             input_arbiters: (0..units).map(|_| cfg.arbiter.build(cfg.ports)).collect(),
             scratch: OutputFirstScratch::default(),
+            matching: MatchingStats::new(units),
         }
     }
 }
@@ -71,7 +74,7 @@ impl SwitchAllocator for OutputFirstAllocator {
         let units = ports * groups;
         let part = self.cfg.partition;
         let vi_of = move |p: PortId, v: VcId| p.0 * groups + part.group_of(v).0;
-        let Self { output_arbiters, input_arbiters, scratch, .. } = self;
+        let Self { output_arbiters, input_arbiters, scratch, matching, .. } = self;
         let OutputFirstScratch { vi_taken, output_taken, candidates, out_lines, in_lines } =
             scratch;
 
@@ -120,6 +123,7 @@ impl SwitchAllocator for OutputFirstAllocator {
                 grants.add(Grant { port: p, vc: v, out_port: PortId(out) });
             }
         }
+        matching.record(requests, grants, &part);
     }
 
     fn partition(&self) -> &VixPartition {
@@ -132,6 +136,10 @@ impl SwitchAllocator for OutputFirstAllocator {
         } else {
             "OF"
         }
+    }
+
+    fn matching_stats(&self) -> &MatchingStats {
+        &self.matching
     }
 }
 

@@ -8,6 +8,7 @@
 use crate::{AllocatorConfig, PriorityPolicy, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, SwitchRequest, VcId, VixPartition};
+use vix_telemetry::MatchingStats;
 
 /// Input-first separable switch allocator (Fig. 3 of the paper).
 ///
@@ -38,6 +39,7 @@ pub struct SeparableAllocator {
     /// One per output port, each over all `ports × groups` virtual inputs.
     output_arbiters: Vec<Box<dyn Arbiter>>,
     scratch: SeparableScratch,
+    matching: MatchingStats,
 }
 
 /// Owned per-cycle working state, sized once at construction and reused by
@@ -72,12 +74,14 @@ impl SeparableAllocator {
             (0..cfg.ports * groups).map(|_| cfg.arbiter.build(group_size)).collect();
         let output_arbiters =
             (0..cfg.ports).map(|_| cfg.arbiter.build(cfg.ports * groups)).collect();
+        let matching = MatchingStats::new(cfg.ports * groups);
         SeparableAllocator {
             cfg,
             group_vcs,
             input_arbiters,
             output_arbiters,
             scratch: SeparableScratch::default(),
+            matching,
         }
     }
 }
@@ -144,7 +148,7 @@ impl SwitchAllocator for SeparableAllocator {
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
         let virtual_inputs = ports * groups;
-        let Self { cfg, group_vcs, input_arbiters, output_arbiters, scratch } = self;
+        let Self { cfg, group_vcs, input_arbiters, output_arbiters, scratch, matching } = self;
         let SeparableScratch {
             champions,
             championed,
@@ -231,6 +235,7 @@ impl SwitchAllocator for SeparableAllocator {
                 grants.add(Grant { port: req.port, vc: req.vc, out_port: out.into() });
             }
         }
+        matching.record(requests, grants, &cfg.partition);
     }
 
     fn partition(&self) -> &VixPartition {
@@ -243,6 +248,10 @@ impl SwitchAllocator for SeparableAllocator {
         } else {
             "IF"
         }
+    }
+
+    fn matching_stats(&self) -> &MatchingStats {
+        &self.matching
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::{AllocatorConfig, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+use vix_telemetry::MatchingStats;
 
 /// Wavefront allocator ("WF" in the paper), generalised to virtual inputs.
 ///
@@ -34,6 +35,7 @@ pub struct WavefrontAllocator {
     /// Champion VC selection per virtual input.
     vc_selectors: Vec<Box<dyn Arbiter>>,
     scratch: WavefrontScratch,
+    matching: MatchingStats,
 }
 
 /// Owned per-cycle working state reused across
@@ -57,7 +59,14 @@ impl WavefrontAllocator {
             .map(|g| cfg.partition.vcs_in_group(vix_core::VirtualInputId(g)).collect())
             .collect();
         let vc_selectors = (0..units).map(|_| cfg.arbiter.build(cfg.partition.group_size())).collect();
-        WavefrontAllocator { cfg, offset: 0, group_vcs, vc_selectors, scratch: WavefrontScratch::default() }
+        WavefrontAllocator {
+            cfg,
+            offset: 0,
+            group_vcs,
+            vc_selectors,
+            scratch: WavefrontScratch::default(),
+            matching: MatchingStats::new(units),
+        }
     }
 
     /// Current priority-diagonal offset (exposed for tests).
@@ -126,7 +135,7 @@ impl SwitchAllocator for WavefrontAllocator {
         assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
         grants.clear();
         let units = self.cfg.ports * self.cfg.partition.groups();
-        let Self { cfg, offset, group_vcs, vc_selectors, scratch } = self;
+        let Self { cfg, offset, group_vcs, vc_selectors, scratch, matching } = self;
         scratch.unit_taken.clear();
         scratch.unit_taken.resize(units, false);
         scratch.output_taken.clear();
@@ -134,6 +143,7 @@ impl SwitchAllocator for WavefrontAllocator {
         sweep(cfg, *offset, group_vcs, vc_selectors, requests, false, scratch, grants);
         sweep(cfg, *offset, group_vcs, vc_selectors, requests, true, scratch, grants);
         *offset = (*offset + 1) % cfg.ports;
+        matching.record(requests, grants, &cfg.partition);
     }
 
     fn partition(&self) -> &VixPartition {
@@ -153,6 +163,10 @@ impl SwitchAllocator for WavefrontAllocator {
         // diagonal (the VC selectors only commit on a grant), so n empty
         // cycles are exactly n offset rotations.
         self.offset = (self.offset + (n % self.cfg.ports as u64) as usize) % self.cfg.ports;
+    }
+
+    fn matching_stats(&self) -> &MatchingStats {
+        &self.matching
     }
 }
 

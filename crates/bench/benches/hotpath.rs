@@ -110,5 +110,5 @@ fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_hotpath.json");
     std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
-    println!("\nwrote {path}");
+    vix_telemetry::info!("wrote {path}");
 }

@@ -121,7 +121,7 @@ fn main() {
             results.iter().all(|r| r.gated_cps > 0.0 && r.ungated_cps > 0.0),
             "benchmark produced a non-positive rate"
         );
-        println!("\nsmoke mode: skipping BENCH_loadsweep.json");
+        vix_telemetry::info!("smoke mode: skipping BENCH_loadsweep.json");
         return;
     }
 
@@ -156,5 +156,5 @@ fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_loadsweep.json");
     std::fs::write(&path, &json).expect("write BENCH_loadsweep.json");
-    println!("\nwrote {path}");
+    vix_telemetry::info!("wrote {path}");
 }

@@ -346,6 +346,78 @@ impl NetworkConfig {
     }
 }
 
+/// What the simulator's telemetry sink should record.
+///
+/// This is plain `Copy` configuration — the actual sink (ring buffer,
+/// metrics registry) is built by the simulator from these settings at
+/// network-construction time. The default is everything off, which the
+/// simulator maps to a sink that never allocates and reduces every
+/// recording call to one branch, preserving the zero-allocation and
+/// determinism guarantees of an uninstrumented run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySettings {
+    /// Record flit-lifecycle trace events (Inject … CreditReturn).
+    pub tracing: bool,
+    /// Record counters/gauges/histograms (stall breakdowns, VC
+    /// occupancy, scheduler gauges).
+    pub metrics: bool,
+    /// Capacity of the preallocated trace ring; once full, the oldest
+    /// events are overwritten (and counted as dropped).
+    pub trace_capacity: usize,
+}
+
+impl TelemetrySettings {
+    /// Default ring capacity when tracing is enabled (events, not bytes).
+    pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+    /// Everything off (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        TelemetrySettings { tracing: false, metrics: false, trace_capacity: 0 }
+    }
+
+    /// Tracing and metrics both on, with the default ring capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        TelemetrySettings {
+            tracing: true,
+            metrics: true,
+            trace_capacity: Self::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// Enables or disables event tracing, keeping the ring capacity
+    /// (or setting the default if none was chosen yet).
+    #[must_use]
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        if on && self.trace_capacity == 0 {
+            self.trace_capacity = Self::DEFAULT_TRACE_CAPACITY;
+        }
+        self
+    }
+
+    /// Enables or disables the metrics registry.
+    #[must_use]
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Sets the trace ring capacity in events.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+impl Default for TelemetrySettings {
+    fn default() -> Self {
+        TelemetrySettings::disabled()
+    }
+}
+
 /// Full simulation run configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -380,6 +452,8 @@ pub struct SimConfig {
     /// `tests/gating_parity.rs`). Turn it off only to measure its own
     /// speedup or to debug the scheduler.
     pub activity_gating: bool,
+    /// What the run's telemetry sink records (default: nothing).
+    pub telemetry: TelemetrySettings,
 }
 
 impl SimConfig {
@@ -397,6 +471,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             jobs: 1,
             activity_gating: true,
+            telemetry: TelemetrySettings::disabled(),
         }
     }
 
@@ -456,6 +531,26 @@ impl SimConfig {
     #[must_use]
     pub fn with_activity_gating(mut self, on: bool) -> Self {
         self.activity_gating = on;
+        self
+    }
+
+    /// Chooses what the run's telemetry sink records (default: nothing).
+    /// Telemetry is pure observation: enabling it never changes grant
+    /// order, statistics, or RNG draws.
+    ///
+    /// ```
+    /// use vix_core::config::TelemetrySettings;
+    /// use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+    ///
+    /// let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    /// let cfg = SimConfig::new(net, 0.05);
+    /// assert_eq!(cfg.telemetry, TelemetrySettings::disabled());
+    /// let traced = cfg.with_telemetry(TelemetrySettings::enabled());
+    /// assert!(traced.telemetry.tracing && traced.telemetry.metrics);
+    /// ```
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetrySettings) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

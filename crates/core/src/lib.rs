@@ -35,7 +35,7 @@ pub mod request;
 pub mod vix;
 
 pub use activity::ActivityCounters;
-pub use config::{AllocatorKind, NetworkConfig, PipelineKind, RouterConfig, SimConfig, TopologyKind, VirtualInputs};
+pub use config::{AllocatorKind, NetworkConfig, PipelineKind, RouterConfig, SimConfig, TelemetrySettings, TopologyKind, VirtualInputs};
 pub use error::ConfigError;
 pub use flit::{Flit, FlitKind, PacketDescriptor};
 pub use ids::{Cycle, NodeId, PacketId, PortId, RouterId, VcId, VirtualInputId};

@@ -10,6 +10,7 @@ use vix_core::{
     ActivityCounters, Cycle, Flit, GrantSet, PipelineKind, PortId, RequestSet, RouterConfig,
     RouterId, SwitchRequest, VcId,
 };
+use vix_telemetry::{MatchingSummary, TelemetrySink, TraceEvent, TraceEventKind, NO_PACKET};
 
 /// Flits and credits leaving a router in one cycle.
 #[derive(Debug, Clone, Default)]
@@ -140,6 +141,13 @@ impl Router {
         &self.activity
     }
 
+    /// Matching-efficiency record of the switch allocator (see
+    /// [`vix_alloc::SwitchAllocator::matching_stats`]).
+    #[must_use]
+    pub fn matching_summary(&self) -> MatchingSummary {
+        self.allocator.matching_summary()
+    }
+
     /// Buffered flits in input VC `(port, vc)`.
     #[must_use]
     pub fn buffer_occupancy(&self, port: PortId, vc: VcId) -> usize {
@@ -217,7 +225,8 @@ impl Router {
     /// `step_into` instead.
     pub fn step(&mut self, now: Cycle) -> RouterOutput {
         let mut out = RouterOutput::default();
-        self.step_into(now, &mut out);
+        let mut tel = TelemetrySink::disabled();
+        self.step_into(now, &mut out, &mut tel);
         out
     }
 
@@ -227,9 +236,13 @@ impl Router {
     ///
     /// All per-cycle working state (request/grant sets, stage bitvecs, the
     /// allocator's scratch) is owned and reused, so a steady-state call
-    /// performs zero heap allocations.
-    pub fn step_into(&mut self, _now: Cycle, out: &mut RouterOutput) {
+    /// performs zero heap allocations. `tel` receives the router-level
+    /// lifecycle events (`VcAlloc`, `SaRequest`, `SaGrant`,
+    /// `SwitchTraversal`) and pipeline-stall counters; a
+    /// [`TelemetrySink::disabled`] sink makes every hook a no-op.
+    pub fn step_into(&mut self, now: Cycle, out: &mut RouterOutput, tel: &mut TelemetrySink) {
         out.clear();
+        let router = self.id.0 as u32;
         let ports = self.cfg.ports();
         let vcs = self.cfg.vcs_per_port();
         let total_vcs = ports * vcs;
@@ -293,6 +306,17 @@ impl Router {
                 // Ejection: no downstream VC contention to track.
                 inputs[p].vc_mut(VcId(v)).bind_out_vc(VcId(0));
                 bound_this_cycle[flat] = true;
+                if tel.tracing() {
+                    tel.trace(TraceEvent {
+                        router,
+                        port: p as u32,
+                        vc: v as u32,
+                        out_port: out_port.0 as u32,
+                        packet: head.packet.id.0,
+                        extra: 0,
+                        ..TraceEvent::at(now, TraceEventKind::VcAlloc)
+                    });
+                }
                 continue;
             }
             let policy = if cfg.dimension_aware_va && partition.groups() > 1 {
@@ -306,8 +330,22 @@ impl Router {
                     output.allocate(w);
                     inputs[p].vc_mut(VcId(v)).bind_out_vc(w);
                     bound_this_cycle[flat] = true;
+                    if tel.tracing() {
+                        tel.trace(TraceEvent {
+                            router,
+                            port: p as u32,
+                            vc: v as u32,
+                            out_port: out_port.0 as u32,
+                            packet: head.packet.id.0,
+                            extra: w.0 as u32,
+                            ..TraceEvent::at(now, TraceEventKind::VcAlloc)
+                        });
+                    }
                 }
-                None => va_failed_this_cycle[flat] = true,
+                None => {
+                    va_failed_this_cycle[flat] = true;
+                    tel.count(tel.ids.stall_va_no_free_vc, 1);
+                }
             }
         }
         *va_pointer = (*va_pointer + 1) % total_vcs;
@@ -332,6 +370,17 @@ impl Router {
                                 speculative: false,
                                 age: vc.hol_wait(),
                             });
+                            if tel.tracing() {
+                                tel.trace(TraceEvent {
+                                    router,
+                                    port: p as u32,
+                                    vc: v as u32,
+                                    out_port: out_port.0 as u32,
+                                    packet: head.packet.id.0,
+                                    extra: 0,
+                                    ..TraceEvent::at(now, TraceEventKind::SaRequest)
+                                });
+                            }
                         }
                     }
                     Some(_) | None => {
@@ -348,6 +397,17 @@ impl Router {
                                 speculative: true,
                                 age: vc.hol_wait(),
                             });
+                            if tel.tracing() {
+                                tel.trace(TraceEvent {
+                                    router,
+                                    port: p as u32,
+                                    vc: v as u32,
+                                    out_port: out_port.0 as u32,
+                                    packet: head.packet.id.0,
+                                    extra: 1,
+                                    ..TraceEvent::at(now, TraceEventKind::SaRequest)
+                                });
+                            }
                         }
                     }
                 }
@@ -361,14 +421,32 @@ impl Router {
             grants.validate_against(requests, &partition).is_ok(),
             "allocator produced conflicting grants"
         );
+        tel.count(tel.ids.stall_sa_no_grant, (requests.len() - grants.len()) as u64);
 
         // ---- Switch traversal.
         traversed.clear();
         for g in grants.iter() {
             let vc = inputs[g.port.0].vc(g.vc);
-            let Some(w) = vc.out_vc() else { continue }; // failed speculation
+            if tel.tracing() {
+                let packet = vc.head().map_or(NO_PACKET, |f| f.packet.id.0);
+                tel.trace(TraceEvent {
+                    router,
+                    port: g.port.0 as u32,
+                    vc: g.vc.0 as u32,
+                    out_port: g.out_port.0 as u32,
+                    packet,
+                    ..TraceEvent::at(now, TraceEventKind::SaGrant)
+                });
+            }
+            let Some(w) = vc.out_vc() else {
+                // Failed speculation: the grant is wasted.
+                tel.count(tel.ids.stall_sa_spec_dropped, 1);
+                continue;
+            };
             if !outputs[g.out_port.0].can_send(w) {
-                continue; // speculative grant without a credit
+                // Speculative grant without a credit.
+                tel.count(tel.ids.stall_sa_no_credit, 1);
+                continue;
             }
             let mut flit = inputs[g.port.0].vc_mut(g.vc).pop();
             *buffered -= 1;
@@ -385,6 +463,17 @@ impl Router {
                 activity.bits_delivered += cfg.flit_width_bits as u64;
             } else {
                 activity.link_traversals += 1;
+            }
+            if tel.tracing() {
+                tel.trace(TraceEvent {
+                    router,
+                    port: g.port.0 as u32,
+                    vc: g.vc.0 as u32,
+                    out_port: g.out_port.0 as u32,
+                    packet: flit.packet.id.0,
+                    flit: flit.index as u32,
+                    ..TraceEvent::at(now, TraceEventKind::SwitchTraversal)
+                });
             }
             out.credits.push((g.port, g.vc));
             out.flits.push((g.out_port, flit));

@@ -13,6 +13,9 @@ use vix_core::{
     RouterId, SimConfig, VcId,
 };
 use vix_router::{Router, RouterEnv};
+use vix_telemetry::{
+    HistogramId, MatchingSummary, TelemetrySink, TraceEvent, TraceEventKind, NO_ID,
+};
 use vix_topology::{build_topology, Topology};
 use vix_traffic::{BernoulliInjector, TrafficPattern};
 
@@ -159,6 +162,11 @@ pub struct NetworkSim {
     /// Activity-gated scheduling state (used when
     /// [`SimConfig::activity_gating`] is on).
     gating: GatingState,
+    /// Event/metric sink built from [`SimConfig::telemetry`]; disabled by
+    /// default, in which case every hook below compiles to a cheap branch.
+    telemetry: TelemetrySink,
+    /// Per-router VC-occupancy histogram ids (empty when metrics are off).
+    vc_occupancy: Vec<HistogramId>,
 }
 
 impl NetworkSim {
@@ -250,6 +258,13 @@ impl NetworkSim {
         let injector = BernoulliInjector::new(cfg.injection_rate)?;
         let stats = NetworkStats::new(cfg.network.nodes, cfg.measure, cfg.packet_len);
         let gating = GatingState::new(cfg.network.nodes, topology.routers(), radix);
+        let mut telemetry = TelemetrySink::new(run_cfg.telemetry);
+        let occupancy_bounds: Vec<u64> = (0..=router_cfg.buffer_depth() as u64).collect();
+        let vc_occupancy = (0..topology.routers())
+            .filter_map(|r| {
+                telemetry.register_histogram(&format!("router{r}.vc_occupancy"), &occupancy_bounds)
+            })
+            .collect();
         Ok(NetworkSim {
             cfg: run_cfg,
             topology,
@@ -268,6 +283,8 @@ impl NetworkSim {
             ejected: Vec::new(),
             step_out: vix_router::RouterOutput::default(),
             gating,
+            telemetry,
+            vc_occupancy,
         })
     }
 
@@ -338,6 +355,21 @@ impl NetworkSim {
         } else {
             self.step_ungated();
         }
+        // VC-occupancy sampling is pure observation over *all* routers
+        // (gated or not), so gated and ungated runs report identical
+        // histograms.
+        if !self.vc_occupancy.is_empty() {
+            let ports = self.topology.radix();
+            let vcs = self.cfg.network.router.vcs_per_port();
+            for (r, &hist) in self.vc_occupancy.iter().enumerate() {
+                for p in 0..ports {
+                    for v in 0..vcs {
+                        let occ = self.routers[r].buffer_occupancy(PortId(p), VcId(v));
+                        self.telemetry.observe(hist, occ as u64);
+                    }
+                }
+            }
+        }
     }
 
     /// The ungated reference step: sweeps every node, link, and router.
@@ -383,6 +415,16 @@ impl NetworkSim {
             let router = self.topology.router_of(node);
             let port = self.topology.local_port_of(node);
             while let Some(flit) = self.inject_pipes[n].pop_ready(now) {
+                if self.telemetry.tracing() {
+                    self.telemetry.trace(TraceEvent {
+                        router: router.0 as u32,
+                        port: port.0 as u32,
+                        vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                        packet: flit.packet.id.0,
+                        flit: flit.index as u32,
+                        ..TraceEvent::at(now, TraceEventKind::Inject)
+                    });
+                }
                 self.routers[router.0].accept_flit(port, flit);
             }
         }
@@ -434,7 +476,7 @@ impl NetworkSim {
         // RouterOutput is reused across every router and every cycle.
         let mut out = std::mem::take(&mut self.step_out);
         for r in 0..self.routers.len() {
-            self.routers[r].step_into(now, &mut out);
+            self.routers[r].step_into(now, &mut out, &mut self.telemetry);
             self.gating.router_steps += 1;
             for (p, mut flit) in out.flits.drain(..) {
                 if self.topology.is_local_port(p) {
@@ -443,6 +485,16 @@ impl NetworkSim {
                         Some(flit.packet.dest),
                         "flit ejected at the wrong terminal"
                     );
+                    if self.telemetry.tracing() {
+                        self.telemetry.trace(TraceEvent {
+                            router: r as u32,
+                            port: p.0 as u32,
+                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            packet: flit.packet.id.0,
+                            flit: flit.index as u32,
+                            ..TraceEvent::at(now, TraceEventKind::Eject)
+                        });
+                    }
                     if in_window {
                         self.stats.record_ejection(
                             flit.packet.source,
@@ -462,6 +514,16 @@ impl NetworkSim {
                     let (out_port, lookahead, _) = self.resolve_route(down, flit.packet.dest);
                     flit.out_port = out_port;
                     flit.lookahead_port = lookahead;
+                    if self.telemetry.tracing() {
+                        self.telemetry.trace(TraceEvent {
+                            router: r as u32,
+                            port: p.0 as u32,
+                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            packet: flit.packet.id.0,
+                            flit: flit.index as u32,
+                            ..TraceEvent::at(now, TraceEventKind::LinkTraversal)
+                        });
+                    }
                     self.flit_pipes[r][p.0]
                         .as_mut()
                         .expect("connected port has a pipe")
@@ -469,6 +531,14 @@ impl NetworkSim {
                 }
             }
             for (p, vc) in out.credits.drain(..) {
+                if self.telemetry.tracing() {
+                    self.telemetry.trace(TraceEvent {
+                        router: r as u32,
+                        port: p.0 as u32,
+                        vc: vc.0 as u32,
+                        ..TraceEvent::at(now, TraceEventKind::CreditReturn)
+                    });
+                }
                 self.credit_pipes[r][p.0].push(now, vc);
             }
         }
@@ -546,6 +616,7 @@ impl NetworkSim {
         // ungated sweep order. Every delivery wakes the receiving router.
         let slot = (now.0 % WAKE_RING as u64) as usize;
         let mut events = std::mem::take(&mut self.gating.calendar[slot]);
+        self.telemetry.gauge(self.telemetry.ids.sched_wake_events, events.len() as u64);
         for &ev in &events {
             match ev {
                 WakeEvent::Inject(n) => {
@@ -553,6 +624,16 @@ impl NetworkSim {
                     let router = self.topology.router_of(node);
                     let port = self.topology.local_port_of(node);
                     while let Some(flit) = self.inject_pipes[n].pop_ready(now) {
+                        if self.telemetry.tracing() {
+                            self.telemetry.trace(TraceEvent {
+                                router: router.0 as u32,
+                                port: port.0 as u32,
+                                vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                                packet: flit.packet.id.0,
+                                flit: flit.index as u32,
+                                ..TraceEvent::at(now, TraceEventKind::Inject)
+                            });
+                        }
                         self.routers[router.0].accept_flit(port, flit);
                     }
                     Self::activate(
@@ -616,13 +697,14 @@ impl NetworkSim {
         let mut out = std::mem::take(&mut self.step_out);
         let mut work = std::mem::take(&mut self.gating.work);
         work.sort_unstable();
+        self.telemetry.gauge(self.telemetry.ids.sched_active_routers, work.len() as u64);
         for &r in &work {
             let was_quiescent = self.routers[r].is_quiescent();
             let gap = now.0 - self.gating.stepped_until[r];
             if gap > 0 {
                 self.routers[r].note_idle_cycles(gap);
             }
-            self.routers[r].step_into(now, &mut out);
+            self.routers[r].step_into(now, &mut out, &mut self.telemetry);
             self.gating.router_steps += 1;
             self.gating.stepped_until[r] = now.0 + 1;
             for (p, mut flit) in out.flits.drain(..) {
@@ -632,6 +714,16 @@ impl NetworkSim {
                         Some(flit.packet.dest),
                         "flit ejected at the wrong terminal"
                     );
+                    if self.telemetry.tracing() {
+                        self.telemetry.trace(TraceEvent {
+                            router: r as u32,
+                            port: p.0 as u32,
+                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            packet: flit.packet.id.0,
+                            flit: flit.index as u32,
+                            ..TraceEvent::at(now, TraceEventKind::Eject)
+                        });
+                    }
                     if in_window {
                         self.stats.record_ejection(
                             flit.packet.source,
@@ -649,6 +741,16 @@ impl NetworkSim {
                     let (out_port, lookahead, _) = self.resolve_route(down, flit.packet.dest);
                     flit.out_port = out_port;
                     flit.lookahead_port = lookahead;
+                    if self.telemetry.tracing() {
+                        self.telemetry.trace(TraceEvent {
+                            router: r as u32,
+                            port: p.0 as u32,
+                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            packet: flit.packet.id.0,
+                            flit: flit.index as u32,
+                            ..TraceEvent::at(now, TraceEventKind::LinkTraversal)
+                        });
+                    }
                     self.flit_pipes[r][p.0]
                         .as_mut()
                         .expect("connected port has a pipe")
@@ -662,6 +764,14 @@ impl NetworkSim {
                 }
             }
             for (p, vc) in out.credits.drain(..) {
+                if self.telemetry.tracing() {
+                    self.telemetry.trace(TraceEvent {
+                        router: r as u32,
+                        port: p.0 as u32,
+                        vc: vc.0 as u32,
+                        ..TraceEvent::at(now, TraceEventKind::CreditReturn)
+                    });
+                }
                 self.credit_pipes[r][p.0].push(now, vc);
                 let due = now.0 + CREDIT_LATENCY;
                 if self.gating.credit_sched[r][p.0] != due {
@@ -754,17 +864,51 @@ impl NetworkSim {
         total
     }
 
+    /// Allocator matching record merged over every router (paper §4's
+    /// matching-efficiency metric). Always available — the allocators keep
+    /// these counters regardless of the telemetry configuration.
+    #[must_use]
+    pub fn matching_summary(&self) -> MatchingSummary {
+        let mut total = MatchingSummary::default();
+        for r in &self.routers {
+            total.merge(&r.matching_summary());
+        }
+        total
+    }
+
+    /// The telemetry sink (trace ring and metrics registry) accumulated so
+    /// far.
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Consumes the sim and hands back its telemetry sink — for callers
+    /// that step manually and only need the trace/metrics afterwards.
+    #[must_use]
+    pub fn into_telemetry(self) -> TelemetrySink {
+        self.telemetry
+    }
+
     /// Runs the full warmup + measure + drain protocol and returns the
     /// measurement-window statistics.
     #[must_use]
-    pub fn run(mut self) -> NetworkStats {
+    pub fn run(self) -> NetworkStats {
+        self.run_with_telemetry().0
+    }
+
+    /// Like [`NetworkSim::run`], but also hands back the telemetry sink so
+    /// the caller can export the flit trace and metrics registry.
+    #[must_use]
+    pub fn run_with_telemetry(mut self) -> (NetworkStats, TelemetrySink) {
         let total = self.cfg.warmup + self.cfg.measure + self.cfg.drain;
         for _ in 0..total {
             self.step();
         }
         let mut stats = self.stats.clone();
         stats.set_activity(self.aggregate_activity());
-        stats
+        stats.set_matching(self.matching_summary());
+        (stats, self.telemetry)
     }
 
     /// Measurement statistics collected so far (useful when stepping

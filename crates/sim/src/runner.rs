@@ -216,7 +216,19 @@ pub fn run_sweep(
     jobs: usize,
 ) -> Result<Vec<SweepPoint>, ConfigError> {
     let items = expand_sweep(base.seed, rates, replications);
+    vix_telemetry::info!(
+        "sweep: {} rates x {} replications across {} workers",
+        rates.len(),
+        replications,
+        resolve_jobs(jobs).min(items.len().max(1)),
+    );
     let results = parallel_map(jobs, &items, |_, job| {
+        vix_telemetry::debug!(
+            "sweep job: rate {} replication {} seed {:#018x}",
+            job.rate,
+            job.replication,
+            job.seed,
+        );
         let cfg = SimConfig { injection_rate: job.rate, ..base }.with_seed(job.seed);
         NetworkSim::build_with_pattern(cfg, pattern.clone())
             .map(|sim| SweepPoint { rate: job.rate, stats: sim.run() })

@@ -1,6 +1,7 @@
 //! Measurement-window statistics: latency, throughput, fairness.
 
 use vix_core::{ActivityCounters, Cycle, NodeId};
+use vix_telemetry::MatchingSummary;
 
 /// Statistics collected over the measurement window of one simulation run.
 ///
@@ -28,6 +29,7 @@ pub struct NetworkStats {
     per_source_packets: Vec<u64>,
     offered_packets: u64,
     activity: ActivityCounters,
+    matching: MatchingSummary,
 }
 
 impl NetworkStats {
@@ -49,6 +51,7 @@ impl NetworkStats {
             per_source_packets: vec![0; nodes],
             offered_packets: 0,
             activity: ActivityCounters::new(),
+            matching: MatchingSummary::default(),
         }
     }
 
@@ -81,6 +84,19 @@ impl NetworkStats {
     #[must_use]
     pub fn activity(&self) -> &ActivityCounters {
         &self.activity
+    }
+
+    /// Attaches the aggregated allocator matching record (whole run, all
+    /// routers).
+    pub fn set_matching(&mut self, matching: MatchingSummary) {
+        self.matching = matching;
+    }
+
+    /// Aggregated allocator matching record (paper §4's matching-efficiency
+    /// metric, merged over every router).
+    #[must_use]
+    pub fn matching(&self) -> &MatchingSummary {
+        &self.matching
     }
 
     /// Number of terminals.
@@ -120,8 +136,14 @@ impl NetworkStats {
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Option<u64> {
         assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        // Degenerate inputs answered explicitly, not via
+        // `select_nth_unstable` edge cases: an idle window has no
+        // percentiles, and a single sample is every percentile.
         if self.latencies.is_empty() {
             return None;
+        }
+        if let [only] = self.latencies[..] {
+            return Some(only);
         }
         let mut cache = self.percentile_cache.0.borrow_mut();
         // Refill only when new latencies arrived since the last query
@@ -130,7 +152,9 @@ impl NetworkStats {
             cache.clear();
             cache.extend_from_slice(&self.latencies);
         }
-        let rank = ((p / 100.0 * cache.len() as f64).ceil() as usize).max(1);
+        // Nearest-rank, clamped to [1, len] so float rounding near 100.0
+        // can never index past the end.
+        let rank = ((p / 100.0 * cache.len() as f64).ceil() as usize).clamp(1, cache.len());
         let (_, &mut value, _) = cache.select_nth_unstable(rank - 1);
         Some(value)
     }
@@ -298,6 +322,28 @@ mod tests {
         let s = NetworkStats::new(2, 100, 1);
         assert_eq!(s.median_packet_latency(), None);
         assert_eq!(s.p99_packet_latency(), None);
+        assert_eq!(s.latency_percentile(100.0), None);
+        assert_eq!(s.latency_percentile(0.001), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = NetworkStats::new(2, 100, 1);
+        s.record_ejection(NodeId(0), true, Cycle(0), Cycle(42));
+        for p in [0.001, 1.0, 50.0, 99.0, 99.999, 100.0] {
+            assert_eq!(s.latency_percentile(p), Some(42), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn extreme_percentiles_stay_in_range() {
+        let mut s = NetworkStats::new(2, 100, 1);
+        for lat in [10u64, 20, 30] {
+            s.record_ejection(NodeId(0), true, Cycle(0), Cycle(lat));
+        }
+        assert_eq!(s.latency_percentile(100.0), Some(30));
+        assert_eq!(s.latency_percentile(99.999_999), Some(30));
+        assert_eq!(s.latency_percentile(0.000_001), Some(10));
     }
 
     #[test]

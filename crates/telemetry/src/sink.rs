@@ -1,0 +1,214 @@
+//! The [`TelemetrySink`] — the single handle the simulator threads
+//! through the router pipeline.
+//!
+//! # Sink contract
+//!
+//! * The simulator owns exactly one sink, built from
+//!   [`TelemetrySettings`] at network-construction time; routers and the
+//!   scheduler receive `&mut TelemetrySink` per step.
+//! * Every recording method is a no-op behind a single branch when its
+//!   facility is off. A fully disabled sink ([`TelemetrySink::disabled`])
+//!   never allocates — its trace ring has zero capacity and its registry
+//!   is empty — so handing it through the hot path preserves the
+//!   zero-allocation and determinism guarantees.
+//! * Hot call sites guard event *construction* behind
+//!   [`tracing`](TelemetrySink::tracing) so a disabled run does not even
+//!   assemble the event payload.
+//!
+//! # Overhead budget
+//!
+//! Disabled: one predictable branch per would-be record; no allocation,
+//! no stores. Enabled tracing: one bounds-checked store into a
+//! preallocated ring per event. Enabled metrics: one array index + add
+//! per counter/gauge/histogram touch. Nothing in this crate takes a lock
+//! or performs I/O until an exporter is invoked after the run.
+
+use crate::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+use crate::trace::{TraceEvent, TraceRing};
+use vix_core::config::TelemetrySettings;
+
+/// Handles to the metrics every simulation registers up front, so hot
+/// paths never look anything up by name.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WellKnownMetrics {
+    /// Cycles a packet's head flit lost VC allocation (no free VC).
+    pub stall_va_no_free_vc: CounterId,
+    /// Switch requests that did not receive a grant this cycle.
+    pub stall_sa_no_grant: CounterId,
+    /// Grants dropped because their speculative VC allocation failed.
+    pub stall_sa_spec_dropped: CounterId,
+    /// Grants dropped for lack of downstream credit.
+    pub stall_sa_no_credit: CounterId,
+    /// Active-router set size per gated-scheduler cycle.
+    pub sched_active_routers: GaugeId,
+    /// Wake events drained from the calendar per gated-scheduler cycle.
+    pub sched_wake_events: GaugeId,
+}
+
+/// The funnel for all telemetry of one simulation run.
+#[derive(Debug, Clone)]
+pub struct TelemetrySink {
+    tracing: bool,
+    metrics: bool,
+    ring: TraceRing,
+    registry: MetricsRegistry,
+    /// Pre-registered metric handles (all zero when metrics are off —
+    /// every recording method is guarded, so the dummy IDs are inert).
+    pub ids: WellKnownMetrics,
+}
+
+impl TelemetrySink {
+    /// Builds a sink according to `settings`.
+    #[must_use]
+    pub fn new(settings: TelemetrySettings) -> Self {
+        let ring = if settings.tracing {
+            TraceRing::with_capacity(settings.trace_capacity)
+        } else {
+            TraceRing::disabled()
+        };
+        let mut registry = MetricsRegistry::new();
+        let ids = if settings.metrics {
+            WellKnownMetrics {
+                stall_va_no_free_vc: registry.register_counter("stall.va_no_free_vc"),
+                stall_sa_no_grant: registry.register_counter("stall.sa_no_grant"),
+                stall_sa_spec_dropped: registry.register_counter("stall.sa_spec_dropped"),
+                stall_sa_no_credit: registry.register_counter("stall.sa_no_credit"),
+                sched_active_routers: registry.register_gauge("sched.active_routers"),
+                sched_wake_events: registry.register_gauge("sched.wake_events"),
+            }
+        } else {
+            WellKnownMetrics::default()
+        };
+        TelemetrySink { tracing: settings.tracing, metrics: settings.metrics, ring, registry, ids }
+    }
+
+    /// The default sink: everything off, nothing allocated.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TelemetrySink {
+            tracing: false,
+            metrics: false,
+            ring: TraceRing::disabled(),
+            registry: MetricsRegistry::new(),
+            ids: WellKnownMetrics::default(),
+        }
+    }
+
+    /// True when flit-lifecycle tracing is on. Callers should guard
+    /// event construction behind this.
+    #[inline]
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// True when the metrics registry is live.
+    #[inline]
+    #[must_use]
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics
+    }
+
+    /// Records a trace event (dropped silently when tracing is off).
+    #[inline]
+    pub fn trace(&mut self, ev: TraceEvent) {
+        if self.tracing {
+            self.ring.push(ev);
+        }
+    }
+
+    /// Adds `n` to a counter (no-op when metrics are off).
+    #[inline]
+    pub fn count(&mut self, id: CounterId, n: u64) {
+        if self.metrics && n > 0 {
+            self.registry.add(id, n);
+        }
+    }
+
+    /// Records a gauge sample (no-op when metrics are off).
+    #[inline]
+    pub fn gauge(&mut self, id: GaugeId, value: u64) {
+        if self.metrics {
+            self.registry.set(id, value);
+        }
+    }
+
+    /// Records a histogram sample (no-op when metrics are off).
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        if self.metrics {
+            self.registry.observe(id, value);
+        }
+    }
+
+    /// Registers an extra histogram (e.g. one per router). Returns
+    /// `None` when metrics are off; pair it with an
+    /// [`observe`](TelemetrySink::observe) guarded on the same
+    /// condition.
+    pub fn register_histogram(&mut self, name: &str, bounds: &[u64]) -> Option<HistogramId> {
+        if self.metrics {
+            Some(self.registry.register_histogram(name, bounds))
+        } else {
+            None
+        }
+    }
+
+    /// The recorded trace, for the exporters.
+    #[must_use]
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// The metrics registry, for export and assertions.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl Default for TelemetrySink {
+    fn default() -> Self {
+        TelemetrySink::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEventKind;
+    use vix_core::Cycle;
+
+    #[test]
+    fn disabled_sink_swallows_everything() {
+        let mut sink = TelemetrySink::disabled();
+        assert!(!sink.tracing());
+        assert!(!sink.metrics_enabled());
+        sink.trace(TraceEvent::at(Cycle(0), TraceEventKind::Inject));
+        sink.count(sink.ids.stall_sa_no_grant, 5);
+        sink.gauge(sink.ids.sched_active_routers, 5);
+        assert!(sink.trace_ring().is_empty());
+        assert!(sink.registry().is_empty());
+        assert!(sink.register_histogram("h", &[1]).is_none());
+    }
+
+    #[test]
+    fn enabled_sink_records_events_and_metrics() {
+        let settings = TelemetrySettings::enabled().with_trace_capacity(16);
+        let mut sink = TelemetrySink::new(settings);
+        assert!(sink.tracing() && sink.metrics_enabled());
+        sink.trace(TraceEvent::at(Cycle(3), TraceEventKind::SaGrant));
+        sink.count(sink.ids.stall_sa_no_credit, 2);
+        let h = sink.register_histogram("router0.vc_occupancy", &[0, 2, 4]).unwrap();
+        sink.observe(h, 3);
+        assert_eq!(sink.trace_ring().len(), 1);
+        assert_eq!(sink.registry().counter("stall.sa_no_credit"), Some(2));
+        assert_eq!(sink.registry().histogram("router0.vc_occupancy").unwrap().1, 1);
+    }
+
+    #[test]
+    fn counting_zero_is_free_even_when_enabled() {
+        let mut sink = TelemetrySink::new(TelemetrySettings::enabled());
+        sink.count(sink.ids.stall_sa_no_grant, 0);
+        assert_eq!(sink.registry().counter("stall.sa_no_grant"), Some(0));
+    }
+}

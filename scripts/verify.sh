@@ -22,6 +22,23 @@ cargo test -q --workspace --release
 echo "==> cargo test -q --release --test gating_parity --test zero_alloc"
 cargo test -q --release --test gating_parity --test zero_alloc
 
+# Telemetry contract: the exporter schema is a compatibility surface for
+# external tooling (Perfetto, jq pipelines); run the schema test by name
+# so a drift failure points straight at the contract.
+echo "==> cargo test -q --release --test telemetry_schema --test matching_efficiency"
+cargo test -q --release --test telemetry_schema --test matching_efficiency
+
+# Traced smoke sim: a short instrumented run must produce a loadable
+# Chrome trace and a metrics JSON end to end (CI uploads both).
+echo "==> vixsim traced smoke run"
+mkdir -p target/telemetry-smoke
+cargo run --release --bin vixsim -- --allocator vix --rate 0.08 \
+    --warmup 200 --measure 500 --drain 300 \
+    --trace-out target/telemetry-smoke/trace.json \
+    --metrics-out target/telemetry-smoke/metrics.json
+test -s target/telemetry-smoke/trace.json
+test -s target/telemetry-smoke/metrics.json
+
 echo "==> cargo bench -p vix-bench --bench loadsweep -- --smoke"
 cargo bench -p vix-bench --bench loadsweep -- --smoke
 

@@ -6,9 +6,16 @@
 //!        [--pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor]
 //!        [--warmup N] [--measure N] [--drain N] [--seed S] [--jobs N]
 //!        [--no-speculation] [--no-dimension-aware] [--age-based-sa]
+//!        [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! Example: `vixsim --allocator vix --rate 0.10 --pattern transpose`
+//!
+//! `--trace-out` records the flit-lifecycle trace of a single run: a
+//! `.json` path gets the Chrome trace-event format (open in Perfetto or
+//! `chrome://tracing`), anything else line-delimited JSON. `--metrics-out`
+//! writes the metrics registry and the allocator matching-efficiency
+//! record as JSON; in sweep mode it holds the per-rate matching records.
 
 use std::process::ExitCode;
 use vix::prelude::*;
@@ -32,6 +39,8 @@ struct Options {
     age_based_sa: bool,
     five_stage: bool,
     sweep_csv: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -54,6 +63,8 @@ impl Default for Options {
             age_based_sa: false,
             five_stage: false,
             sweep_csv: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -71,7 +82,11 @@ const USAGE: &str = "usage: vixsim [options]
   --jobs <n>                       sweep worker threads; 0 = all cores
                                    (default 0; results identical for any value)
   --no-speculation  --no-dimension-aware  --age-based-sa  --five-stage
-  --sweep-csv <file>               run a 10-point rate sweep, write CSV";
+  --sweep-csv <file>               run a 10-point rate sweep, write CSV
+  --trace-out <file>               record the flit-lifecycle trace (single
+                                   run only): .json = Chrome trace-event
+                                   (Perfetto), otherwise JSON lines
+  --metrics-out <file>             write metrics + matching efficiency JSON";
 
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opt = Options::default();
@@ -134,6 +149,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--no-speculation" => opt.speculation = false,
             "--five-stage" => opt.five_stage = true,
             "--sweep-csv" => opt.sweep_csv = Some(value()?.clone()),
+            "--trace-out" => opt.trace_out = Some(value()?.clone()),
+            "--metrics-out" => opt.metrics_out = Some(value()?.clone()),
             "--no-dimension-aware" => opt.dimension_aware = false,
             "--age-based-sa" => opt.age_based_sa = true,
             "--help" | "-h" => return Err(String::new()),
@@ -179,13 +196,21 @@ fn main() -> ExitCode {
             vix::PipelineKind::ThreeStage
         });
     let network = NetworkConfig { topology: opt.topology, nodes: 64, router, allocator: opt.allocator };
+    let telemetry = TelemetrySettings::disabled()
+        .with_tracing(opt.trace_out.is_some())
+        .with_metrics(opt.metrics_out.is_some() && opt.sweep_csv.is_none());
     let cfg = SimConfig::new(network, opt.rate)
         .with_packet_len(opt.packet_len)
         .with_windows(opt.warmup, opt.measure, opt.drain)
         .with_seed(opt.seed)
-        .with_jobs(opt.jobs);
+        .with_jobs(opt.jobs)
+        .with_telemetry(telemetry);
 
     if let Some(path) = &opt.sweep_csv {
+        if opt.trace_out.is_some() {
+            eprintln!("error: --trace-out records a single run; drop --sweep-csv");
+            return ExitCode::FAILURE;
+        }
         let sweep = match LoadSweep::new(cfg).with_pattern(opt.pattern.clone()).run() {
             Ok(sweep) => sweep,
             Err(e) => {
@@ -204,6 +229,27 @@ fn main() -> ExitCode {
             eprintln!("error: writing {path}: {e}");
             return ExitCode::FAILURE;
         }
+        if let Some(mpath) = &opt.metrics_out {
+            // Per-rate matching records, in sweep order: deterministic for
+            // any --jobs value because each point's stats are.
+            let mut doc = String::from("{\"sweep\":[");
+            for (i, point) in sweep.points().iter().enumerate() {
+                if i > 0 {
+                    doc.push(',');
+                }
+                doc.push_str(&format!(
+                    "{{\"rate\":{},\"matching\":{}}}",
+                    point.rate,
+                    point.stats.matching().to_json()
+                ));
+            }
+            doc.push_str("]}");
+            if let Err(e) = std::fs::write(mpath, doc) {
+                eprintln!("error: writing {mpath}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote per-rate matching metrics to {mpath}");
+        }
         println!(
             "wrote {} sweep points to {path} (saturation {:.4} pkt/node/cycle)",
             sweep.len(),
@@ -219,7 +265,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
+    vix::telemetry::info!(
         "vixsim: {:?} / {} / {} traffic @ {} pkt/cycle/node, {} VCs, {} virtual input(s)",
         opt.topology,
         opt.allocator.label(),
@@ -228,7 +274,44 @@ fn main() -> ExitCode {
         opt.vcs,
         k
     );
-    let stats = sim.run();
+    let (stats, tel) = sim.run_with_telemetry();
+    if let Some(path) = &opt.trace_out {
+        let write = || -> std::io::Result<()> {
+            let file = std::fs::File::create(path)?;
+            let mut w = std::io::BufWriter::new(file);
+            if path.ends_with(".json") {
+                tel.trace_ring().write_chrome_trace(&mut w)?;
+            } else {
+                tel.trace_ring().write_jsonl(&mut w)?;
+            }
+            std::io::Write::flush(&mut w)
+        };
+        if let Err(e) = write() {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} trace events to {path}{}",
+            tel.trace_ring().len(),
+            if tel.trace_ring().dropped() > 0 {
+                format!(" ({} oldest dropped by the ring)", tel.trace_ring().dropped())
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = &opt.metrics_out {
+        let doc = format!(
+            "{{\"matching\":{},\"registry\":{}}}",
+            stats.matching().to_json(),
+            tel.registry().to_json()
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics to {path}");
+    }
     println!("  offered   {:.4} pkt/node/cycle", stats.offered_packets_per_node_cycle());
     println!("  accepted  {:.4} pkt/node/cycle ({:.4} flits/node/cycle)",
         stats.accepted_packets_per_node_cycle(), stats.accepted_flits_per_node_cycle());
@@ -238,6 +321,13 @@ fn main() -> ExitCode {
         stats.p99_packet_latency().unwrap_or(0),
         stats.max_packet_latency());
     println!("  fairness  max/min = {:.2}", stats.fairness_ratio());
+    println!(
+        "  matching  efficiency {:.4} ({} grants / {} bound over {} allocation cycles)",
+        stats.matching().efficiency(),
+        stats.matching().grants,
+        stats.matching().match_bound,
+        stats.matching().cycles
+    );
     println!("  packets   {} delivered over {} measured cycles",
         stats.packets_ejected(), stats.measured_cycles());
     ExitCode::SUCCESS

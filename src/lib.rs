@@ -18,6 +18,9 @@
 //!   micro-architecture with credit-based wormhole flow control.
 //! * [`sim`] — the network simulator, statistics, and the
 //!   single-router allocation-efficiency harness.
+//! * [`telemetry`] — flit-lifecycle tracing (JSONL + Chrome
+//!   trace-event exporters), the zero-overhead metrics registry, and the
+//!   allocator matching-efficiency record.
 //! * [`traffic`] — synthetic traffic patterns.
 //! * [`delay`] — 45 nm-calibrated analytical circuit delay
 //!   models (Tables 1 and 3 of the paper).
@@ -46,23 +49,25 @@ pub use vix_manycore as manycore;
 pub use vix_power as power;
 pub use vix_router as router;
 pub use vix_sim as sim;
+pub use vix_telemetry as telemetry;
 pub use vix_topology as topology;
 pub use vix_traffic as traffic;
 
 pub use vix_core::{
     ActivityCounters, AllocatorKind, ConfigError, Cycle, Flit, FlitKind, NetworkConfig, NodeId,
     PacketDescriptor, PacketId, PipelineKind, PortId, RouterConfig, RouterId, SimConfig,
-    TopologyKind, VcId, VirtualInputId, VirtualInputs, VixPartition,
+    TelemetrySettings, TopologyKind, VcId, VirtualInputId, VirtualInputs, VixPartition,
 };
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use vix_alloc::{build_allocator, SwitchAllocator};
     pub use vix_core::{
-        AllocatorKind, ConfigError, NetworkConfig, RouterConfig, SimConfig, TopologyKind,
-        VirtualInputs,
+        AllocatorKind, ConfigError, NetworkConfig, RouterConfig, SimConfig, TelemetrySettings,
+        TopologyKind, VirtualInputs,
     };
     pub use vix_sim::{LoadSweep, NetworkSim, NetworkStats, SingleRouterHarness};
+    pub use vix_telemetry::{MatchingSummary, TelemetrySink};
     pub use vix_topology::Topology;
     pub use vix_traffic::TrafficPattern;
 }

@@ -104,6 +104,10 @@ fn full_run_protocol_matches_for_every_allocator() {
         assert_eq!(gated.packets_ejected(), ungated.packets_ejected(), "{kind:?}");
         assert_eq!(gated.avg_packet_latency(), ungated.avg_packet_latency(), "{kind:?}");
         assert_eq!(gated.activity(), ungated.activity(), "{kind:?}: activity diverged");
+        // Matching records skip empty allocation cycles by construction, so
+        // the gated scheduler (which never even calls the allocator on an
+        // empty cycle) must report identical counters.
+        assert_eq!(gated.matching(), ungated.matching(), "{kind:?}: matching diverged");
     }
 }
 

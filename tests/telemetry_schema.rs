@@ -1,0 +1,163 @@
+//! Golden-schema test for the trace exporters.
+//!
+//! Runs a 2×2 mesh for 200 cycles with tracing enabled, then:
+//!
+//! - validates every JSONL line against the per-kind schema documented in
+//!   `vix_telemetry::trace` (exact key set, correct value types), and
+//! - checks the Chrome trace export is well-formed JSON whose instant
+//!   events have monotonically non-decreasing `ts` on every `(pid, tid)`
+//!   track.
+//!
+//! The schema is a contract with external tooling (Perfetto, jq
+//! pipelines); this test pins it so a field rename or a sentinel leaking
+//! into the output is a test failure, not a downstream surprise.
+
+use std::collections::HashMap;
+
+use vix::prelude::*;
+use vix::telemetry::json::{self, JsonValue};
+use vix::telemetry::{TraceEventKind, TraceRing};
+
+/// Builds and steps a 2×2 mesh for 200 cycles with tracing on, returning
+/// the sink.
+fn traced_run() -> TelemetrySink {
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    network.nodes = 4; // 2×2 mesh
+    let telemetry = TelemetrySettings::disabled().with_tracing(true).with_metrics(true);
+    let cfg = SimConfig::new(network, 0.1).with_windows(201, 1, 1).with_telemetry(telemetry);
+    let mut sim = NetworkSim::build(cfg).expect("valid config");
+    for _ in 0..200 {
+        sim.step();
+    }
+    sim.into_telemetry()
+}
+
+/// The documented required-key set for each event kind, beyond the
+/// always-present `cycle` and `event`. Must match the table in the
+/// `vix_telemetry::trace` module docs.
+fn required_keys(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "Inject" => &["router", "port", "vc", "packet", "flit"],
+        "VcAlloc" => &["router", "port", "vc", "out_port", "out_vc", "packet"],
+        "SaRequest" => &["router", "port", "vc", "out_port", "packet", "speculative"],
+        "SaGrant" => &["router", "port", "vc", "out_port", "packet"],
+        "SwitchTraversal" => &["router", "port", "vc", "out_port", "packet", "flit"],
+        "LinkTraversal" => &["router", "port", "vc", "packet", "flit"],
+        "Eject" => &["router", "port", "vc", "packet", "flit"],
+        "CreditReturn" => &["router", "port", "vc"],
+        other => panic!("undocumented event kind {other:?}"),
+    }
+}
+
+#[test]
+fn jsonl_events_match_documented_schema() {
+    let tel = traced_run();
+    let ring: &TraceRing = tel.trace_ring();
+    assert_eq!(ring.dropped(), 0, "200 cycles of a 2×2 mesh must fit the default ring");
+    assert!(!ring.is_empty(), "a loaded 200-cycle run must record events");
+
+    let mut out = Vec::new();
+    ring.write_jsonl(&mut out).expect("write to Vec cannot fail");
+    let text = String::from_utf8(out).expect("JSONL output is UTF-8");
+
+    let mut kinds_seen: HashMap<String, usize> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let value = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: invalid JSON ({e}): {line}", lineno + 1));
+        let members = value
+            .as_object()
+            .unwrap_or_else(|| panic!("line {}: not a JSON object: {line}", lineno + 1));
+
+        value
+            .get("cycle")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("line {}: missing/invalid `cycle`: {line}", lineno + 1));
+        let kind = value
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("line {}: missing/invalid `event`: {line}", lineno + 1))
+            .to_owned();
+        *kinds_seen.entry(kind.clone()).or_insert(0) += 1;
+
+        let required = required_keys(&kind);
+        for &key in required {
+            let field = value
+                .get(key)
+                .unwrap_or_else(|| panic!("line {}: {kind} missing `{key}`: {line}", lineno + 1));
+            let ok = match key {
+                "speculative" => field.as_bool().is_some(),
+                _ => field.as_u64().is_some(),
+            };
+            assert!(ok, "line {}: {kind} `{key}` has wrong type: {line}", lineno + 1);
+        }
+        // No undocumented keys: the object is exactly cycle + event +
+        // the required set (sentinel-valued fields must stay omitted).
+        assert_eq!(
+            members.len(),
+            2 + required.len(),
+            "line {}: {kind} has extra keys beyond the documented schema: {line}",
+            lineno + 1
+        );
+        for (key, _) in members {
+            assert!(
+                key == "cycle" || key == "event" || required.contains(&key.as_str()),
+                "line {}: {kind} has undocumented key `{key}`: {line}",
+                lineno + 1
+            );
+        }
+    }
+
+    // A loaded 200-cycle run must exercise the full lifecycle.
+    for kind in TraceEventKind::ALL {
+        assert!(
+            kinds_seen.contains_key(kind.name()),
+            "no {} event in 200 cycles (saw: {kinds_seen:?})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed_with_monotone_tracks() {
+    let tel = traced_run();
+
+    let mut out = Vec::new();
+    tel.trace_ring().write_chrome_trace(&mut out).expect("write to Vec cannot fail");
+    let text = String::from_utf8(out).expect("Chrome trace output is UTF-8");
+
+    let doc = json::parse(&text).expect("Chrome trace must be well-formed JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("top-level `traceEvents` array");
+    assert!(!events.is_empty(), "a loaded run must export events");
+
+    let mut last_ts: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut instants = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).expect("every event has `ph`");
+        let pid = ev.get("pid").and_then(JsonValue::as_u64).expect("every event has `pid`");
+        let tid = ev.get("tid").and_then(JsonValue::as_u64).expect("every event has `tid`");
+        match ph {
+            "M" => {
+                // Metadata record: names the router's track, no timestamp.
+                assert_eq!(ev.get("name").and_then(JsonValue::as_str), Some("process_name"));
+            }
+            "i" => {
+                instants += 1;
+                ev.get("name").and_then(JsonValue::as_str).expect("instant event has `name`");
+                let ts = ev.get("ts").and_then(JsonValue::as_u64).expect("instant event has `ts`");
+                if let Some(&prev) = last_ts.get(&(pid, tid)) {
+                    assert!(
+                        ts >= prev,
+                        "track (pid {pid}, tid {tid}): ts went backwards ({prev} -> {ts})"
+                    );
+                }
+                last_ts.insert((pid, tid), ts);
+            }
+            other => panic!("unexpected phase {other:?} in Chrome trace"),
+        }
+    }
+    assert!(instants > 0, "Chrome trace holds only metadata records");
+    assert!(last_ts.keys().any(|&(pid, _)| pid > 0), "expected events from more than one router");
+}

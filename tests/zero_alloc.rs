@@ -41,7 +41,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn allocations_in_steady_state(kind: AllocatorKind) -> u64 {
+fn allocations_in_steady_state(kind: AllocatorKind, telemetry: TelemetrySettings) -> u64 {
     const NODES: usize = 64; // 8×8 mesh
     const WARMUP_CYCLES: usize = 500;
     const MEASURED_CYCLES: usize = 1_000;
@@ -52,7 +52,8 @@ fn allocations_in_steady_state(kind: AllocatorKind) -> u64 {
     // entire time and the measurement stats never record (their latency
     // log grows unboundedly by design — it is not part of the hot path).
     let cfg = SimConfig::new(network, 0.08)
-        .with_windows((WARMUP_CYCLES + MEASURED_CYCLES + 1) as u64, 1, 1);
+        .with_windows((WARMUP_CYCLES + MEASURED_CYCLES + 1) as u64, 1, 1)
+        .with_telemetry(telemetry);
     let mut sim = NetworkSim::build(cfg).expect("valid config");
 
     // Warmup: every reusable buffer reaches its steady-state capacity.
@@ -72,11 +73,31 @@ fn allocations_in_steady_state(kind: AllocatorKind) -> u64 {
 #[test]
 fn steady_state_network_steps_stay_off_the_heap() {
     for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
-        let allocs = allocations_in_steady_state(kind);
+        let allocs = allocations_in_steady_state(kind, TelemetrySettings::disabled());
         assert!(
             allocs < 64,
             "{kind:?}: {allocs} heap allocations in 1,000 steady-state cycles \
              of an 8×8 mesh (gate: < 64)"
+        );
+    }
+}
+
+#[test]
+fn disabled_telemetry_sink_adds_no_allocations() {
+    // The zero-overhead claim, pinned: with the sink explicitly Disabled
+    // the instrumented hot path (trace hooks in the router and network,
+    // matching counters in every allocator, metric hooks in the gated
+    // scheduler) must hold the exact same allocation gate as the
+    // uninstrumented code did.
+    for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
+        let allocs = allocations_in_steady_state(
+            kind,
+            TelemetrySettings::disabled().with_tracing(false).with_metrics(false),
+        );
+        assert!(
+            allocs < 64,
+            "{kind:?}: {allocs} heap allocations in 1,000 steady-state cycles \
+             with the Disabled telemetry sink (gate unchanged: < 64)"
         );
     }
 }
