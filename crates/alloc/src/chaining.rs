@@ -2,7 +2,7 @@
 //! et al., MICRO-44, as described in §4.4 of the VIX paper.
 
 use crate::separable::SeparableAllocator;
-use crate::{AllocatorConfig, SwitchAllocator};
+use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
 use vix_telemetry::MatchingStats;
@@ -78,10 +78,63 @@ impl PacketChainingAllocator {
     }
 }
 
-impl SwitchAllocator for PacketChainingAllocator {
-    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
-        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
-        grants.clear();
+impl PacketChainingAllocator {
+    /// Word-parallel kernel: inherited-chain champion lines come straight
+    /// from the request bit-view's VC planes, and the taken flags are
+    /// single words. Phase 2 delegates to the inner separable allocator,
+    /// which inherits the same kernel choice from the shared config.
+    fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        let ports = self.cfg.ports;
+        let Self { cfg, inner, held, vc_selectors, residual, inner_grants, matching, .. } = self;
+        let bits = requests.bits();
+        let mut input_taken = 0u64;
+        let mut output_taken = 0u64;
+
+        // Phase 1: inherit surviving chains.
+        for (out, slot) in held.iter_mut().enumerate().take(ports) {
+            let Some(input) = *slot else { continue };
+            if input_taken & (1u64 << input.0) != 0 {
+                *slot = None;
+                continue;
+            }
+            // anyVC: any VC of the same input requesting the same output,
+            // non-speculative preferred.
+            let mut chosen = None;
+            for speculative in [false, true] {
+                let line_mask = bits.vc_plane(speculative, input, PortId(out));
+                let sel = &mut vc_selectors[input.0];
+                if let Some(v) = sel.peek_mask(line_mask) {
+                    sel.commit(v);
+                    chosen = Some(VcId(v));
+                    break;
+                }
+            }
+            match chosen {
+                Some(vc) => {
+                    input_taken |= 1u64 << input.0;
+                    output_taken |= 1u64 << out;
+                    grants.add(Grant { port: input, vc, out_port: PortId(out) });
+                }
+                None => *slot = None,
+            }
+        }
+
+        // Phase 2: separable allocation over the remaining requests.
+        residual.clear();
+        for r in requests.active_requests() {
+            if input_taken & (1u64 << r.port.0) == 0 && output_taken & (1u64 << r.out_port.0) == 0
+            {
+                residual.push(*r);
+            }
+        }
+        inner.allocate_into(residual, inner_grants);
+        grants.extend(inner_grants.iter().copied());
+        matching.record(requests, grants, &cfg.partition);
+    }
+
+    /// The original scalar loops, kept as the executable specification and
+    /// scalar benchmark baseline.
+    fn allocate_scalar(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
         let Self { cfg, inner, held, vc_selectors, residual, inner_grants, scratch, matching } =
@@ -136,6 +189,17 @@ impl SwitchAllocator for PacketChainingAllocator {
         inner.allocate_into(residual, inner_grants);
         grants.extend(inner_grants.iter().copied());
         matching.record(requests, grants, &cfg.partition);
+    }
+}
+
+impl SwitchAllocator for PacketChainingAllocator {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        debug_assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        grants.clear();
+        match self.cfg.kernel {
+            KernelKind::Bitset => self.allocate_bitset(requests, grants),
+            KernelKind::Scalar => self.allocate_scalar(requests, grants),
+        }
     }
 
     fn partition(&self) -> &VixPartition {

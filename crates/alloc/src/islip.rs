@@ -1,8 +1,9 @@
 //! Iterative separable allocator (iSLIP-style), included as an extension
 //! baseline beyond the paper's evaluated schemes.
 
-use crate::{AllocatorConfig, SwitchAllocator};
-use vix_arbiter::Arbiter;
+use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
+use vix_arbiter::{first_set_from, Arbiter};
+use vix_core::bits::mask_up_to;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
 use vix_telemetry::MatchingStats;
 
@@ -46,6 +47,8 @@ struct IslipScratch {
     grants_to_input: Vec<Vec<usize>>,
     /// VC request lines of one matched input.
     lines: Vec<bool>,
+    /// Bitset kernel: output mask granting each input this iteration.
+    grant_masks: Vec<u64>,
 }
 
 impl IslipAllocator {
@@ -76,16 +79,90 @@ impl IslipAllocator {
     }
 }
 
-impl SwitchAllocator for IslipAllocator {
-    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
-        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
-        grants.clear();
+impl IslipAllocator {
+    /// Word-parallel kernel: both pointer scans collapse to
+    /// [`first_set_from`] over the request-bit-view's per-output requester
+    /// masks. Grants, emission order, and pointer evolution match
+    /// [`allocate_scalar`](Self::allocate_scalar) exactly.
+    fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        let ports = self.cfg.ports;
+        let iterations = self.iterations;
+        let Self { cfg, grant_pointers, accept_pointers, vc_selectors, scratch, matching, .. } =
+            self;
+        let IslipScratch { matched_out_of_in, grant_masks, .. } = scratch;
+        let bits = requests.bits();
+
+        matched_out_of_in.clear();
+        matched_out_of_in.resize(ports, None);
+        grant_masks.clear();
+        grant_masks.resize(ports, 0);
+        let mut free_in = mask_up_to(ports);
+        let mut out_matched = 0u64;
+
+        for iter in 0..iterations {
+            // Grant round: each free output grants one requesting free
+            // input, scanning cyclically from its grant pointer.
+            for m in grant_masks.iter_mut() {
+                *m = 0;
+            }
+            for (out, &pointer) in grant_pointers.iter().enumerate().take(ports) {
+                if out_matched & (1u64 << out) != 0 {
+                    continue;
+                }
+                // Port-level requests ignore speculation for the matching;
+                // the VC champion prefers non-speculative below.
+                let cand = bits.requesters_any(PortId(out)) & free_in;
+                if let Some(i) = first_set_from(cand, pointer, ports) {
+                    grant_masks[i] |= 1u64 << out;
+                }
+            }
+            // Accept round.
+            for input in 0..ports {
+                if matched_out_of_in[input].is_some() || grant_masks[input] == 0 {
+                    continue;
+                }
+                let accepted = first_set_from(grant_masks[input], accept_pointers[input], ports)
+                    .expect("non-empty grant mask must contain an acceptable output");
+                matched_out_of_in[input] = Some(accepted);
+                out_matched |= 1u64 << accepted;
+                free_in &= !(1u64 << input);
+                if iter == 0 {
+                    // Pointer update rule: one past the matched partner,
+                    // first iteration only.
+                    grant_pointers[accepted] = (input + 1) % ports;
+                    accept_pointers[input] = (accepted + 1) % ports;
+                }
+            }
+        }
+
+        // VC champions for matched pairs.
+        for input in 0..ports {
+            let Some(out) = matched_out_of_in[input] else { continue };
+            let mut chosen = None;
+            for speculative in [false, true] {
+                let line_mask = bits.vc_plane(speculative, PortId(input), PortId(out));
+                let sel = &mut vc_selectors[input];
+                if let Some(v) = sel.peek_mask(line_mask) {
+                    sel.commit(v);
+                    chosen = Some(VcId(v));
+                    break;
+                }
+            }
+            let vc = chosen.expect("matched pair implies a requesting VC");
+            grants.add(Grant { port: PortId(input), vc, out_port: PortId(out) });
+        }
+        matching.record(requests, grants, &cfg.partition);
+    }
+
+    /// The original scalar loops, kept as the executable specification and
+    /// scalar benchmark baseline.
+    fn allocate_scalar(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
         let iterations = self.iterations;
         let Self { cfg, grant_pointers, accept_pointers, vc_selectors, scratch, matching, .. } =
             self;
-        let IslipScratch { wants, matched_out_of_in, out_matched, grants_to_input, lines } =
+        let IslipScratch { wants, matched_out_of_in, out_matched, grants_to_input, lines, .. } =
             scratch;
 
         // Port-level request matrix (ignore speculation for the matching;
@@ -162,6 +239,17 @@ impl SwitchAllocator for IslipAllocator {
             grants.add(Grant { port: PortId(input), vc, out_port: PortId(out) });
         }
         matching.record(requests, grants, &cfg.partition);
+    }
+}
+
+impl SwitchAllocator for IslipAllocator {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        debug_assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        grants.clear();
+        match self.cfg.kernel {
+            KernelKind::Bitset => self.allocate_bitset(requests, grants),
+            KernelKind::Scalar => self.allocate_scalar(requests, grants),
+        }
     }
 
     fn partition(&self) -> &VixPartition {

@@ -49,7 +49,10 @@ mod wavefront;
 
 pub use chaining::PacketChainingAllocator;
 pub use islip::IslipAllocator;
-pub use matching::{max_bipartite_matching, max_bipartite_matching_from};
+pub use matching::{
+    max_bipartite_matching, max_bipartite_matching_bits_into, max_bipartite_matching_from,
+    MatchingScratch,
+};
 pub use max_matching::MaxMatchingAllocator;
 pub use output_first::OutputFirstAllocator;
 pub use separable::SeparableAllocator;
@@ -58,6 +61,31 @@ pub use wavefront::WavefrontAllocator;
 use vix_arbiter::ArbiterKind;
 use vix_core::{AllocatorKind, GrantSet, RequestSet, RouterConfig, VixPartition};
 use vix_telemetry::{MatchingStats, MatchingSummary};
+
+/// Bitset analogue of the scalar `mask_to_oldest` line masking: clears every
+/// set bit whose age is below the maximum age among set bits, leaving the
+/// arbiter to break ties among the oldest. `age_of` is only consulted for
+/// set bits.
+pub(crate) fn mask_to_oldest_bits(mask: &mut u64, mut age_of: impl FnMut(usize) -> u64) {
+    if *mask == 0 {
+        return;
+    }
+    let mut max = 0u64;
+    let mut scan = *mask;
+    while scan != 0 {
+        let b = scan.trailing_zeros() as usize;
+        scan &= scan - 1;
+        max = max.max(age_of(b));
+    }
+    let mut scan = *mask;
+    while scan != 0 {
+        let b = scan.trailing_zeros() as usize;
+        scan &= scan - 1;
+        if age_of(b) < max {
+            *mask &= !(1u64 << b);
+        }
+    }
+}
 
 /// How separable stages break ties between simultaneous requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -72,6 +100,24 @@ pub enum PriorityPolicy {
     OldestFirst,
 }
 
+/// Which implementation of the allocator inner loops to run.
+///
+/// Both kernels are **bit-identical** in observable behaviour — same grants,
+/// same emission order, same arbiter state evolution — which the differential
+/// suite in `tests/differential.rs` pins down. The scalar kernels are kept as
+/// the executable specification and as the benchmark baseline for
+/// `cargo bench -p vix-bench --bench alloc_kernels`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelKind {
+    /// Word-parallel kernels over the [`vix_core::RequestBits`] dense
+    /// bit-view: rotate-and-AND wavefront sweeps, `trailing_zeros`
+    /// candidate scans, masked round-robin arbitration.
+    #[default]
+    Bitset,
+    /// The original scalar loops over [`RequestSet`] slots.
+    Scalar,
+}
+
 /// Static parameters shared by all allocators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AllocatorConfig {
@@ -83,17 +129,34 @@ pub struct AllocatorConfig {
     pub arbiter: ArbiterKind,
     /// Tie-break policy of the separable stages.
     pub priority: PriorityPolicy,
+    /// Inner-loop implementation (word-parallel bitset by default).
+    pub kernel: KernelKind,
 }
 
 impl AllocatorConfig {
     /// Creates a configuration with round-robin arbiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports`, the partition's VC count, or the total crossbar
+    /// inputs (`ports × groups`) exceed 64 — the word width the bitset
+    /// kernels pack each request row into. [`RouterConfig::validate`]
+    /// rejects such shapes with [`vix_core::ConfigError::TooWideForBitset`]
+    /// before they reach this constructor.
     #[must_use]
     pub fn new(ports: usize, partition: VixPartition) -> Self {
+        assert!(ports <= 64, "ports must be at most 64 for the bitset kernels");
+        assert!(partition.vcs() <= 64, "VCs must be at most 64 for the bitset kernels");
+        assert!(
+            ports * partition.groups() <= 64,
+            "crossbar inputs (ports × virtual inputs) must be at most 64 for the bitset kernels"
+        );
         AllocatorConfig {
             ports,
             partition,
             arbiter: ArbiterKind::RoundRobin,
             priority: PriorityPolicy::Rotating,
+            kernel: KernelKind::Bitset,
         }
     }
 
@@ -108,6 +171,13 @@ impl AllocatorConfig {
     #[must_use]
     pub fn with_priority(mut self, priority: PriorityPolicy) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Overrides the inner-loop kernel implementation.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 

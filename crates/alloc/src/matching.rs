@@ -64,7 +64,7 @@ pub fn max_bipartite_matching_from(
     std::mem::take(&mut scratch.match_of_left)
 }
 
-/// Reusable working state for [`max_bipartite_matching_into`]: the two
+/// Reusable working state for `max_bipartite_matching_into`: the two
 /// match arrays plus the per-augmentation `visited` set, retained across
 /// cycles so the steady-state matcher never heap-allocates.
 #[derive(Debug, Default)]
@@ -139,6 +139,98 @@ pub fn max_bipartite_matching_into(
     }
 }
 
+/// `max_bipartite_matching_into` over bit-mask adjacency: `adjacency[l]`
+/// has bit `r` set iff left vertex `l` reaches right vertex `r`, so the
+/// whole graph is one `u64` per row and the per-augmentation visited set is
+/// a single word.
+///
+/// Candidate edges are scanned with `trailing_zeros`, i.e. in ascending
+/// right-vertex order — identical to the scalar algorithm on *sorted,
+/// deduplicated* adjacency lists, which is exactly what the allocators
+/// build. The resulting matching is therefore bit-identical to the scalar
+/// path. The matching is left in `scratch.match_of_left`; the boolean
+/// `visited` scratch field is unused here.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `rights > 64` or an adjacency row has bits
+/// at or above `rights`.
+pub fn max_bipartite_matching_bits_into(
+    lefts: usize,
+    rights: usize,
+    adjacency: &[u64],
+    offset: usize,
+    scratch: &mut MatchingScratch,
+) {
+    debug_assert!(rights <= 64, "bit-mask matching supports at most 64 right vertices");
+    debug_assert_eq!(adjacency.len(), lefts, "adjacency must have one entry per left vertex");
+    debug_assert!(
+        adjacency.iter().all(|&a| rights == 64 || a >> rights == 0),
+        "adjacency row has right vertices out of range ({rights})"
+    );
+    let MatchingScratch { match_of_left, match_of_right, .. } = scratch;
+    match_of_right.clear();
+    match_of_right.resize(rights, None);
+    match_of_left.clear();
+    match_of_left.resize(lefts, None);
+
+    fn try_augment(
+        l: usize,
+        adjacency: &[u64],
+        visited: &mut u64,
+        free_rights: &mut u64,
+        match_of_right: &mut [Option<usize>],
+        match_of_left: &mut [Option<usize>],
+    ) -> bool {
+        // Recompute the candidate mask after every recursive probe: the
+        // recursion may have visited further right vertices, and the scalar
+        // loop skips those too.
+        let mut cand = adjacency[l] & !*visited;
+        while cand != 0 {
+            let r = cand.trailing_zeros() as usize;
+            *visited |= 1u64 << r;
+            let free = match match_of_right[r] {
+                None => {
+                    *free_rights &= !(1u64 << r);
+                    true
+                }
+                Some(other) => try_augment(
+                    other,
+                    adjacency,
+                    visited,
+                    free_rights,
+                    match_of_right,
+                    match_of_left,
+                ),
+            };
+            if free {
+                match_of_right[r] = Some(l);
+                match_of_left[l] = Some(r);
+                return true;
+            }
+            cand = adjacency[l] & !*visited;
+        }
+        false
+    }
+
+    // Every augmenting path terminates at a *free* right vertex, so once
+    // none remain every further `try_augment` is doomed — and a failed
+    // augmentation never touches the match arrays, so skipping the
+    // remaining lefts is behaviour-preserving, not an approximation. The
+    // scalar reference kernel grinds through those provably-failing
+    // searches; tracking the free set as one word is what makes the
+    // saturation cutoff O(1) here.
+    let mut free_rights = if rights == 64 { !0u64 } else { (1u64 << rights) - 1 };
+    for i in 0..lefts {
+        if free_rights == 0 {
+            break;
+        }
+        let l = (i + offset) % lefts;
+        let mut visited = 0u64;
+        try_augment(l, adjacency, &mut visited, &mut free_rights, match_of_right, match_of_left);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +291,36 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_adjacency_panics() {
         let _ = max_bipartite_matching(1, 1, &[vec![3]]);
+    }
+
+    #[test]
+    fn bits_variant_matches_scalar_on_sorted_adjacency() {
+        // Pseudo-random bipartite graphs; the list version gets the same
+        // edges sorted ascending, so both must produce identical matchings.
+        let mut state = 0xDEAD_BEEFu64;
+        for (lefts, rights) in [(4, 4), (6, 3), (3, 6), (10, 8)] {
+            for offset in 0..lefts {
+                let mut adj_bits = vec![0u64; lefts];
+                for row in adj_bits.iter_mut() {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    *row = state & ((1u64 << rights) - 1);
+                }
+                let adj_lists: Vec<Vec<usize>> = adj_bits
+                    .iter()
+                    .map(|&m| (0..rights).filter(|&r| m & (1 << r) != 0).collect())
+                    .collect();
+                let mut scalar = MatchingScratch::default();
+                let mut bits = MatchingScratch::default();
+                max_bipartite_matching_into(lefts, rights, &adj_lists, offset, &mut scalar);
+                max_bipartite_matching_bits_into(lefts, rights, &adj_bits, offset, &mut bits);
+                assert_eq!(
+                    scalar.match_of_left, bits.match_of_left,
+                    "kernels diverged on {lefts}x{rights} offset {offset}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Maximum-matching allocators: the paper's "AP" scheme and the ideal
 //! VC-level matcher, unified over the virtual-input partition.
 
-use crate::{AllocatorConfig, SwitchAllocator};
+use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
 use vix_telemetry::MatchingStats;
@@ -32,6 +32,11 @@ pub struct MaxMatchingAllocator {
     /// VCs of each sub-group, precomputed so the per-cycle loops never
     /// collect.
     group_vcs: Vec<Vec<VcId>>,
+    /// `partition.group_mask(g)` for every sub-group, hoisted out of the
+    /// per-edge bitset loops.
+    group_masks: Vec<u64>,
+    /// `partition.group_of(vc)` for every VC, hoisted likewise.
+    vc_group: Vec<usize>,
     /// Champion selection within a matched sub-group, one per virtual input.
     vc_selectors: Vec<Box<dyn Arbiter>>,
     /// Rotating scan-start offset: removes *permanent* tie-break priority
@@ -48,6 +53,8 @@ pub struct MaxMatchingAllocator {
 struct MaxMatchingScratch {
     /// `adjacency[vi]` = outputs requested by the sub-group, ascending.
     adjacency: Vec<Vec<usize>>,
+    /// Bitset kernel: the same adjacency as one output mask per row.
+    adjacency_bits: Vec<u64>,
     matching: crate::matching::MatchingScratch,
     /// VC request lines of one matched virtual input.
     lines: Vec<bool>,
@@ -61,12 +68,18 @@ impl MaxMatchingAllocator {
         let group_vcs = (0..groups)
             .map(|g| cfg.partition.vcs_in_group(VirtualInputId(g)).collect())
             .collect();
+        let group_masks =
+            (0..groups).map(|g| cfg.partition.group_mask(VirtualInputId(g))).collect();
+        let vc_group =
+            (0..cfg.partition.vcs()).map(|v| cfg.partition.group_of(VcId(v)).0).collect();
         let vc_selectors =
             (0..cfg.ports * groups).map(|_| cfg.arbiter.build(cfg.partition.group_size())).collect();
         let match_stats = MatchingStats::new(cfg.ports * groups);
         MaxMatchingAllocator {
             cfg,
             group_vcs,
+            group_masks,
+            vc_group,
             vc_selectors,
             offset: 0,
             scratch: MaxMatchingScratch::default(),
@@ -77,53 +90,99 @@ impl MaxMatchingAllocator {
 
 impl SwitchAllocator for MaxMatchingAllocator {
     fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
-        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
-        assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
+        debug_assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        debug_assert_eq!(
+            requests.vcs_per_port(),
+            self.cfg.partition.vcs(),
+            "request set VC mismatch"
+        );
         grants.clear();
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
-        let Self { cfg, group_vcs, vc_selectors, offset, scratch, match_stats } = self;
-        let MaxMatchingScratch { adjacency, matching, lines } = scratch;
+        let group_size = self.cfg.partition.group_size();
+        let Self { cfg, group_vcs, group_masks, vc_group, vc_selectors, offset, scratch, match_stats } =
+            self;
+        let MaxMatchingScratch { adjacency, adjacency_bits, matching, lines } = scratch;
 
         // Edge (virtual input → output) iff some VC of the sub-group
         // requests the output. Adjacency in ascending output order: the
-        // fixed tie-break of a hardware matching network.
-        adjacency.resize_with(ports * groups, Vec::new);
-        for port in 0..ports {
-            for (group, vcs) in group_vcs.iter().enumerate() {
-                let outs = &mut adjacency[port * groups + group];
-                outs.clear();
-                outs.extend(
-                    vcs.iter()
-                        .filter_map(|&vc| requests.get(PortId(port), vc).map(|r| r.out_port.0)),
+        // fixed tie-break of a hardware matching network. (The bit-mask rows
+        // are inherently sorted, which is what keeps the two kernels
+        // bit-identical.)
+        match cfg.kernel {
+            KernelKind::Bitset => {
+                adjacency_bits.clear();
+                adjacency_bits.resize(ports * groups, 0);
+                for req in requests.active_requests() {
+                    adjacency_bits[req.port.0 * groups + vc_group[req.vc.0]] |=
+                        1u64 << req.out_port.0;
+                }
+                crate::matching::max_bipartite_matching_bits_into(
+                    ports * groups,
+                    ports,
+                    adjacency_bits,
+                    *offset,
+                    matching,
                 );
-                outs.sort_unstable();
-                outs.dedup();
+            }
+            KernelKind::Scalar => {
+                adjacency.resize_with(ports * groups, Vec::new);
+                for port in 0..ports {
+                    for (group, vcs) in group_vcs.iter().enumerate() {
+                        let outs = &mut adjacency[port * groups + group];
+                        outs.clear();
+                        outs.extend(
+                            vcs.iter().filter_map(|&vc| {
+                                requests.get(PortId(port), vc).map(|r| r.out_port.0)
+                            }),
+                        );
+                        outs.sort_unstable();
+                        outs.dedup();
+                    }
+                }
+                crate::matching::max_bipartite_matching_into(
+                    ports * groups,
+                    ports,
+                    adjacency,
+                    *offset,
+                    matching,
+                );
             }
         }
-
-        crate::matching::max_bipartite_matching_into(
-            ports * groups,
-            ports,
-            adjacency,
-            *offset,
-            matching,
-        );
         *offset = (*offset + 1) % (ports * groups);
 
         for port in 0..ports {
-            for (group, vcs) in group_vcs.iter().enumerate() {
+            for group in 0..groups {
                 let vi = port * groups + group;
                 let Some(out) = matching.match_of_left[vi] else { continue };
-                // Champion among the sub-group's VCs that request `out`.
-                lines.clear();
-                lines.extend(vcs.iter().map(|&vc| {
-                    requests.get(PortId(port), vc).is_some_and(|r| r.out_port.0 == out)
-                }));
                 let selector = &mut vc_selectors[vi];
-                let local = selector.peek(lines).expect("matched edge implies a requesting VC");
+                // Champion among the sub-group's VCs that request `out`.
+                let local = match cfg.kernel {
+                    KernelKind::Bitset => {
+                        let gstart = group * group_size;
+                        let line_mask = (requests
+                            .bits()
+                            .vc_plane_any(PortId(port), PortId(out))
+                            & group_masks[group])
+                            >> gstart;
+                        selector.peek_mask(line_mask)
+                    }
+                    KernelKind::Scalar => {
+                        let vcs = &group_vcs[group];
+                        lines.clear();
+                        lines.extend(vcs.iter().map(|&vc| {
+                            requests.get(PortId(port), vc).is_some_and(|r| r.out_port.0 == out)
+                        }));
+                        selector.peek(lines)
+                    }
+                }
+                .expect("matched edge implies a requesting VC");
                 selector.commit(local);
-                grants.add(Grant { port: PortId(port), vc: vcs[local], out_port: PortId(out) });
+                grants.add(Grant {
+                    port: PortId(port),
+                    vc: VcId(group * group_size + local),
+                    out_port: PortId(out),
+                });
             }
         }
         match_stats.record(requests, grants, &cfg.partition);

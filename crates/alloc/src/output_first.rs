@@ -2,9 +2,10 @@
 //! included to complete the separable design space of Becker & Dally's
 //! allocator study (which the paper builds on).
 
-use crate::{AllocatorConfig, SwitchAllocator};
+use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
-use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
+use vix_core::bits::mask_up_to;
+use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
 use vix_telemetry::MatchingStats;
 
 /// Output-first separable switch allocator.
@@ -45,6 +46,15 @@ struct OutputFirstScratch {
     out_lines: Vec<bool>,
     /// Stage-2 request lines (one per output port).
     in_lines: Vec<bool>,
+    /// Bitset kernel: stage-1 lines as a multi-word mask over the flat
+    /// `ports × vcs` index space (the one arbiter domain that can exceed
+    /// 64 bits).
+    flat_words: Vec<u64>,
+    /// Bitset kernel: per-port mask of VCs whose virtual input is free.
+    free_vcs: Vec<u64>,
+    /// Bitset kernel: per-virtual-input mask of outputs whose stage-1
+    /// candidate it hosts.
+    cand_masks: Vec<u64>,
 }
 
 impl OutputFirstAllocator {
@@ -63,11 +73,78 @@ impl OutputFirstAllocator {
     }
 }
 
-impl SwitchAllocator for OutputFirstAllocator {
-    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
-        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
-        assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
-        grants.clear();
+impl OutputFirstAllocator {
+    /// Word-parallel kernel. Stage 1's `P·v : 1` arbiter domain is the one
+    /// place in the crate that can exceed 64 bits, so its lines are a
+    /// multi-word mask assembled from per-port VC planes; stage 2 works on
+    /// single-word output masks. Behaviour matches
+    /// [`allocate_scalar`](Self::allocate_scalar) exactly.
+    fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        let ports = self.cfg.ports;
+        let vcs = self.cfg.partition.vcs();
+        let groups = self.cfg.partition.groups();
+        let units = ports * groups;
+        let part = self.cfg.partition;
+        let flat_word_count = (ports * vcs).div_ceil(64);
+        let Self { output_arbiters, input_arbiters, scratch, matching, .. } = self;
+        let OutputFirstScratch { candidates, flat_words, free_vcs, cand_masks, .. } = scratch;
+        let bits = requests.bits();
+
+        // free_vcs[p] = VCs of port p whose virtual input is still free.
+        free_vcs.clear();
+        free_vcs.resize(ports, mask_up_to(vcs));
+        let mut output_taken = 0u64;
+
+        for speculative in [false, true] {
+            // Stage 1: each free output picks a candidate VC.
+            candidates.clear();
+            candidates.resize(ports, None);
+            cand_masks.clear();
+            cand_masks.resize(units, 0);
+            for out in 0..ports {
+                if output_taken & (1u64 << out) != 0 {
+                    continue;
+                }
+                flat_words.clear();
+                flat_words.resize(flat_word_count, 0);
+                for (p, &free) in free_vcs.iter().enumerate().take(ports) {
+                    let line =
+                        bits.vc_plane(speculative, PortId(p), PortId(out)) & free;
+                    if line == 0 {
+                        continue;
+                    }
+                    let (w, b) = ((p * vcs) / 64, (p * vcs) % 64);
+                    flat_words[w] |= line << b;
+                    if b != 0 && b + vcs > 64 {
+                        // The port's VC window straddles a word boundary.
+                        flat_words[w + 1] |= line >> (64 - b);
+                    }
+                }
+                if let Some(flat) = output_arbiters[out].peek_words(flat_words) {
+                    let (p, v) = (PortId(flat / vcs), VcId(flat % vcs));
+                    candidates[out] = Some((p, v));
+                    cand_masks[p.0 * groups + part.group_of(v).0] |= 1u64 << out;
+                }
+            }
+
+            // Stage 2: each virtual input accepts one of the outputs whose
+            // candidate it hosts.
+            for vi in 0..units {
+                let Some(out) = input_arbiters[vi].peek_mask(cand_masks[vi]) else { continue };
+                let (p, v) = candidates[out].expect("line implies candidate");
+                input_arbiters[vi].commit(out);
+                output_arbiters[out].commit(p.0 * vcs + v.0);
+                free_vcs[p.0] &= !part.group_mask(VirtualInputId(vi % groups));
+                output_taken |= 1u64 << out;
+                grants.add(Grant { port: p, vc: v, out_port: PortId(out) });
+            }
+        }
+        matching.record(requests, grants, &part);
+    }
+
+    /// The original scalar loops, kept as the executable specification and
+    /// scalar benchmark baseline.
+    fn allocate_scalar(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
         let vcs = self.cfg.partition.vcs();
         let groups = self.cfg.partition.groups();
@@ -75,7 +152,7 @@ impl SwitchAllocator for OutputFirstAllocator {
         let part = self.cfg.partition;
         let vi_of = move |p: PortId, v: VcId| p.0 * groups + part.group_of(v).0;
         let Self { output_arbiters, input_arbiters, scratch, matching, .. } = self;
-        let OutputFirstScratch { vi_taken, output_taken, candidates, out_lines, in_lines } =
+        let OutputFirstScratch { vi_taken, output_taken, candidates, out_lines, in_lines, .. } =
             scratch;
 
         vi_taken.clear();
@@ -124,6 +201,22 @@ impl SwitchAllocator for OutputFirstAllocator {
             }
         }
         matching.record(requests, grants, &part);
+    }
+}
+
+impl SwitchAllocator for OutputFirstAllocator {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        debug_assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        debug_assert_eq!(
+            requests.vcs_per_port(),
+            self.cfg.partition.vcs(),
+            "request set VC mismatch"
+        );
+        grants.clear();
+        match self.cfg.kernel {
+            KernelKind::Bitset => self.allocate_bitset(requests, grants),
+            KernelKind::Scalar => self.allocate_scalar(requests, grants),
+        }
     }
 
     fn partition(&self) -> &VixPartition {

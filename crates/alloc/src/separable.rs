@@ -5,9 +5,9 @@
 //! [`VixPartition`] — one sub-group per port for IF, `k` sub-groups for a
 //! 1:k VIX router.
 
-use crate::{AllocatorConfig, PriorityPolicy, SwitchAllocator};
+use crate::{mask_to_oldest_bits, AllocatorConfig, KernelKind, PriorityPolicy, SwitchAllocator};
 use vix_arbiter::Arbiter;
-use vix_core::{Grant, GrantSet, PortId, RequestSet, SwitchRequest, VcId, VixPartition};
+use vix_core::{Grant, GrantSet, PortId, RequestSet, SwitchRequest, VcId, VirtualInputId, VixPartition};
 use vix_telemetry::MatchingStats;
 
 /// Input-first separable switch allocator (Fig. 3 of the paper).
@@ -59,6 +59,9 @@ struct SeparableScratch {
     /// Stage-2 request lines / ages (one per virtual input).
     out_lines: Vec<bool>,
     out_ages: Vec<u64>,
+    /// Bitset kernel: per-output mask of champion virtual inputs, one word
+    /// per class (`[non-speculative, speculative]`).
+    champ_class: [Vec<u64>; 2],
 }
 
 impl SeparableAllocator {
@@ -140,11 +143,120 @@ fn mask_to_oldest(lines: &mut [bool], ages: &[u64]) {
     }
 }
 
-impl SwitchAllocator for SeparableAllocator {
-    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
-        assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
-        assert_eq!(requests.vcs_per_port(), self.cfg.partition.vcs(), "request set VC mismatch");
-        grants.clear();
+/// Stage 1 on the dense bit-view: the sub-group's request lines for one
+/// class are a single shift-and-mask of the port's VC word, and the arbiter
+/// scans them with [`Arbiter::peek_mask`]. Grant order and arbiter state
+/// match [`input_stage`] exactly.
+fn input_stage_bits(
+    cfg: &AllocatorConfig,
+    arb: &dyn Arbiter,
+    requests: &RequestSet,
+    port: usize,
+    group: usize,
+    has_speculative: bool,
+) -> Option<(SwitchRequest, usize)> {
+    let gstart = group * cfg.partition.group_size();
+    let gmask = cfg.partition.group_mask(VirtualInputId(group));
+    for speculative in [false, true] {
+        if speculative && !has_speculative {
+            continue;
+        }
+        let mut lines =
+            (requests.bits().class_vcs(speculative, PortId(port)) & gmask) >> gstart;
+        if cfg.priority == PriorityPolicy::OldestFirst {
+            mask_to_oldest_bits(&mut lines, |local| {
+                requests.get(PortId(port), VcId(gstart + local)).map_or(0, |r| r.age)
+            });
+        }
+        if let Some(local) = arb.peek_mask(lines) {
+            let req =
+                requests.get(PortId(port), VcId(gstart + local)).expect("bit implies request");
+            return Some((*req, local));
+        }
+    }
+    None
+}
+
+impl SeparableAllocator {
+    /// Word-parallel kernel: identical grants, emission order, and arbiter
+    /// state to [`allocate_scalar`](Self::allocate_scalar).
+    fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        let ports = self.cfg.ports;
+        let groups = self.cfg.partition.groups();
+        let virtual_inputs = ports * groups;
+        let Self { cfg, input_arbiters, output_arbiters, scratch, matching, .. } = self;
+        let SeparableScratch { champions, champ_class, .. } = scratch;
+
+        // Stage 1: champions[vi] = (request, local VC index in sub-group);
+        // champ_class[class][out] accumulates the stage-2 request masks.
+        champions.clear();
+        champions.resize(virtual_inputs, None);
+        for class in champ_class.iter_mut() {
+            class.clear();
+            class.resize(ports, 0);
+        }
+        let has_speculative = requests.speculative_len() > 0;
+        let mut any_speculative_champion = false;
+        for port in 0..ports {
+            if requests.bits().active_vcs(PortId(port)) == 0 {
+                continue;
+            }
+            for group in 0..groups {
+                let vi = port * groups + group;
+                let champ = input_stage_bits(
+                    cfg,
+                    &*input_arbiters[vi],
+                    requests,
+                    port,
+                    group,
+                    has_speculative,
+                );
+                if let Some((r, _)) = champ {
+                    champ_class[usize::from(r.speculative)][r.out_port.0] |= 1u64 << vi;
+                    any_speculative_champion |= r.speculative;
+                }
+                champions[vi] = champ;
+            }
+        }
+
+        // Stage 2: per-output arbitration among champion virtual inputs,
+        // non-speculative pass first.
+        let mut output_taken = 0u64;
+        let mut vi_taken = 0u64;
+        for speculative in [false, true] {
+            if speculative && !any_speculative_champion {
+                continue;
+            }
+            for out in 0..ports {
+                if output_taken & (1u64 << out) != 0
+                    || (champ_class[0][out] | champ_class[1][out]) == 0
+                {
+                    continue;
+                }
+                let mut out_lines = champ_class[usize::from(speculative)][out] & !vi_taken;
+                if cfg.priority == PriorityPolicy::OldestFirst {
+                    mask_to_oldest_bits(&mut out_lines, |vi| {
+                        champions[vi].as_ref().map_or(0, |(r, _)| r.age)
+                    });
+                }
+                let Some(winner_vi) = output_arbiters[out].peek_mask(out_lines) else {
+                    continue;
+                };
+                let (req, local) = champions[winner_vi].expect("winner implies champion");
+                output_taken |= 1u64 << out;
+                vi_taken |= 1u64 << winner_vi;
+                output_arbiters[out].commit(winner_vi);
+                // Grant-aware input pointer update.
+                input_arbiters[winner_vi].commit(local);
+                grants.add(Grant { port: req.port, vc: req.vc, out_port: out.into() });
+            }
+        }
+        matching.record(requests, grants, &cfg.partition);
+    }
+
+    /// The original scalar loops, kept as the executable specification and
+    /// scalar benchmark baseline.
+    fn allocate_scalar(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
         let virtual_inputs = ports * groups;
@@ -158,6 +270,7 @@ impl SwitchAllocator for SeparableAllocator {
             in_ages,
             out_lines,
             out_ages,
+            ..
         } = scratch;
 
         // Stage 1: champions[vi] = (request, local VC index in sub-group).
@@ -236,6 +349,22 @@ impl SwitchAllocator for SeparableAllocator {
             }
         }
         matching.record(requests, grants, &cfg.partition);
+    }
+}
+
+impl SwitchAllocator for SeparableAllocator {
+    fn allocate_into(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        debug_assert_eq!(requests.ports(), self.cfg.ports, "request set port mismatch");
+        debug_assert_eq!(
+            requests.vcs_per_port(),
+            self.cfg.partition.vcs(),
+            "request set VC mismatch"
+        );
+        grants.clear();
+        match self.cfg.kernel {
+            KernelKind::Bitset => self.allocate_bitset(requests, grants),
+            KernelKind::Scalar => self.allocate_scalar(requests, grants),
+        }
     }
 
     fn partition(&self) -> &VixPartition {

@@ -11,8 +11,9 @@
 
 use proptest::prelude::*;
 use vix_alloc::{
-    AllocatorConfig, IslipAllocator, MaxMatchingAllocator, PacketChainingAllocator,
-    PriorityPolicy, SeparableAllocator, SwitchAllocator, WavefrontAllocator,
+    AllocatorConfig, IslipAllocator, KernelKind, MaxMatchingAllocator, OutputFirstAllocator,
+    PacketChainingAllocator, PriorityPolicy, SeparableAllocator, SwitchAllocator,
+    WavefrontAllocator,
 };
 use vix_core::{PortId, RequestSet, VcId, VixPartition};
 
@@ -50,7 +51,54 @@ fn all_allocators() -> Vec<Box<dyn SwitchAllocator>> {
     ]
 }
 
+/// Scalar/bitset twin pairs of every allocator flavour — identical configs
+/// except for [`KernelKind`]. The deterministic seeded version of this
+/// comparison always runs in `tests/differential.rs`; this generative copy
+/// adds proptest's shrinking on top when the feature is enabled.
+fn kernel_twins() -> Vec<(Box<dyn SwitchAllocator>, Box<dyn SwitchAllocator>)> {
+    let baseline = AllocatorConfig::new(PORTS, VixPartition::baseline(VCS));
+    let vix2 = AllocatorConfig::new(PORTS, VixPartition::even(VCS, 2).unwrap());
+    let ideal = AllocatorConfig::new(PORTS, VixPartition::even(VCS, VCS).unwrap());
+    let twin = |cfg: AllocatorConfig,
+                build: &dyn Fn(AllocatorConfig) -> Box<dyn SwitchAllocator>| {
+        (build(cfg.with_kernel(KernelKind::Scalar)), build(cfg.with_kernel(KernelKind::Bitset)))
+    };
+    vec![
+        twin(baseline, &|c| Box::new(SeparableAllocator::new(c))),
+        twin(vix2, &|c| Box::new(SeparableAllocator::new(c))),
+        twin(vix2.with_priority(PriorityPolicy::OldestFirst), &|c| {
+            Box::new(SeparableAllocator::new(c))
+        }),
+        twin(baseline, &|c| Box::new(WavefrontAllocator::new(c))),
+        twin(vix2, &|c| Box::new(WavefrontAllocator::new(c))),
+        twin(baseline, &|c| Box::new(MaxMatchingAllocator::new(c))),
+        twin(ideal, &|c| Box::new(MaxMatchingAllocator::new(c))),
+        twin(baseline, &|c| Box::new(OutputFirstAllocator::new(c))),
+        twin(baseline, &|c| Box::new(PacketChainingAllocator::new(c))),
+        twin(baseline, &|c| Box::new(IslipAllocator::new(c, 2))),
+    ]
+}
+
 proptest! {
+    /// The word-parallel bitset kernels are bit-identical to the scalar
+    /// reference: same grants, same emission order, on any stateful trace.
+    #[test]
+    fn bitset_kernels_match_scalar(trace in prop::collection::vec(request_sets(), 1..10)) {
+        for (mut scalar, mut bitset) in kernel_twins() {
+            for reqs in &trace {
+                let sg = scalar.allocate(reqs);
+                let bg = bitset.allocate(reqs);
+                prop_assert_eq!(
+                    sg.iter().collect::<Vec<_>>(),
+                    bg.iter().collect::<Vec<_>>(),
+                    "{} kernels diverged", scalar.name()
+                );
+                scalar.observe_traversals(&sg);
+                bitset.observe_traversals(&bg);
+            }
+        }
+    }
+
     /// Every allocator produces a structurally valid grant set on any
     /// request set (one grant per output / VC / sub-group).
     #[test]

@@ -62,6 +62,23 @@ pub trait Arbiter: std::fmt::Debug {
     /// Implementations may panic if `winner >= self.size()`.
     fn commit(&mut self, winner: usize);
 
+    /// The requestor that *would* win among the asserted bits of a request
+    /// mask, without updating priority state — the word-parallel companion
+    /// of [`peek`](Arbiter::peek) for arbiters serving at most 64
+    /// requestors. Bit `i` of `mask` corresponds to `requests[i]`; bits at
+    /// or above [`size`](Arbiter::size) must be clear. Must return exactly
+    /// what `peek` would on the equivalent boolean slice.
+    fn peek_mask(&self, mask: u64) -> Option<usize> {
+        self.peek_words(&[mask])
+    }
+
+    /// [`peek_mask`](Arbiter::peek_mask) over a multi-word request mask
+    /// for arbiters wider than 64 requestors (e.g. the `P·v : 1` stage-1
+    /// arbiters of the output-first allocator). `words[w]` holds requestors
+    /// `64·w ..= 64·w + 63`, little-endian; `words.len()` must be
+    /// `size().div_ceil(64)` and stray bits beyond `size()` must be clear.
+    fn peek_words(&self, words: &[u64]) -> Option<usize>;
+
     /// Picks a winner and updates priority state: `peek` + `commit`.
     fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
         let winner = self.peek(requests)?;
@@ -71,6 +88,24 @@ pub trait Arbiter: std::fmt::Debug {
 
     /// Restores the power-on priority state.
     fn reset(&mut self);
+}
+
+/// First set bit of `mask` at or cyclically after `start`, over a domain of
+/// `width` bits — the rotate-and-`trailing_zeros` round-robin primitive the
+/// bitset allocator kernels share (e.g. iSLIP's grant/accept pointers).
+///
+/// `mask` must have no bits at or above `width`, and `start < width ≤ 64`.
+#[inline]
+#[must_use]
+pub fn first_set_from(mask: u64, start: usize, width: usize) -> Option<usize> {
+    debug_assert!(width <= 64 && start < width, "pointer {start} outside width {width}");
+    debug_assert!(width == 64 || mask >> width == 0, "stray bits beyond arbiter width");
+    if mask == 0 {
+        return None;
+    }
+    let rotated = mask & (!0u64 << start);
+    let pick = if rotated != 0 { rotated } else { mask };
+    Some(pick.trailing_zeros() as usize)
 }
 
 /// Arbitration policy selector for configurable allocators.
@@ -138,6 +173,32 @@ mod trait_tests {
             let second = arb.peek(&reqs);
             assert_eq!(first, second);
         }
+    }
+
+    #[test]
+    fn peek_mask_agrees_with_peek_for_every_kind() {
+        for mut arb in boxed_arbiters() {
+            for round in 0..64u64 {
+                let mask = (round * 11 + 5) % 16;
+                let reqs: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+                let scalar = arb.peek(&reqs);
+                assert_eq!(arb.peek_mask(mask), scalar, "mask {mask:#b}");
+                assert_eq!(arb.peek_words(&[mask]), scalar);
+                if let Some(w) = scalar {
+                    arb.commit(w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_set_from_scans_cyclically() {
+        assert_eq!(first_set_from(0, 3, 8), None);
+        assert_eq!(first_set_from(0b0001_0010, 0, 8), Some(1));
+        assert_eq!(first_set_from(0b0001_0010, 2, 8), Some(4));
+        assert_eq!(first_set_from(0b0001_0010, 5, 8), Some(1), "wraps past the top");
+        assert_eq!(first_set_from(1 << 63, 10, 64), Some(63));
+        assert_eq!(first_set_from(1, 63, 64), Some(0));
     }
 
     #[test]

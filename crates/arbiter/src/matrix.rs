@@ -26,8 +26,10 @@ use crate::Arbiter;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatrixArbiter {
     size: usize,
-    /// Row-major `size × size`; `beats[i * size + j]` ⇔ i beats j.
-    beats: Vec<bool>,
+    /// Words per matrix row: `size.div_ceil(64)`.
+    words_per_row: usize,
+    /// Bit-packed rows; bit `j` of row `i` (word `j / 64`) ⇔ i beats j.
+    beats: Vec<u64>,
 }
 
 impl MatrixArbiter {
@@ -39,17 +41,27 @@ impl MatrixArbiter {
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "arbiter must serve at least one requestor");
-        let mut arb = MatrixArbiter { size, beats: vec![false; size * size] };
+        let words_per_row = size.div_ceil(64);
+        let mut arb = MatrixArbiter { size, words_per_row, beats: vec![0; size * words_per_row] };
         arb.reset();
         arb
     }
 
+    fn row(&self, i: usize) -> &[u64] {
+        &self.beats[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
     fn beats(&self, i: usize, j: usize) -> bool {
-        self.beats[i * self.size + j]
+        self.row(i)[j / 64] & (1u64 << (j % 64)) != 0
     }
 
     fn set_beats(&mut self, i: usize, j: usize, v: bool) {
-        self.beats[i * self.size + j] = v;
+        let word = &mut self.beats[i * self.words_per_row + j / 64];
+        if v {
+            *word |= 1u64 << (j % 64);
+        } else {
+            *word &= !(1u64 << (j % 64));
+        }
     }
 }
 
@@ -59,7 +71,7 @@ impl Arbiter for MatrixArbiter {
     }
 
     fn peek(&self, requests: &[bool]) -> Option<usize> {
-        assert_eq!(requests.len(), self.size, "request vector width mismatch");
+        debug_assert_eq!(requests.len(), self.size, "request vector width mismatch");
         (0..self.size).find(|&i| {
             requests[i]
                 && (0..self.size).all(|j| j == i || !requests[j] || self.beats(i, j))
@@ -67,19 +79,52 @@ impl Arbiter for MatrixArbiter {
     }
 
     fn commit(&mut self, winner: usize) {
-        assert!(winner < self.size, "winner index out of range");
-        for j in 0..self.size {
-            if j != winner {
-                self.set_beats(winner, j, false);
-                self.set_beats(j, winner, true);
+        debug_assert!(winner < self.size, "winner index out of range");
+        // Winner drops below everyone: clear its row, set its column bit in
+        // every other row.
+        let (ww, wb) = (winner / 64, 1u64 << (winner % 64));
+        for i in 0..self.size {
+            let row = i * self.words_per_row;
+            if i == winner {
+                self.beats[row..row + self.words_per_row].fill(0);
+            } else {
+                self.beats[row + ww] |= wb;
             }
         }
     }
 
+    fn peek_words(&self, words: &[u64]) -> Option<usize> {
+        debug_assert_eq!(words.len(), self.words_per_row, "request mask width mismatch");
+        // A requestor wins iff no *other* asserted requestor is outside its
+        // beats row: requests & !row(i), with i's own bit excluded, is zero.
+        for (w, &word) in words.iter().enumerate() {
+            let mut cand = word;
+            while cand != 0 {
+                let b = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let i = w * 64 + b;
+                let row = self.row(i);
+                let wins = words.iter().enumerate().all(|(k, &req)| {
+                    let mut losers = req & !row[k];
+                    if k == w {
+                        losers &= !(1u64 << b);
+                    }
+                    losers == 0
+                });
+                if wins {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
     fn reset(&mut self) {
+        // Cold path: plain bit-by-bit rebuild of "i beats every j above it".
+        self.beats.fill(0);
         for i in 0..self.size {
-            for j in 0..self.size {
-                self.set_beats(i, j, i < j);
+            for j in (i + 1)..self.size {
+                self.set_beats(i, j, true);
             }
         }
     }
@@ -147,6 +192,37 @@ mod tests {
     #[should_panic(expected = "at least one requestor")]
     fn zero_size_rejected() {
         let _ = MatrixArbiter::new(0);
+    }
+
+    #[test]
+    fn peek_words_matches_peek_under_churn() {
+        let mut arb = MatrixArbiter::new(6);
+        let mut state = 0x9E37_79B9u64;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mask = state & 0x3F;
+            let reqs: Vec<bool> = (0..6).map(|i| mask & (1 << i) != 0).collect();
+            let scalar = arb.peek(&reqs);
+            assert_eq!(arb.peek_mask(mask), scalar, "mask {mask:#b}");
+            assert_eq!(arb.peek_words(&[mask]), scalar);
+            if let Some(w) = scalar {
+                arb.commit(w);
+            }
+        }
+    }
+
+    #[test]
+    fn peek_words_spans_multiple_words() {
+        let mut arb = MatrixArbiter::new(70);
+        let mut words = [0u64; 2];
+        words[0] |= 1 << 3;
+        words[1] |= 1 << (68 - 64);
+        assert_eq!(arb.peek_words(&words), Some(3), "power-on: lower index beats");
+        arb.commit(3);
+        assert_eq!(arb.peek_words(&words), Some(68), "3 dropped below 68");
+        assert_eq!(arb.peek_words(&[0, 0]), None);
     }
 
     #[test]

@@ -54,13 +54,34 @@ impl Arbiter for RoundRobinArbiter {
     }
 
     fn peek(&self, requests: &[bool]) -> Option<usize> {
-        assert_eq!(requests.len(), self.size, "request vector width mismatch");
+        debug_assert_eq!(requests.len(), self.size, "request vector width mismatch");
         (0..self.size).map(|i| (self.pointer + i) % self.size).find(|&i| requests[i])
     }
 
     fn commit(&mut self, winner: usize) {
-        assert!(winner < self.size, "winner index out of range");
+        debug_assert!(winner < self.size, "winner index out of range");
         self.pointer = (winner + 1) % self.size;
+    }
+
+    fn peek_words(&self, words: &[u64]) -> Option<usize> {
+        debug_assert_eq!(words.len(), self.size.div_ceil(64), "request mask width mismatch");
+        // Split the cyclic scan at the pointer: first the bits at or after it
+        // (high part of the pointer word, then later words), then wrap to the
+        // words before it, finishing with the low part of the pointer word.
+        let (wp, bp) = (self.pointer / 64, self.pointer % 64);
+        let hi = words[wp] & (!0u64 << bp);
+        if hi != 0 {
+            return Some(wp * 64 + hi.trailing_zeros() as usize);
+        }
+        let n = words.len();
+        for k in 1..=n {
+            let w = (wp + k) % n;
+            let m = if w == wp { words[wp] & !(!0u64 << bp) } else { words[w] };
+            if m != 0 {
+                return Some(w * 64 + m.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     fn reset(&mut self) {
@@ -125,11 +146,42 @@ mod tests {
         let _ = RoundRobinArbiter::new(0);
     }
 
+    /// Width checks are `debug_assert`s (the allocator hot loops call `peek`
+    /// millions of times), so the panic only fires in debug builds; release
+    /// builds fall back to the slice bounds check.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "width mismatch")]
     fn wrong_width_rejected() {
         let arb = RoundRobinArbiter::new(3);
         let _ = arb.peek(&[true, false]);
+    }
+
+    #[test]
+    fn peek_words_matches_peek_across_pointer_positions() {
+        let mut arb = RoundRobinArbiter::new(7);
+        for pattern in 0u64..128 {
+            let reqs: Vec<bool> = (0..7).map(|i| pattern & (1 << i) != 0).collect();
+            assert_eq!(arb.peek_words(&[pattern]), arb.peek(&reqs), "pattern {pattern:#b} pointer {}", arb.pointer());
+            assert_eq!(arb.peek_mask(pattern), arb.peek(&reqs));
+            if let Some(w) = arb.peek(&reqs) {
+                arb.commit(w);
+            }
+        }
+    }
+
+    #[test]
+    fn peek_words_spans_multiple_words() {
+        // 100 requestors: only bit 70 set; pointer walks past a word boundary.
+        let mut arb = RoundRobinArbiter::new(100);
+        let mut words = [0u64; 2];
+        words[70 / 64] |= 1 << (70 % 64);
+        assert_eq!(arb.peek_words(&words), Some(70));
+        arb.commit(70); // pointer -> 71
+        assert_eq!(arb.peek_words(&words), Some(70), "must wrap around the high word");
+        arb.commit(99); // pointer wraps to 0
+        assert_eq!(arb.peek_words(&words), Some(70));
+        assert_eq!(arb.peek_words(&[0, 0]), None);
     }
 
     #[test]

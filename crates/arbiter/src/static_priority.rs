@@ -43,12 +43,21 @@ impl Arbiter for StaticArbiter {
     }
 
     fn peek(&self, requests: &[bool]) -> Option<usize> {
-        assert_eq!(requests.len(), self.size, "request vector width mismatch");
+        debug_assert_eq!(requests.len(), self.size, "request vector width mismatch");
         requests.iter().position(|&r| r)
     }
 
     fn commit(&mut self, winner: usize) {
-        assert!(winner < self.size, "winner index out of range");
+        debug_assert!(winner < self.size, "winner index out of range");
+    }
+
+    fn peek_words(&self, words: &[u64]) -> Option<usize> {
+        debug_assert_eq!(words.len(), self.size.div_ceil(64), "request mask width mismatch");
+        words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
     }
 
     fn reset(&mut self) {}

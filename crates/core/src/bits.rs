@@ -1,0 +1,344 @@
+//! Dense word-parallel bit-view of a [`RequestSet`](crate::RequestSet).
+//!
+//! Switch-allocation kernels spend their time answering three questions:
+//! *which outputs does this virtual input want?*, *which ports want this
+//! output?*, and *which VCs of this port carry a request of this
+//! speculation class?* Each is a row of a boolean matrix, and at the
+//! paper's shapes (radix ≤ 10, ≤ 6 VCs/port, ≤ 64 virtual inputs — see
+//! DESIGN.md §6d) every row fits one `u64`. [`RequestBits`] keeps those
+//! rows — per-(class, port, output) VC masks, per-(class, port) output
+//! masks, per-(class, output) requester masks, and per-port active /
+//! speculative VC masks — incrementally in sync with the owning
+//! [`RequestSet`](crate::RequestSet)'s `push`/`remove`/`clear`, so
+//! allocators evaluate a whole request row with one AND instead of a
+//! per-element scan and never rebuild the matrix.
+//!
+//! The view is maintained by the request set itself; allocators only read
+//! it (via [`RequestSet::bits`](crate::RequestSet::bits)), which is why
+//! every mutator lives in `pub(crate)` methods.
+
+use crate::ids::PortId;
+
+/// Widest dimension the bit-view supports: one `u64` row.
+pub const MAX_BIT_WIDTH: usize = 64;
+
+/// Mask with the low `n` bits set (`n <= 64`).
+#[inline]
+#[must_use]
+pub fn mask_up_to(n: usize) -> u64 {
+    debug_assert!(n <= MAX_BIT_WIDTH, "mask width {n} exceeds one word");
+    if n >= 64 {
+        !0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// The incrementally-maintained dense bit-view of one request set.
+///
+/// All masks are indexed little-endian: bit `i` of a VC mask is VC `i`,
+/// bit `o` of an output mask is output port `o`, bit `p` of a requester
+/// mask is input port `p`. Speculation classes are stored as separate
+/// planes (`speculative == false` first), so allocators that run a
+/// non-speculative pass before a speculative one index the plane directly
+/// instead of filtering per element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestBits {
+    ports: usize,
+    vcs: usize,
+    /// `[class][port][out]` → VC mask; flattened as
+    /// `(class * ports + port) * ports + out`.
+    vc_planes: Vec<u64>,
+    /// `[class][port]` → output mask (bit `o` ⇔ the `(class, port, o)`
+    /// VC plane is non-empty); flattened as `class * ports + port`.
+    rows: Vec<u64>,
+    /// `[class][out]` → requesting-port mask; flattened as
+    /// `class * ports + out`.
+    requesters: Vec<u64>,
+    /// `[port]` → VC mask of all posted requests.
+    active_vcs: Vec<u64>,
+    /// `[port]` → VC mask of the speculative requests.
+    spec_vcs: Vec<u64>,
+}
+
+impl RequestBits {
+    /// Creates an empty view for `ports × vcs` request slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds [`MAX_BIT_WIDTH`] — the ≤ 64
+    /// invariant that lets every row live in one word. Router and
+    /// simulation configs reject such shapes at validation
+    /// ([`crate::RouterConfig::validate`]).
+    pub(crate) fn new(ports: usize, vcs: usize) -> Self {
+        assert!(
+            ports <= MAX_BIT_WIDTH && vcs <= MAX_BIT_WIDTH,
+            "bit-view dimensions must be at most {MAX_BIT_WIDTH} (got {ports} ports, {vcs} vcs)"
+        );
+        RequestBits {
+            ports,
+            vcs,
+            vc_planes: vec![0; 2 * ports * ports],
+            rows: vec![0; 2 * ports],
+            requesters: vec![0; 2 * ports],
+            active_vcs: vec![0; ports],
+            spec_vcs: vec![0; ports],
+        }
+    }
+
+    #[inline]
+    fn plane_idx(&self, speculative: bool, port: usize, out: usize) -> usize {
+        (usize::from(speculative) * self.ports + port) * self.ports + out
+    }
+
+    #[inline]
+    fn class_idx(&self, speculative: bool, i: usize) -> usize {
+        usize::from(speculative) * self.ports + i
+    }
+
+    /// Registers a request; the owning set guarantees the slot was empty.
+    pub(crate) fn insert(&mut self, port: usize, vc: usize, out: usize, speculative: bool) {
+        let bit = 1u64 << vc;
+        let plane = self.plane_idx(speculative, port, out);
+        let row = self.class_idx(speculative, port);
+        let req = self.class_idx(speculative, out);
+        self.vc_planes[plane] |= bit;
+        self.rows[row] |= 1u64 << out;
+        self.requesters[req] |= 1u64 << port;
+        self.active_vcs[port] |= bit;
+        if speculative {
+            self.spec_vcs[port] |= bit;
+        }
+    }
+
+    /// Unregisters a request previously passed to `insert`.
+    pub(crate) fn remove(&mut self, port: usize, vc: usize, out: usize, speculative: bool) {
+        let bit = 1u64 << vc;
+        let plane = self.plane_idx(speculative, port, out);
+        let row = self.class_idx(speculative, port);
+        let req = self.class_idx(speculative, out);
+        self.vc_planes[plane] &= !bit;
+        if self.vc_planes[plane] == 0 {
+            self.rows[row] &= !(1u64 << out);
+            self.requesters[req] &= !(1u64 << port);
+        }
+        self.active_vcs[port] &= !bit;
+        if speculative {
+            self.spec_vcs[port] &= !bit;
+        }
+    }
+
+    /// Empties the view in O(posted requests) by walking its own rows.
+    pub(crate) fn clear(&mut self) {
+        for port in 0..self.ports {
+            if self.active_vcs[port] == 0 {
+                continue;
+            }
+            for class in [false, true] {
+                let row_idx = self.class_idx(class, port);
+                let mut row = self.rows[row_idx];
+                self.rows[row_idx] = 0;
+                while row != 0 {
+                    let out = row.trailing_zeros() as usize;
+                    row &= row - 1;
+                    let plane = self.plane_idx(class, port, out);
+                    let req = self.class_idx(class, out);
+                    self.vc_planes[plane] = 0;
+                    self.requesters[req] = 0;
+                }
+            }
+            self.active_vcs[port] = 0;
+            self.spec_vcs[port] = 0;
+        }
+    }
+
+    /// VC mask of `port`'s requests for `out` in one speculation class —
+    /// the innermost row every separable/wavefront champion selection
+    /// reads.
+    #[inline]
+    #[must_use]
+    pub fn vc_plane(&self, speculative: bool, port: PortId, out: PortId) -> u64 {
+        self.vc_planes[self.plane_idx(speculative, port.0, out.0)]
+    }
+
+    /// VC mask of `port`'s requests for `out`, either class.
+    #[inline]
+    #[must_use]
+    pub fn vc_plane_any(&self, port: PortId, out: PortId) -> u64 {
+        self.vc_planes[self.plane_idx(false, port.0, out.0)]
+            | self.vc_planes[self.plane_idx(true, port.0, out.0)]
+    }
+
+    /// Output mask of `port` in one speculation class: bit `o` is set when
+    /// any VC of the port posts a `speculative`-class request for `o`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, speculative: bool, port: PortId) -> u64 {
+        self.rows[self.class_idx(speculative, port.0)]
+    }
+
+    /// Output mask of `port` over both speculation classes.
+    #[inline]
+    #[must_use]
+    pub fn row_any(&self, port: PortId) -> u64 {
+        self.rows[self.class_idx(false, port.0)] | self.rows[self.class_idx(true, port.0)]
+    }
+
+    /// Requesting-port mask of `out` in one speculation class.
+    #[inline]
+    #[must_use]
+    pub fn requesters(&self, speculative: bool, out: PortId) -> u64 {
+        self.requesters[self.class_idx(speculative, out.0)]
+    }
+
+    /// Requesting-port mask of `out` over both speculation classes.
+    #[inline]
+    #[must_use]
+    pub fn requesters_any(&self, out: PortId) -> u64 {
+        self.requesters[self.class_idx(false, out.0)] | self.requesters[self.class_idx(true, out.0)]
+    }
+
+    /// VC mask of every posted request at `port`.
+    #[inline]
+    #[must_use]
+    pub fn active_vcs(&self, port: PortId) -> u64 {
+        self.active_vcs[port.0]
+    }
+
+    /// VC mask of the speculative requests at `port`.
+    #[inline]
+    #[must_use]
+    pub fn spec_vcs(&self, port: PortId) -> u64 {
+        self.spec_vcs[port.0]
+    }
+
+    /// VC mask of one speculation class at `port`.
+    #[inline]
+    #[must_use]
+    pub fn class_vcs(&self, speculative: bool, port: PortId) -> u64 {
+        if speculative {
+            self.spec_vcs[port.0]
+        } else {
+            self.active_vcs[port.0] & !self.spec_vcs[port.0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VcId;
+    use crate::request::{RequestSet, SwitchRequest};
+
+    fn req(p: usize, v: usize, o: usize, speculative: bool) -> SwitchRequest {
+        SwitchRequest {
+            port: PortId(p),
+            vc: VcId(v),
+            out_port: PortId(o),
+            speculative,
+            age: 0,
+        }
+    }
+
+    /// Rebuilds the view from scratch and compares with the incrementally
+    /// maintained one — the invariant every mutator must preserve.
+    fn assert_consistent(rs: &RequestSet) {
+        let mut fresh = RequestBits::new(rs.ports(), rs.vcs_per_port());
+        for r in rs.active_requests() {
+            fresh.insert(r.port.0, r.vc.0, r.out_port.0, r.speculative);
+        }
+        assert_eq!(rs.bits(), &fresh, "incremental view diverged from rebuild");
+    }
+
+    #[test]
+    fn masks_track_push_remove_clear() {
+        let mut rs = RequestSet::new(4, 3);
+        rs.push(req(1, 0, 2, false));
+        rs.push(req(1, 2, 2, true));
+        rs.push(req(3, 1, 0, false));
+        assert_consistent(&rs);
+
+        let b = rs.bits();
+        assert_eq!(b.vc_plane(false, PortId(1), PortId(2)), 0b001);
+        assert_eq!(b.vc_plane(true, PortId(1), PortId(2)), 0b100);
+        assert_eq!(b.vc_plane_any(PortId(1), PortId(2)), 0b101);
+        assert_eq!(b.row(false, PortId(1)), 0b100);
+        assert_eq!(b.row(true, PortId(1)), 0b100);
+        assert_eq!(b.row_any(PortId(3)), 0b001);
+        assert_eq!(b.requesters(false, PortId(2)), 0b0010);
+        assert_eq!(b.requesters_any(PortId(2)), 0b0010);
+        assert_eq!(b.active_vcs(PortId(1)), 0b101);
+        assert_eq!(b.spec_vcs(PortId(1)), 0b100);
+        assert_eq!(b.class_vcs(false, PortId(1)), 0b001);
+        assert_eq!(b.class_vcs(true, PortId(1)), 0b100);
+
+        rs.remove(PortId(1), VcId(0));
+        assert_consistent(&rs);
+        assert_eq!(rs.bits().vc_plane(false, PortId(1), PortId(2)), 0);
+        assert_eq!(rs.bits().row(false, PortId(1)), 0);
+        assert_eq!(rs.bits().requesters(false, PortId(2)), 0);
+
+        rs.clear();
+        assert_consistent(&rs);
+        assert_eq!(rs.bits().active_vcs(PortId(1)), 0);
+        assert_eq!(rs.bits().row_any(PortId(1)), 0);
+    }
+
+    #[test]
+    fn replacing_a_request_updates_every_plane() {
+        let mut rs = RequestSet::new(3, 2);
+        rs.push(req(0, 1, 2, true));
+        // Same VC, new output, new class: the old bits must vanish.
+        rs.push(req(0, 1, 1, false));
+        assert_consistent(&rs);
+        let b = rs.bits();
+        assert_eq!(b.vc_plane(true, PortId(0), PortId(2)), 0);
+        assert_eq!(b.vc_plane(false, PortId(0), PortId(1)), 0b10);
+        assert_eq!(b.spec_vcs(PortId(0)), 0);
+        assert_eq!(b.requesters_any(PortId(2)), 0);
+    }
+
+    #[test]
+    fn random_churn_stays_consistent() {
+        // Deterministic pseudo-random insert/remove/clear churn.
+        let mut rs = RequestSet::new(6, 4);
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for step in 0..2_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let p = (x % 6) as usize;
+            let v = ((x >> 8) % 4) as usize;
+            let o = ((x >> 16) % 6) as usize;
+            match (x >> 24) % 10 {
+                0 => {
+                    rs.clear();
+                }
+                1 | 2 => {
+                    rs.remove(PortId(p), VcId(v));
+                }
+                _ => {
+                    rs.push(req(p, v, o, (x >> 32).is_multiple_of(3)));
+                }
+            }
+            if step.is_multiple_of(97) {
+                assert_consistent(&rs);
+            }
+        }
+        assert_consistent(&rs);
+    }
+
+    #[test]
+    fn mask_up_to_covers_edges() {
+        assert_eq!(mask_up_to(0), 0);
+        assert_eq!(mask_up_to(1), 1);
+        assert_eq!(mask_up_to(6), 0b11_1111);
+        assert_eq!(mask_up_to(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn oversized_dimensions_rejected() {
+        let _ = RequestSet::new(65, 2);
+    }
+}

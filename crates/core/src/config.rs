@@ -300,6 +300,24 @@ impl RouterConfig {
             return Err(ConfigError::BadVirtualInputs { virtual_inputs: vi, vcs: self.vcs_per_port });
         }
         self.partition()?;
+        // The word-parallel allocator kernels keep every request row in one
+        // u64 (DESIGN.md §6d): ports, VCs per port, and total virtual
+        // inputs must each fit the word.
+        if self.ports > 64 {
+            return Err(ConfigError::TooWideForBitset { dimension: "ports", value: self.ports });
+        }
+        if self.vcs_per_port > 64 {
+            return Err(ConfigError::TooWideForBitset {
+                dimension: "VCs per port",
+                value: self.vcs_per_port,
+            });
+        }
+        if self.crossbar_inputs() > 64 {
+            return Err(ConfigError::TooWideForBitset {
+                dimension: "crossbar inputs (ports × virtual inputs per port)",
+                value: self.crossbar_inputs(),
+            });
+        }
         Ok(())
     }
 }
@@ -612,6 +630,24 @@ mod tests {
     fn too_many_virtual_inputs_rejected() {
         let cfg = RouterConfig::new(5, 2, 5).with_virtual_inputs(VirtualInputs::PerPort(4));
         assert!(matches!(cfg.validate(), Err(ConfigError::BadVirtualInputs { .. })));
+    }
+
+    #[test]
+    fn shapes_wider_than_one_word_rejected() {
+        // The bit-view keeps every request row in one u64; any dimension
+        // past 64 must be caught at validation, not at RequestSet::new.
+        let wide = RouterConfig::new(65, 2, 5);
+        assert!(matches!(
+            wide.validate(),
+            Err(ConfigError::TooWideForBitset { dimension: "ports", .. })
+        ));
+        // 33 ports × 2 virtual inputs = 66 crossbar inputs > 64.
+        let cfg = RouterConfig::new(33, 2, 5).with_virtual_inputs(VirtualInputs::PerPort(2));
+        assert!(matches!(cfg.validate(), Err(ConfigError::TooWideForBitset { .. })));
+        // 64 virtual inputs exactly is the widest legal shape.
+        let max = RouterConfig::new(16, 4, 5).with_virtual_inputs(VirtualInputs::PerPort(4));
+        max.validate().unwrap();
+        assert_eq!(max.crossbar_inputs(), 64);
     }
 
     #[test]

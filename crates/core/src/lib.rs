@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod activity;
+pub mod bits;
 pub mod config;
 pub mod error;
 pub mod flit;
@@ -35,6 +36,7 @@ pub mod request;
 pub mod vix;
 
 pub use activity::ActivityCounters;
+pub use bits::RequestBits;
 pub use config::{AllocatorKind, NetworkConfig, PipelineKind, RouterConfig, SimConfig, TelemetrySettings, TopologyKind, VirtualInputs};
 pub use error::ConfigError;
 pub use flit::{Flit, FlitKind, PacketDescriptor};

@@ -14,6 +14,7 @@
 //! [`GrantSet::validate_against`] checks those invariants and is used by the
 //! property-based tests of every allocator.
 
+use crate::bits::RequestBits;
 use crate::ids::{PortId, VcId};
 use crate::vix::VixPartition;
 use std::fmt;
@@ -47,6 +48,10 @@ pub struct RequestSet {
     /// Posted speculative requests; lets allocators skip a whole
     /// speculation pass when the class is empty.
     speculative: usize,
+    /// Dense word-parallel view of `slots`, kept in sync by
+    /// `push`/`remove`/`clear` so bitset allocator kernels never rebuild
+    /// their request matrices (see DESIGN.md §6d).
+    bits: RequestBits,
 }
 
 impl RequestSet {
@@ -55,16 +60,28 @@ impl RequestSet {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero or exceeds
+    /// [`crate::bits::MAX_BIT_WIDTH`] (the ≤ 64 invariant of the
+    /// word-parallel bit-view).
     #[must_use]
     pub fn new(ports: usize, vcs: usize) -> Self {
         assert!(ports > 0 && vcs > 0, "request set dimensions must be nonzero");
-        RequestSet { ports, vcs, slots: vec![None; ports * vcs], active: 0, speculative: 0 }
+        RequestSet {
+            ports,
+            vcs,
+            slots: vec![None; ports * vcs],
+            active: 0,
+            speculative: 0,
+            bits: RequestBits::new(ports, vcs),
+        }
     }
 
+    // Bounds are debug-only: `idx` sits on every allocator's innermost
+    // loop, and in release builds the slot `Vec`'s own bounds check is the
+    // backstop.
     fn idx(&self, port: PortId, vc: VcId) -> usize {
-        assert!(port.0 < self.ports, "port {port} out of range ({})", self.ports);
-        assert!(vc.0 < self.vcs, "vc {vc} out of range ({})", self.vcs);
+        debug_assert!(port.0 < self.ports, "port {port} out of range ({})", self.ports);
+        debug_assert!(vc.0 < self.vcs, "vc {vc} out of range ({})", self.vcs);
         port.0 * self.vcs + vc.0
     }
 
@@ -80,10 +97,12 @@ impl RequestSet {
         let i = self.idx(req.port, req.vc);
         if let Some(old) = self.slots[i].replace(req) {
             self.speculative -= usize::from(old.speculative);
+            self.bits.remove(old.port.0, old.vc.0, old.out_port.0, old.speculative);
         } else {
             self.active += 1;
         }
         self.speculative += usize::from(req.speculative);
+        self.bits.insert(req.port.0, req.vc.0, req.out_port.0, req.speculative);
     }
 
     /// Removes the request from `(port, vc)`, if any.
@@ -93,13 +112,24 @@ impl RequestSet {
         if let Some(old) = old {
             self.active -= 1;
             self.speculative -= usize::from(old.speculative);
+            self.bits.remove(old.port.0, old.vc.0, old.out_port.0, old.speculative);
         }
         old
     }
 
-    /// Clears all requests (reusing the allocation).
+    /// Clears all requests in O(posted requests), reusing the allocation:
+    /// the bit-view's per-port activity masks say exactly which slots need
+    /// resetting, so an almost-empty set clears in a handful of word ops.
     pub fn clear(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = None);
+        for port in 0..self.ports {
+            let mut m = self.bits.active_vcs(PortId(port));
+            while m != 0 {
+                let vc = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.slots[port * self.vcs + vc] = None;
+            }
+        }
+        self.bits.clear();
         self.active = 0;
         self.speculative = 0;
     }
@@ -158,11 +188,19 @@ impl RequestSet {
         self.speculative
     }
 
-    /// True when one of the VCs of `port` posted a request (O(vcs)).
+    /// True when one of the VCs of `port` posted a request (O(1) — one
+    /// word test on the bit-view's per-port activity mask).
     #[must_use]
     pub fn port_is_active(&self, port: PortId) -> bool {
-        let base = self.idx(port, VcId(0));
-        self.slots[base..base + self.vcs].iter().any(Option::is_some)
+        self.bits.active_vcs(port) != 0
+    }
+
+    /// The dense word-parallel view of this set, incrementally maintained
+    /// by every mutator. Bitset allocator kernels read whole request rows
+    /// from here instead of scanning `slots` per element.
+    #[must_use]
+    pub fn bits(&self) -> &RequestBits {
+        &self.bits
     }
 }
 
@@ -511,7 +549,11 @@ mod tests {
         assert_eq!(gs.count_for_input(PortId(3)), 0);
     }
 
+    /// The `idx` bounds are `debug_assert!`s (hot path); release builds
+    /// fall back to the slot `Vec`'s own bounds check, whose panic message
+    /// differs — so this test only runs where the debug assertions do.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
     fn request_bounds_checked() {
         let mut rs = RequestSet::new(2, 2);

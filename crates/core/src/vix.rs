@@ -71,11 +71,33 @@ impl VixPartition {
     ///
     /// # Panics
     ///
-    /// Panics if `vc` is out of range.
+    /// Panics in debug builds if `vc` is out of range. This accessor sits
+    /// on allocator inner loops, so the bounds check is a `debug_assert`.
     #[must_use]
     pub fn group_of(&self, vc: VcId) -> VirtualInputId {
-        assert!(vc.0 < self.vcs, "VC {vc} out of range (vcs = {})", self.vcs);
+        debug_assert!(vc.0 < self.vcs, "VC {vc} out of range (vcs = {})", self.vcs);
         VirtualInputId(vc.0 / self.group_size())
+    }
+
+    /// Bit mask over the port's flat VC index space selecting the VCs of
+    /// one sub-group — the word-parallel companion of
+    /// [`vcs_in_group`](VixPartition::vcs_in_group), used by the bitset
+    /// allocator kernels to carve a sub-group's lines out of a
+    /// [`RequestBits`](crate::bits::RequestBits) VC mask in one AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `group` is out of range. This accessor
+    /// sits on allocator inner loops, so the bounds check is a
+    /// `debug_assert`.
+    #[must_use]
+    pub fn group_mask(&self, group: VirtualInputId) -> u64 {
+        debug_assert!(
+            group.0 < self.groups,
+            "sub-group {group} out of range (groups = {})",
+            self.groups
+        );
+        crate::bits::mask_up_to(self.group_size()) << (group.0 * self.group_size())
     }
 
     /// Iterator over the VCs of one sub-group.
@@ -134,6 +156,17 @@ mod tests {
     }
 
     #[test]
+    fn group_mask_matches_group_members() {
+        for (vcs, groups) in [(6, 1), (6, 2), (6, 3), (6, 6), (4, 2)] {
+            let p = VixPartition::even(vcs, groups).unwrap();
+            for g in p.group_ids() {
+                let expect: u64 = p.vcs_in_group(g).map(|v| 1u64 << v.0).sum();
+                assert_eq!(p.group_mask(g), expect, "vcs={vcs} groups={groups} g={g}");
+            }
+        }
+    }
+
+    #[test]
     fn uneven_partition_is_an_error() {
         assert!(VixPartition::even(5, 2).is_err());
         assert!(VixPartition::even(6, 4).is_err());
@@ -146,6 +179,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
     fn group_of_bounds_checked() {
         let p = VixPartition::even(4, 2).unwrap();

@@ -350,7 +350,10 @@ impl Router {
         }
         *va_pointer = (*va_pointer + 1) % total_vcs;
 
-        // ---- Build the switch-allocation request set.
+        // ---- Build the switch-allocation request set. Each `push` also
+        // updates the set's dense bit-view (`RequestBits`) incrementally,
+        // so the allocator's word-parallel kernels start from ready-made
+        // request planes — no per-cycle rebuild on the SA critical path.
         requests.clear();
         for (p, input) in inputs.iter().enumerate() {
             for v in 0..vcs {

@@ -25,12 +25,13 @@
 //!
 //! The instrumentation is pure observation — it never feeds back into
 //! arbiter state or grant order, so determinism goldens and
-//! gated/ungated parity are unaffected. Its scratch bitmaps are sized
-//! lazily on the first non-empty cycle and reused forever after,
-//! preserving the zero-allocation steady state.
+//! gated/ungated parity are unaffected. The scans run word-parallel over
+//! the request set's incrementally-maintained bit-view
+//! ([`vix_core::RequestBits`]), so recording allocates nothing and costs
+//! `O(ports × groups)` per cycle.
 
 use std::fmt::Write as _;
-use vix_core::{GrantSet, RequestSet, VixPartition};
+use vix_core::{GrantSet, PortId, RequestSet, VixPartition};
 
 /// Aggregated matching-efficiency counters, mergeable across routers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -131,13 +132,12 @@ impl MatchingSummary {
     }
 }
 
-/// Per-allocator recorder. Owns the summary plus two reusable scratch
-/// bitmaps for the distinct-virtual-input / distinct-output scans.
+/// Per-allocator recorder. The distinct-virtual-input / distinct-output
+/// scans run word-parallel over the request set's bit-view, so the
+/// recorder owns nothing but the summary.
 #[derive(Debug, Clone, Default)]
 pub struct MatchingStats {
     summary: MatchingSummary,
-    vi_seen: Vec<bool>,
-    out_seen: Vec<bool>,
 }
 
 impl MatchingStats {
@@ -147,38 +147,36 @@ impl MatchingStats {
     pub fn new(virtual_inputs: usize) -> Self {
         MatchingStats {
             summary: MatchingSummary { virtual_inputs: virtual_inputs as u64, ..Default::default() },
-            ..Default::default()
         }
     }
 
     /// Records one allocation cycle. Empty request sets are ignored so
     /// gated and ungated schedules observe identical statistics.
+    ///
+    /// The distinct-virtual-input and distinct-output scans run over the
+    /// [`RequestSet`]'s incrementally-maintained bit-view: one word of
+    /// active-VC lines per port, one word of requested outputs per port,
+    /// so the whole scan is `O(ports × groups)` with no per-request work
+    /// and no scratch bitmaps.
     pub fn record(&mut self, requests: &RequestSet, grants: &GrantSet, partition: &VixPartition) {
         let offered = requests.len();
         if offered == 0 {
             return;
         }
+        let bits = requests.bits();
         let groups = partition.groups();
-        let units = requests.ports() * groups;
-        if self.vi_seen.len() != units {
-            self.vi_seen.resize(units, false);
-        }
-        if self.out_seen.len() != requests.ports() {
-            self.out_seen.resize(requests.ports(), false);
-        }
-        self.vi_seen.fill(false);
-        self.out_seen.fill(false);
+        let group_size = partition.group_size();
+        let group_base = vix_core::bits::mask_up_to(group_size);
         let mut active_vi = 0u64;
-        let mut active_out = 0u64;
-        for req in requests.active_requests() {
-            let vi = req.port.0 * groups + partition.group_of(req.vc).0;
-            if !self.vi_seen[vi] {
-                self.vi_seen[vi] = true;
-                active_vi += 1;
+        let mut out_union = 0u64;
+        for port in 0..requests.ports() {
+            let active = bits.active_vcs(PortId(port));
+            if active == 0 {
+                continue;
             }
-            if !self.out_seen[req.out_port.0] {
-                self.out_seen[req.out_port.0] = true;
-                active_out += 1;
+            out_union |= bits.row_any(PortId(port));
+            for group in 0..groups {
+                active_vi += u64::from(active & (group_base << (group * group_size)) != 0);
             }
         }
         let s = &mut self.summary;
@@ -186,7 +184,7 @@ impl MatchingStats {
         s.requests += offered as u64;
         s.survivors += active_vi;
         s.grants += grants.len() as u64;
-        s.match_bound += active_vi.min(active_out);
+        s.match_bound += active_vi.min(u64::from(out_union.count_ones()));
     }
 
     /// Snapshot of the counters so far.

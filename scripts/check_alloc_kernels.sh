@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Allocator-kernel perf-regression guard.
+#
+# Re-runs the alloc_kernels micro-benchmark and compares each bitset
+# kernel's fresh timing against the checked-in BENCH_allockernels.json;
+# any configuration more than 25 % slower than its recorded figure fails
+# the run (the comparison itself lives in the bench's `--check` mode).
+#
+# Regenerate the recorded figures after an intentional perf change with:
+#   cargo bench -p vix-bench --bench alloc_kernels
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -f BENCH_allockernels.json ]]; then
+    echo "BENCH_allockernels.json missing; record it first with" >&2
+    echo "  cargo bench -p vix-bench --bench alloc_kernels" >&2
+    exit 1
+fi
+
+cargo bench -p vix-bench --bench alloc_kernels -- --check

@@ -42,6 +42,11 @@ test -s target/telemetry-smoke/metrics.json
 echo "==> cargo bench -p vix-bench --bench loadsweep -- --smoke"
 cargo bench -p vix-bench --bench loadsweep -- --smoke
 
+# Allocator-kernel perf guard: fresh bitset timings must stay within 25%
+# of the recorded BENCH_allockernels.json figures.
+echo "==> scripts/check_alloc_kernels.sh"
+scripts/check_alloc_kernels.sh
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
