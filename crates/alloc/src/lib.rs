@@ -200,7 +200,11 @@ impl AllocatorConfig {
 /// Implementations must uphold the crossbar invariants checked by
 /// [`GrantSet::validate_against`]: one grant per output port, one per input
 /// VC, one per virtual-input sub-group.
-pub trait SwitchAllocator: std::fmt::Debug {
+///
+/// The trait requires `Send` (but not `Sync`): every allocator is owned by
+/// exactly one router, and the sharded simulation engine (DESIGN.md §8)
+/// moves whole routers — allocator included — onto worker threads.
+pub trait SwitchAllocator: std::fmt::Debug + Send {
     /// Allocates the switch for one cycle, writing the winning grants into
     /// a caller-owned set.
     ///

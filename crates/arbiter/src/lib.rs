@@ -40,8 +40,10 @@ pub use static_priority::StaticArbiter;
 /// A single-winner arbiter over `size()` requestors.
 ///
 /// This trait is object-safe; allocators store arbiters as
-/// `Box<dyn Arbiter>` when the policy is configurable.
-pub trait Arbiter: std::fmt::Debug {
+/// `Box<dyn Arbiter>` when the policy is configurable. It requires
+/// `Send` because allocators (and the routers that own them) migrate to
+/// worker threads under the sharded simulation engine (DESIGN.md §8).
+pub trait Arbiter: std::fmt::Debug + Send {
     /// Number of requestors this arbiter serves.
     fn size(&self) -> usize;
 

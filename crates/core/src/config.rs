@@ -470,6 +470,19 @@ pub struct SimConfig {
     /// `tests/gating_parity.rs`). Turn it off only to measure its own
     /// speedup or to debug the scheduler.
     pub activity_gating: bool,
+    /// Shards a *single* simulation run across worker threads: the router
+    /// graph is partitioned into contiguous per-thread shards that exchange
+    /// cross-shard flits and credits at cycle boundaries (`0` = all
+    /// available parallelism, `1` = serial, the default).
+    ///
+    /// Unlike [`SimConfig::jobs`], which fans out *independent* sweep
+    /// points, `shards` parallelises one run. The sharded engine is
+    /// bit-identical to the serial path for every shard count — same
+    /// statistics, same ejection order, same activity counters (enforced by
+    /// `tests/shard_parity.rs`; see DESIGN.md §8 for the determinism
+    /// argument). The count is clamped to the router count, and runs with
+    /// telemetry recording enabled fall back to serial.
+    pub shards: usize,
     /// What the run's telemetry sink records (default: nothing).
     pub telemetry: TelemetrySettings,
 }
@@ -489,6 +502,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             jobs: 1,
             activity_gating: true,
+            shards: 1,
             telemetry: TelemetrySettings::disabled(),
         }
     }
@@ -531,6 +545,26 @@ impl SimConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the shard count for a *single* simulation run: the router
+    /// graph is partitioned across this many worker threads, `0` uses all
+    /// available parallelism, `1` (the default) runs serially. Results are
+    /// bit-identical for every value — shard count is a scheduling choice,
+    /// never an experimental parameter.
+    ///
+    /// ```
+    /// use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+    ///
+    /// let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    /// let cfg = SimConfig::new(net, 0.05);
+    /// assert_eq!(cfg.shards, 1, "library default stays serial");
+    /// assert_eq!(cfg.with_shards(0).shards, 0); // all cores
+    /// ```
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -689,6 +723,16 @@ mod tests {
         assert_eq!(cfg.with_jobs(0).jobs, 0);
         assert_eq!(cfg.with_jobs(4).jobs, 4);
         cfg.with_jobs(0).validate().unwrap();
+    }
+
+    #[test]
+    fn shards_default_serial_and_builder() {
+        let net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+        let cfg = SimConfig::new(net, 0.05);
+        assert_eq!(cfg.shards, 1, "library default must stay serial");
+        assert_eq!(cfg.with_shards(0).shards, 0);
+        assert_eq!(cfg.with_shards(8).shards, 8);
+        cfg.with_shards(0).validate().unwrap();
     }
 
     #[test]

@@ -78,6 +78,23 @@ impl<T> Pipe<T> {
     pub fn next_due(&self) -> Option<u64> {
         self.queue.front().map(|(t, _)| *t)
     }
+
+    /// Distinct delivery cycles of the in-flight items, in ascending
+    /// order. Pushes are time-ordered, so consecutive deduplication is
+    /// exact. The sharded engine uses this to rebuild a wake calendar
+    /// from pipe contents when handing a network between the serial and
+    /// sharded schedulers (DESIGN.md §8).
+    pub fn dues(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut last = None;
+        self.queue.iter().map(|(t, _)| *t).filter(move |t| {
+            if last == Some(*t) {
+                false
+            } else {
+                last = Some(*t);
+                true
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +150,17 @@ mod tests {
         assert_eq!(pipe.next_due(), Some(9));
         assert_eq!(pipe.pop_ready(Cycle(9)), Some('b'));
         assert_eq!(pipe.next_due(), None);
+    }
+
+    #[test]
+    fn dues_deduplicates_same_cycle_batches() {
+        let mut pipe = Pipe::new(2);
+        assert_eq!(pipe.dues().count(), 0);
+        pipe.push(Cycle(0), 1);
+        pipe.push(Cycle(0), 2);
+        pipe.push(Cycle(1), 3);
+        pipe.push(Cycle(3), 4);
+        assert_eq!(pipe.dues().collect::<Vec<_>>(), vec![2, 3, 5]);
     }
 
     #[test]

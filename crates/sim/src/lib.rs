@@ -13,7 +13,12 @@
 //!
 //! Sweeps over offered load ([`LoadSweep`]) execute their points across
 //! a worker pool — see [`runner`] for the parallel execution engine and
-//! its determinism guarantees.
+//! its determinism guarantees. A *single* large run can additionally be
+//! sharded across threads with [`SimConfig::shards`] — see [`shard`] for
+//! the deterministic parallel-stepping engine (bit-identical to serial
+//! for every shard count).
+//!
+//! [`SimConfig::shards`]: vix_core::SimConfig::shards
 //!
 //! # Example
 //!
@@ -34,6 +39,7 @@
 mod channel;
 mod network;
 pub mod runner;
+pub mod shard;
 mod single_router;
 mod source;
 mod stats;
@@ -41,6 +47,7 @@ mod sweep;
 
 pub use channel::Pipe;
 pub use network::{EjectedPacket, NetworkSim};
+pub use shard::ShardPlan;
 pub use runner::{derive_seed, parallel_map, resolve_jobs, SweepJob};
 pub use single_router::{SingleRouterHarness, SingleRouterResult};
 pub use source::SourceQueue;

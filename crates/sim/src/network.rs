@@ -22,7 +22,11 @@ use vix_traffic::{BernoulliInjector, TrafficPattern};
 /// Routing resolution shared by sources and lookahead rewriting: the
 /// output port at `router`, the output port at the next router, and the
 /// dimension of the first port.
-fn resolve_route(topology: &dyn Topology, router: RouterId, dest: NodeId) -> (PortId, PortId, usize) {
+pub(crate) fn resolve_route(
+    topology: &dyn Topology,
+    router: RouterId,
+    dest: NodeId,
+) -> (PortId, PortId, usize) {
     let out = topology.route(router, dest);
     let lookahead = if topology.is_local_port(out) {
         out
@@ -45,7 +49,7 @@ pub struct EjectedPacket {
 
 /// Where credits leaving a router input port are returned to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CreditDest {
+pub(crate) enum CreditDest {
     /// Upstream router's output port.
     Upstream(RouterId, PortId),
     /// A terminal's source queue.
@@ -58,7 +62,7 @@ enum CreditDest {
 /// network (flit links, credit links, and the 1-cycle injection link) so a
 /// slot is always fully drained before an event can be scheduled back into
 /// it.
-const WAKE_RING: usize = 4;
+pub(crate) const WAKE_RING: usize = 4;
 const _: () = {
     assert!(WAKE_RING as u64 > FLIT_LATENCY);
     assert!(WAKE_RING as u64 > CREDIT_LATENCY);
@@ -67,7 +71,7 @@ const _: () = {
 /// A deferred delivery: drain this pipe when its due cycle arrives and wake
 /// the receiving router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WakeEvent {
+pub(crate) enum WakeEvent {
     /// Injection link of node `n` has a flit due.
     Inject(usize),
     /// Flit link leaving router `r` through port `p` has flits due.
@@ -84,35 +88,35 @@ enum WakeEvent {
 /// run — skipped cycles are replayed through
 /// [`vix_router::Router::note_idle_cycles`] before a router steps again.
 #[derive(Debug)]
-struct GatingState {
+pub(crate) struct GatingState {
     /// `calendar[t % WAKE_RING]` — deliveries due at cycle `t`.
-    calendar: [Vec<WakeEvent>; WAKE_RING],
+    pub(crate) calendar: [Vec<WakeEvent>; WAKE_RING],
     /// Routers to step this cycle (sorted ascending before phase 5 so that
     /// stats accumulation and ejection order match the ungated sweep).
-    work: Vec<usize>,
+    pub(crate) work: Vec<usize>,
     /// Routers pre-activated for the next cycle (retention: a router only
     /// leaves the active set after a step that begins *and* ends quiescent).
-    pending: Vec<usize>,
+    pub(crate) pending: Vec<usize>,
     /// `active_mark[r]` — last cycle router `r` was queued for; dedups
     /// multiple wakeups in one cycle.
-    active_mark: Vec<u64>,
+    pub(crate) active_mark: Vec<u64>,
     /// `stepped_until[r]` — cycles of router `r`'s history that have been
     /// executed or replayed; the gap to `now` is replayed lazily via
     /// `note_idle_cycles` when the router re-activates.
-    stepped_until: Vec<u64>,
+    pub(crate) stepped_until: Vec<u64>,
     /// Per-pipe scheduled-stamp dedup: the due cycle already scheduled, so
     /// multiple same-cycle pushes (e.g. VIX multi-grant credits) enqueue
     /// one event.
-    inject_sched: Vec<u64>,
-    flit_sched: Vec<Vec<u64>>,
-    credit_sched: Vec<Vec<u64>>,
+    pub(crate) inject_sched: Vec<u64>,
+    pub(crate) flit_sched: Vec<Vec<u64>>,
+    pub(crate) credit_sched: Vec<Vec<u64>>,
     /// Total `Router::step_into` calls over the run (gated and ungated);
     /// the observable for O(active) scheduling tests.
-    router_steps: u64,
+    pub(crate) router_steps: u64,
 }
 
 impl GatingState {
-    fn new(nodes: usize, routers: usize, radix: usize) -> Self {
+    pub(crate) fn new(nodes: usize, routers: usize, radix: usize) -> Self {
         // Worst-case slot population: every injection link plus every flit
         // and credit link delivers on the same cycle. Reserving it up front
         // keeps the steady-state gated step allocation-free.
@@ -138,30 +142,30 @@ impl GatingState {
 /// [`NetworkSim::step`].
 #[derive(Debug)]
 pub struct NetworkSim {
-    cfg: SimConfig,
-    topology: Box<dyn Topology>,
-    routers: Vec<Router>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) topology: Box<dyn Topology>,
+    pub(crate) routers: Vec<Router>,
     /// `flit_pipes[r][p]` — link leaving router `r` through port `p`.
-    flit_pipes: Vec<Vec<Option<Pipe<Flit>>>>,
+    pub(crate) flit_pipes: Vec<Vec<Option<Pipe<Flit>>>>,
     /// `credit_pipes[r][p]` — credits leaving router `r`'s *input* port `p`.
-    credit_pipes: Vec<Vec<Pipe<VcId>>>,
-    credit_dests: Vec<Vec<CreditDest>>,
-    inject_pipes: Vec<Pipe<Flit>>,
-    sources: Vec<SourceQueue>,
-    pattern: TrafficPattern,
-    injector: BernoulliInjector,
-    rng: StdRng,
-    now: Cycle,
-    next_packet: u64,
-    stats: NetworkStats,
-    ejected: Vec<EjectedPacket>,
+    pub(crate) credit_pipes: Vec<Vec<Pipe<VcId>>>,
+    pub(crate) credit_dests: Vec<Vec<CreditDest>>,
+    pub(crate) inject_pipes: Vec<Pipe<Flit>>,
+    pub(crate) sources: Vec<SourceQueue>,
+    pub(crate) pattern: TrafficPattern,
+    pub(crate) injector: BernoulliInjector,
+    pub(crate) rng: StdRng,
+    pub(crate) now: Cycle,
+    pub(crate) next_packet: u64,
+    pub(crate) stats: NetworkStats,
+    pub(crate) ejected: Vec<EjectedPacket>,
     /// Reused router-output buffer: [`vix_router::Router::step_into`]
     /// writes each router's flits and credits here every cycle, so the
     /// steady-state network step performs no heap allocation.
     step_out: vix_router::RouterOutput,
     /// Activity-gated scheduling state (used when
     /// [`SimConfig::activity_gating`] is on).
-    gating: GatingState,
+    pub(crate) gating: GatingState,
     /// Event/metric sink built from [`SimConfig::telemetry`]; disabled by
     /// default, in which case every hook below compiles to a cheap branch.
     telemetry: TelemetrySink,
@@ -549,7 +553,7 @@ impl NetworkSim {
 
     /// Marks router `r` active for cycle `at`, queueing it in `queue`
     /// unless already queued for that cycle.
-    fn activate(
+    pub(crate) fn activate(
         active_mark: &mut [u64],
         queue: &mut Vec<usize>,
         r: usize,
@@ -890,6 +894,53 @@ impl NetworkSim {
         self.telemetry
     }
 
+    /// Resolves [`SimConfig::shards`] to the worker count a
+    /// [`NetworkSim::run_cycles`] call will actually use: `0` becomes
+    /// [`std::thread::available_parallelism`], the result is clamped to
+    /// the router count (a shard must own at least one router), and runs
+    /// with telemetry recording enabled (tracing or metrics) fall back to
+    /// `1` — trace-event order and per-cycle scheduler gauges are defined
+    /// by the serial schedulers.
+    #[must_use]
+    pub fn effective_shards(&self) -> usize {
+        if self.cfg.shards == 1
+            || self.cfg.telemetry.tracing
+            || self.cfg.telemetry.metrics
+        {
+            return 1;
+        }
+        crate::runner::resolve_jobs(self.cfg.shards).clamp(1, self.routers.len())
+    }
+
+    /// Advances the simulation by `cycles` cycles, using the sharded
+    /// parallel engine when [`NetworkSim::effective_shards`] resolves to
+    /// more than one worker and plain [`NetworkSim::step`] calls
+    /// otherwise.
+    ///
+    /// The sharded engine is bit-identical to serial stepping for every
+    /// shard count (`tests/shard_parity.rs`; DESIGN.md §8), and the
+    /// simulation can be handed back and forth between the two paths:
+    /// after a sharded stretch, serial `step()` calls continue from a
+    /// fully reconstructed scheduler state.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        let shards = self.effective_shards();
+        if shards <= 1 {
+            if self.cfg.shards != 1
+                && (self.cfg.telemetry.tracing || self.cfg.telemetry.metrics)
+            {
+                vix_telemetry::info!(
+                    "shards={} requested but telemetry recording is on; running serially",
+                    self.cfg.shards,
+                );
+            }
+            for _ in 0..cycles {
+                self.step();
+            }
+        } else {
+            crate::shard::run_sharded(self, cycles, shards);
+        }
+    }
+
     /// Runs the full warmup + measure + drain protocol and returns the
     /// measurement-window statistics.
     #[must_use]
@@ -902,9 +953,7 @@ impl NetworkSim {
     #[must_use]
     pub fn run_with_telemetry(mut self) -> (NetworkStats, TelemetrySink) {
         let total = self.cfg.warmup + self.cfg.measure + self.cfg.drain;
-        for _ in 0..total {
-            self.step();
-        }
+        self.run_cycles(total);
         let mut stats = self.stats.clone();
         stats.set_activity(self.aggregate_activity());
         stats.set_matching(self.matching_summary());

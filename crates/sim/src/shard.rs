@@ -1,0 +1,1028 @@
+//! Deterministic sharded execution of a single [`NetworkSim`] run.
+//!
+//! [`LoadSweep`](crate::LoadSweep) parallelises *across* simulations; this
+//! module parallelises *within* one. The router graph is partitioned into
+//! contiguous shards ([`ShardPlan`]), each owned by one worker thread of a
+//! [`std::thread::scope`] pool, and the workers advance in lockstep one
+//! cycle at a time. Cross-shard traffic rides the ≥ 2-cycle link latency
+//! as conservative lookahead: everything a boundary pipe will deliver at
+//! cycle `t + 1` is already in flight (and final) by the end of cycle `t`,
+//! so a single end-of-cycle exchange per neighbour pair is enough and no
+//! rollback is ever needed.
+//!
+//! # Cycle protocol
+//!
+//! Per simulated cycle `t`, separated by two [`std::sync::Barrier`] waits:
+//!
+//! 1. **Coordinator** (the calling thread): merge cycle `t − 1`'s
+//!    ejection records shard-by-shard in ascending shard order (which *is*
+//!    ascending router order, so statistics accumulate in exactly the
+//!    serial order), then run phase 1 traffic generation for cycle `t`
+//!    with the run's single RNG, staging each new packet to its source's
+//!    shard. — *barrier* —
+//! 2. **Workers**: drain staged packets and inbound cross-shard
+//!    mailboxes, execute the shard-local copy of the serial step (gated
+//!    or ungated, phases 2–5), then pop every boundary pipe up to
+//!    `t + 1` into the destination shard's mailbox for the next cycle.
+//!    — *barrier* —
+//!
+//! Mailboxes are double-buffered by cycle parity, so a worker drains
+//! cycle-`t` deliveries while its neighbours fill cycle-`t + 1` ones
+//! without contending on the same `Mutex`.
+//!
+//! # Determinism
+//!
+//! A sharded run is **bit-identical** to the serial path for every shard
+//! count (pinned by `tests/shard_parity.rs` across all eight allocator
+//! configurations). The proof obligations, spelled out in DESIGN.md §8:
+//!
+//! * **One RNG, one owner** — traffic generation never leaves the
+//!   coordinator, so the random stream is byte-for-byte the serial one
+//!   regardless of shard count; shard seeds are never derived.
+//! * **Interchangeable delivery order** — distinct pipes feed disjoint
+//!   `(port, vc)` buffers and credits are commutative counter
+//!   increments, so draining mailboxes before local pipes is
+//!   indistinguishable from the serial sweep order (the same invariant
+//!   the activity-gated scheduler already relies on).
+//! * **Ordered merge** — per-shard ejection records are concatenated in
+//!   shard order = global ascending router order, reproducing the serial
+//!   `NetworkStats` accumulation order exactly; all accumulation is
+//!   integer, so no floating-point reassociation can leak in.
+//!
+//! Activity gating runs unchanged inside each shard: the wake calendar,
+//! active set, retention, and idle replay are all per-router state, and a
+//! cross-shard delivery wakes the receiving router the same cycle it
+//! would have in a serial run. On entry and exit the calendars are
+//! rebuilt from pipe contents ([`Pipe::dues`]), so a simulation can move
+//! freely between the serial and sharded schedulers mid-run.
+
+use crate::channel::Pipe;
+use crate::network::{
+    resolve_route, CreditDest, EjectedPacket, GatingState, NetworkSim, WakeEvent, WAKE_RING,
+};
+use crate::source::SourceQueue;
+use crate::stats::NetworkStats;
+use std::sync::{Barrier, Mutex};
+use vix_core::{
+    Cycle, Flit, NodeId, PacketDescriptor, PacketId, PortId, RouterId, SimConfig,
+    TelemetrySettings, VcId,
+};
+use vix_router::{Router, RouterOutput};
+use vix_telemetry::TelemetrySink;
+use vix_topology::Topology;
+
+/// A partition of the router graph into contiguous, balanced shards.
+///
+/// Routers `[router_start[s], router_start[s + 1])` and the terminals
+/// attached to them belong to shard `s`. Contiguity keeps the
+/// shard-order merge equal to ascending-router order (the determinism
+/// requirement) and matches dimension-order locality on the mesh, so
+/// most links stay inside a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `shards + 1` fenceposts over router indices.
+    router_start: Vec<usize>,
+    /// `shards + 1` fenceposts over node indices.
+    node_start: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partitions `topology` into `shards` contiguous router ranges of
+    /// near-equal size (the first `routers % shards` shards take one
+    /// extra router).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the router count, or if the
+    /// topology's node→router attachment is not monotone (every shipped
+    /// topology attaches nodes in router order).
+    #[must_use]
+    pub fn new(topology: &dyn Topology, shards: usize) -> Self {
+        let routers = topology.routers();
+        let nodes = topology.nodes();
+        assert!(shards >= 1 && shards <= routers, "shards must be in 1..={routers}");
+        let base = routers / shards;
+        let extra = routers % shards;
+        let mut router_start = Vec::with_capacity(shards + 1);
+        let mut at = 0;
+        router_start.push(0);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            router_start.push(at);
+        }
+        let node_start: Vec<usize> = router_start
+            .iter()
+            .map(|&r| {
+                (0..nodes)
+                    .position(|n| topology.router_of(NodeId(n)).0 >= r)
+                    .unwrap_or(nodes)
+            })
+            .collect();
+        let plan = ShardPlan { router_start, node_start };
+        // Shards must own their terminals: a node staged to shard `s`
+        // is enqueued on a source slice owned by `s`, and a source's
+        // credit pipe lives on the router it is attached to.
+        for n in 0..nodes {
+            let owner = plan.shard_of_router(topology.router_of(NodeId(n)).0);
+            assert!(
+                plan.node_range(owner).contains(&n),
+                "node {n} not contiguous with its router's shard; \
+                 node→router attachment must be monotone"
+            );
+        }
+        plan
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.router_start.len() - 1
+    }
+
+    /// Routers owned by shard `s`.
+    #[must_use]
+    pub fn router_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.router_start[s]..self.router_start[s + 1]
+    }
+
+    /// Terminals owned by shard `s`.
+    #[must_use]
+    pub fn node_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.node_start[s]..self.node_start[s + 1]
+    }
+
+    /// The shard owning router `r`.
+    #[must_use]
+    pub fn shard_of_router(&self, r: usize) -> usize {
+        // Fenceposts are sorted; partition_point returns the first start
+        // beyond `r`, whose predecessor is the owning shard.
+        self.router_start.partition_point(|&start| start <= r) - 1
+    }
+
+    /// The shard owning terminal `n`.
+    #[must_use]
+    pub fn shard_of_node(&self, n: usize) -> usize {
+        self.node_start.partition_point(|&start| start <= n) - 1
+    }
+}
+
+/// A flit link whose downstream router lives in another shard: drained
+/// by the owning shard's boundary scan instead of its wake calendar.
+#[derive(Debug, Clone, Copy)]
+struct FlitBoundary {
+    from: usize,
+    port: usize,
+    down: RouterId,
+    down_port: PortId,
+    dst_shard: usize,
+}
+
+/// A credit link whose upstream router lives in another shard.
+#[derive(Debug, Clone, Copy)]
+struct CreditBoundary {
+    from: usize,
+    port: usize,
+    up: RouterId,
+    up_port: PortId,
+    dst_shard: usize,
+}
+
+/// One ejection as the serial path would have recorded it into
+/// [`NetworkStats`]; replayed by the coordinator in merge order.
+#[derive(Debug, Clone, Copy)]
+struct StatRecord {
+    source: NodeId,
+    is_tail: bool,
+    created_at: Cycle,
+    at: Cycle,
+}
+
+/// One cycle's observable output of one shard, swapped to the
+/// coordinator through a `Mutex` (uncontended: the two sides touch it in
+/// barrier-separated windows).
+#[derive(Debug, Default)]
+struct CycleOut {
+    recs: Vec<StatRecord>,
+    ejects: Vec<EjectedPacket>,
+}
+
+/// `grid[dst][src]`: one locked delivery queue per ordered shard pair.
+/// The `Mutex` is uncontended by construction — each (dst, src, parity)
+/// slot is filled and drained in barrier-separated windows.
+type MailGrid<T> = Vec<Vec<Mutex<Vec<T>>>>;
+
+/// Per-pair cross-shard delivery queues, double-buffered by cycle
+/// parity: `flits[t % 2][dst][src]` holds deliveries due at cycle `t`.
+#[derive(Debug)]
+struct Mailboxes {
+    flits: [MailGrid<(RouterId, PortId, Flit)>; 2],
+    credits: [MailGrid<(RouterId, PortId, VcId)>; 2],
+}
+
+impl Mailboxes {
+    fn new(shards: usize) -> Self {
+        fn grid<T>(shards: usize) -> MailGrid<T> {
+            (0..shards)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect()
+        }
+        Mailboxes {
+            flits: [grid(shards), grid(shards)],
+            credits: [grid(shards), grid(shards)],
+        }
+    }
+}
+
+/// One worker thread's owned slice of the network plus its private
+/// scheduler state. Router, pipe, and source indices arriving from
+/// shared structures are global; the `router_off` / `node_off` offsets
+/// translate them into the local slices.
+struct ShardWorker<'a> {
+    idx: usize,
+    cfg: SimConfig,
+    plan: &'a ShardPlan,
+    topology: &'a dyn Topology,
+    router_off: usize,
+    node_off: usize,
+    routers: &'a mut [Router],
+    flit_pipes: &'a mut [Vec<Option<Pipe<Flit>>>],
+    credit_pipes: &'a mut [Vec<Pipe<VcId>>],
+    credit_dests: &'a [Vec<CreditDest>],
+    inject_pipes: &'a mut [Pipe<Flit>],
+    sources: &'a mut [SourceQueue],
+    flit_boundary: Vec<FlitBoundary>,
+    credit_boundary: Vec<CreditBoundary>,
+    /// Shard-local gating state (globally indexed; only this shard's
+    /// entries are ever touched).
+    gating: GatingState,
+    out: RouterOutput,
+    /// Disabled sink: telemetry-recording runs never reach the sharded
+    /// engine (see [`NetworkSim::effective_shards`]).
+    sink: TelemetrySink,
+    recs: Vec<StatRecord>,
+    ejects: Vec<EjectedPacket>,
+}
+
+impl ShardWorker<'_> {
+    /// Rebuilds this shard's wake calendar from the contents of its own
+    /// pipes. Every in-flight item's due cycle lies within `WAKE_RING`
+    /// of `now`, so slots never alias. Boundary pipes are skipped — the
+    /// unconditional boundary scan replaces their calendar events.
+    fn rebuild_calendar(&mut self) {
+        for (i, pipe) in self.inject_pipes.iter().enumerate() {
+            let n = self.node_off + i;
+            for due in pipe.dues() {
+                self.gating.inject_sched[n] = due;
+                self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                    .push(WakeEvent::Inject(n));
+            }
+        }
+        for ri in 0..self.routers.len() {
+            let r = self.router_off + ri;
+            for p in 0..self.flit_pipes[ri].len() {
+                let Some(pipe) = self.flit_pipes[ri][p].as_ref() else { continue };
+                if pipe.is_empty() {
+                    continue;
+                }
+                let (down, _) = self
+                    .topology
+                    .neighbor(RouterId(r), PortId(p))
+                    .expect("flit pipe exists only on connected ports");
+                if self.plan.shard_of_router(down.0) != self.idx {
+                    continue;
+                }
+                for due in pipe.dues() {
+                    self.gating.flit_sched[r][p] = due;
+                    self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                        .push(WakeEvent::FlitLink(r, p));
+                }
+            }
+            for p in 0..self.credit_pipes[ri].len() {
+                if self.credit_pipes[ri][p].is_empty() {
+                    continue;
+                }
+                let local = match self.credit_dests[ri][p] {
+                    CreditDest::Upstream(ur, _) => self.plan.shard_of_router(ur.0) == self.idx,
+                    CreditDest::Source(_) => true,
+                    CreditDest::Unconnected => {
+                        unreachable!("credit in flight on unconnected port {p} of router {r}")
+                    }
+                };
+                if !local {
+                    continue;
+                }
+                for due in self.credit_pipes[ri][p].dues() {
+                    self.gating.credit_sched[r][p] = due;
+                    self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                        .push(WakeEvent::CreditLink(r, p));
+                }
+            }
+        }
+    }
+
+    /// Executes this shard's part of cycle `t` (between the two barriers).
+    /// `last` marks the final cycle of the sharded stretch: its boundary
+    /// scan is skipped so cycle-`t + 1` deliveries stay in their pipes —
+    /// there is no cycle `t + 1` in this run to drain the mailboxes, and
+    /// whichever engine continues (serial stepping or the next sharded
+    /// stretch's pre-scan) delivers straight from the pipes.
+    fn run_cycle(
+        &mut self,
+        t: u64,
+        last: bool,
+        mail: &Mailboxes,
+        staged: &Mutex<Vec<PacketDescriptor>>,
+        out_slot: &Mutex<CycleOut>,
+    ) {
+        let now = Cycle(t);
+        let gated = self.cfg.activity_gating;
+
+        // 0. Packets the coordinator generated for this cycle (phase 1).
+        for packet in staged.lock().expect("no panic while staging").drain(..) {
+            self.sources[packet.source.0 - self.node_off].enqueue(packet);
+        }
+
+        // 1. Inbound cross-shard deliveries due this cycle. Flit
+        // deliveries wake the receiving router exactly as a calendar
+        // event would; credits follow the credit-no-wake rule.
+        let parity = (t % 2) as usize;
+        for src in 0..self.plan.shards() {
+            if src == self.idx {
+                continue;
+            }
+            {
+                let mut inbox =
+                    mail.flits[parity][self.idx][src].lock().expect("sender not panicked");
+                for (down, port, flit) in inbox.drain(..) {
+                    self.routers[down.0 - self.router_off].accept_flit(port, flit);
+                    if gated {
+                        NetworkSim::activate(
+                            &mut self.gating.active_mark,
+                            &mut self.gating.work,
+                            down.0,
+                            t,
+                        );
+                    }
+                }
+            }
+            let mut inbox =
+                mail.credits[parity][self.idx][src].lock().expect("sender not panicked");
+            for (up, port, vc) in inbox.drain(..) {
+                self.routers[up.0 - self.router_off].credit_return(port, vc);
+            }
+        }
+
+        // 2–5. The serial step restricted to this shard.
+        if gated {
+            self.step_gated(now);
+        } else {
+            self.step_ungated(now);
+        }
+
+        // 6. Boundary scan: everything a cross-shard pipe will deliver
+        // at `t + 1` is final now (this cycle's pushes are due ≥ t + 2,
+        // since every inter-router pipe has ≥ 2 cycles of latency), so
+        // hand it to the destination shard's next-cycle mailbox.
+        if last {
+            let mut slot = out_slot.lock().expect("coordinator not panicked");
+            std::mem::swap(&mut slot.recs, &mut self.recs);
+            std::mem::swap(&mut slot.ejects, &mut self.ejects);
+            return;
+        }
+        let next_parity = ((t + 1) % 2) as usize;
+        for b in &self.flit_boundary {
+            let pipe = self.flit_pipes[b.from - self.router_off][b.port]
+                .as_mut()
+                .expect("boundary port is connected");
+            if !pipe.has_ready(Cycle(t + 1)) {
+                continue;
+            }
+            let mut outbox = mail.flits[next_parity][b.dst_shard][self.idx]
+                .lock()
+                .expect("receiver not panicked");
+            while let Some(flit) = pipe.pop_ready(Cycle(t + 1)) {
+                outbox.push((b.down, b.down_port, flit));
+            }
+        }
+        for b in &self.credit_boundary {
+            let pipe = &mut self.credit_pipes[b.from - self.router_off][b.port];
+            if !pipe.has_ready(Cycle(t + 1)) {
+                continue;
+            }
+            let mut outbox = mail.credits[next_parity][b.dst_shard][self.idx]
+                .lock()
+                .expect("receiver not panicked");
+            while let Some(vc) = pipe.pop_ready(Cycle(t + 1)) {
+                outbox.push((b.up, b.up_port, vc));
+            }
+        }
+
+        // 7. Hand this cycle's records to the coordinator. The swap gets
+        // back the vectors the coordinator drained last cycle, keeping
+        // the steady state allocation-free.
+        let mut slot = out_slot.lock().expect("coordinator not panicked");
+        std::mem::swap(&mut slot.recs, &mut self.recs);
+        std::mem::swap(&mut slot.ejects, &mut self.ejects);
+    }
+
+    /// Phases 2–5 of the ungated serial step over this shard's routers.
+    /// Boundary pipes never have anything due mid-cycle (the boundary
+    /// scan drained through `t` at the end of cycle `t − 1`), so the
+    /// sweep naturally skips them.
+    fn step_ungated(&mut self, now: Cycle) {
+        let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
+        let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
+        let radix = self.topology.radix();
+
+        // 2. Sources stream flits toward their routers.
+        for i in 0..self.sources.len() {
+            let topo = self.topology;
+            let router = topo.router_of(NodeId(self.node_off + i));
+            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            if let Some(flit) = self.sources[i].try_send(now, resolve) {
+                self.inject_pipes[i].push(now, flit);
+            }
+        }
+
+        // 3. Deliver flits due this cycle.
+        for i in 0..self.inject_pipes.len() {
+            let node = NodeId(self.node_off + i);
+            let router = self.topology.router_of(node);
+            let port = self.topology.local_port_of(node);
+            while let Some(flit) = self.inject_pipes[i].pop_ready(now) {
+                self.routers[router.0 - self.router_off].accept_flit(port, flit);
+            }
+        }
+        for ri in 0..self.routers.len() {
+            let r = self.router_off + ri;
+            for p in 0..radix {
+                let Some(pipe) = self.flit_pipes[ri][p].as_mut() else { continue };
+                if !pipe.has_ready(now) {
+                    continue;
+                }
+                let (down, down_port) = self
+                    .topology
+                    .neighbor(RouterId(r), PortId(p))
+                    .expect("flit pipe exists only on connected ports");
+                debug_assert_eq!(
+                    self.plan.shard_of_router(down.0),
+                    self.idx,
+                    "boundary pipe had a delivery due mid-cycle"
+                );
+                while let Some(flit) =
+                    self.flit_pipes[ri][p].as_mut().expect("checked above").pop_ready(now)
+                {
+                    self.routers[down.0 - self.router_off].accept_flit(down_port, flit);
+                }
+            }
+        }
+
+        // 4. Deliver credits due this cycle.
+        for ri in 0..self.routers.len() {
+            for p in 0..radix {
+                if !self.credit_pipes[ri][p].has_ready(now) {
+                    continue;
+                }
+                match self.credit_dests[ri][p] {
+                    CreditDest::Upstream(ur, up) => {
+                        while let Some(vc) = self.credit_pipes[ri][p].pop_ready(now) {
+                            self.routers[ur.0 - self.router_off].credit_return(up, vc);
+                        }
+                    }
+                    CreditDest::Source(node) => {
+                        while let Some(vc) = self.credit_pipes[ri][p].pop_ready(now) {
+                            self.sources[node.0 - self.node_off].credit_return(vc);
+                        }
+                    }
+                    CreditDest::Unconnected => {
+                        unreachable!("credit on unconnected port {p} of shard router {ri}")
+                    }
+                }
+            }
+        }
+
+        // 5. Clock every router in the shard, ascending.
+        let mut out = std::mem::take(&mut self.out);
+        for ri in 0..self.routers.len() {
+            let r = self.router_off + ri;
+            self.routers[ri].step_into(now, &mut out, &mut self.sink);
+            self.gating.router_steps += 1;
+            self.fan_out(r, now, in_window, &mut out, false);
+        }
+        self.out = out;
+    }
+
+    /// Phases 2–5 of the activity-gated serial step over this shard.
+    fn step_gated(&mut self, now: Cycle) {
+        let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
+        let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
+
+        // 2. Sources; a push schedules the injection link's delivery.
+        for i in 0..self.sources.len() {
+            let n = self.node_off + i;
+            let topo = self.topology;
+            let router = topo.router_of(NodeId(n));
+            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            if let Some(flit) = self.sources[i].try_send(now, resolve) {
+                self.inject_pipes[i].push(now, flit);
+                let due = now.0 + 1;
+                if self.gating.inject_sched[n] != due {
+                    self.gating.inject_sched[n] = due;
+                    self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                        .push(WakeEvent::Inject(n));
+                }
+            }
+        }
+
+        // 3 + 4. Drain this cycle's calendar slot (intra-shard events
+        // only by construction; boundary traffic arrived via mailboxes).
+        let slot = (now.0 % WAKE_RING as u64) as usize;
+        let mut events = std::mem::take(&mut self.gating.calendar[slot]);
+        for &ev in &events {
+            match ev {
+                WakeEvent::Inject(n) => {
+                    let node = NodeId(n);
+                    let router = self.topology.router_of(node);
+                    let port = self.topology.local_port_of(node);
+                    while let Some(flit) = self.inject_pipes[n - self.node_off].pop_ready(now) {
+                        self.routers[router.0 - self.router_off].accept_flit(port, flit);
+                    }
+                    NetworkSim::activate(
+                        &mut self.gating.active_mark,
+                        &mut self.gating.work,
+                        router.0,
+                        now.0,
+                    );
+                }
+                WakeEvent::FlitLink(r, p) => {
+                    let (down, down_port) = self
+                        .topology
+                        .neighbor(RouterId(r), PortId(p))
+                        .expect("flit pipe exists only on connected ports");
+                    while let Some(flit) = self.flit_pipes[r - self.router_off][p]
+                        .as_mut()
+                        .expect("connected port has a pipe")
+                        .pop_ready(now)
+                    {
+                        self.routers[down.0 - self.router_off].accept_flit(down_port, flit);
+                    }
+                    NetworkSim::activate(
+                        &mut self.gating.active_mark,
+                        &mut self.gating.work,
+                        down.0,
+                        now.0,
+                    );
+                }
+                WakeEvent::CreditLink(r, p) => {
+                    let ri = r - self.router_off;
+                    match self.credit_dests[ri][p] {
+                        CreditDest::Upstream(ur, up) => {
+                            while let Some(vc) = self.credit_pipes[ri][p].pop_ready(now) {
+                                self.routers[ur.0 - self.router_off].credit_return(up, vc);
+                            }
+                        }
+                        CreditDest::Source(node) => {
+                            while let Some(vc) = self.credit_pipes[ri][p].pop_ready(now) {
+                                self.sources[node.0 - self.node_off].credit_return(vc);
+                            }
+                        }
+                        CreditDest::Unconnected => {
+                            unreachable!("credit on unconnected port {p} of router {r}")
+                        }
+                    }
+                }
+            }
+        }
+        events.clear();
+        self.gating.calendar[slot] = events;
+
+        // 5. Step the active routers in ascending order.
+        let mut out = std::mem::take(&mut self.out);
+        let mut work = std::mem::take(&mut self.gating.work);
+        work.sort_unstable();
+        for &r in &work {
+            let ri = r - self.router_off;
+            let was_quiescent = self.routers[ri].is_quiescent();
+            let gap = now.0 - self.gating.stepped_until[r];
+            if gap > 0 {
+                self.routers[ri].note_idle_cycles(gap);
+            }
+            self.routers[ri].step_into(now, &mut out, &mut self.sink);
+            self.gating.router_steps += 1;
+            self.gating.stepped_until[r] = now.0 + 1;
+            self.fan_out(r, now, in_window, &mut out, true);
+            if !(was_quiescent && self.routers[ri].is_quiescent()) {
+                NetworkSim::activate(
+                    &mut self.gating.active_mark,
+                    &mut self.gating.pending,
+                    r,
+                    now.0 + 1,
+                );
+            }
+        }
+        work.clear();
+        self.gating.work = work;
+        std::mem::swap(&mut self.gating.work, &mut self.gating.pending);
+        self.out = out;
+    }
+
+    /// Fans one router's step outputs out to ejection records and link
+    /// pipes. With `gated` set, intra-shard pushes schedule calendar
+    /// events; boundary pushes schedule nothing — the boundary scan
+    /// visits those pipes unconditionally.
+    fn fan_out(&mut self, r: usize, now: Cycle, in_window: bool, out: &mut RouterOutput, gated: bool) {
+        let ri = r - self.router_off;
+        for (p, mut flit) in out.flits.drain(..) {
+            if self.topology.is_local_port(p) {
+                debug_assert_eq!(
+                    self.topology.node_at(RouterId(r), p),
+                    Some(flit.packet.dest),
+                    "flit ejected at the wrong terminal"
+                );
+                if in_window {
+                    self.recs.push(StatRecord {
+                        source: flit.packet.source,
+                        is_tail: flit.is_tail(),
+                        created_at: flit.packet.created_at,
+                        at: now,
+                    });
+                }
+                if flit.is_tail() {
+                    self.ejects.push(EjectedPacket { packet: flit.packet, at: now });
+                }
+            } else {
+                let (down, _) = self
+                    .topology
+                    .neighbor(RouterId(r), p)
+                    .expect("route uses connected ports");
+                let (out_port, lookahead, _) = resolve_route(self.topology, down, flit.packet.dest);
+                flit.out_port = out_port;
+                flit.lookahead_port = lookahead;
+                self.flit_pipes[ri][p.0]
+                    .as_mut()
+                    .expect("connected port has a pipe")
+                    .push(now, flit);
+                if gated && self.plan.shard_of_router(down.0) == self.idx {
+                    let due = now.0 + crate::FLIT_LATENCY;
+                    if self.gating.flit_sched[r][p.0] != due {
+                        self.gating.flit_sched[r][p.0] = due;
+                        self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                            .push(WakeEvent::FlitLink(r, p.0));
+                    }
+                }
+            }
+        }
+        for (p, vc) in out.credits.drain(..) {
+            self.credit_pipes[ri][p.0].push(now, vc);
+            if gated {
+                let local = match self.credit_dests[ri][p.0] {
+                    CreditDest::Upstream(ur, _) => self.plan.shard_of_router(ur.0) == self.idx,
+                    CreditDest::Source(_) => true,
+                    CreditDest::Unconnected => {
+                        unreachable!("credit on unconnected port {p} of router {r}")
+                    }
+                };
+                if local {
+                    let due = now.0 + crate::CREDIT_LATENCY;
+                    if self.gating.credit_sched[r][p.0] != due {
+                        self.gating.credit_sched[r][p.0] = due;
+                        self.gating.calendar[(due % WAKE_RING as u64) as usize]
+                            .push(WakeEvent::CreditLink(r, p.0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replays one cycle's per-shard ejection records into the network's
+/// statistics, in shard order = ascending router order = serial order.
+fn merge_cycle(outs: &[Mutex<CycleOut>], stats: &mut NetworkStats, ejected: &mut Vec<EjectedPacket>) {
+    for slot in outs {
+        let mut out = slot.lock().expect("worker not panicked");
+        for rec in out.recs.drain(..) {
+            stats.record_ejection(rec.source, rec.is_tail, rec.created_at, rec.at);
+        }
+        ejected.append(&mut out.ejects);
+    }
+}
+
+/// Advances `sim` by `cycles` cycles across `shards` worker threads,
+/// bit-identically to `cycles` serial [`NetworkSim::step`] calls.
+///
+/// The caller ([`NetworkSim::run_cycles`]) guarantees `shards` is in
+/// `2..=routers` and telemetry recording is off.
+pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
+    if cycles == 0 {
+        return;
+    }
+    let start = sim.now.0;
+    let end = start + cycles;
+    let plan = ShardPlan::new(sim.topology.as_ref(), shards);
+    let radix = sim.topology.radix();
+    let routers_total = sim.routers.len();
+    let nodes_total = sim.cfg.network.nodes;
+    let gated = sim.cfg.activity_gating;
+
+    // Classify every link once; boundary lists are grouped by the shard
+    // that owns (and therefore drains) the pipe.
+    let mut flit_boundary: Vec<Vec<FlitBoundary>> = vec![Vec::new(); shards];
+    let mut credit_boundary: Vec<Vec<CreditBoundary>> = vec![Vec::new(); shards];
+    for r in 0..routers_total {
+        let s = plan.shard_of_router(r);
+        for p in 0..radix {
+            if sim.flit_pipes[r][p].is_some() {
+                let (down, down_port) = sim
+                    .topology
+                    .neighbor(RouterId(r), PortId(p))
+                    .expect("flit pipe exists only on connected ports");
+                let dst_shard = plan.shard_of_router(down.0);
+                if dst_shard != s {
+                    flit_boundary[s].push(FlitBoundary {
+                        from: r,
+                        port: p,
+                        down,
+                        down_port,
+                        dst_shard,
+                    });
+                }
+            }
+            if let CreditDest::Upstream(up, up_port) = sim.credit_dests[r][p] {
+                let dst_shard = plan.shard_of_router(up.0);
+                if dst_shard != s {
+                    credit_boundary[s].push(CreditBoundary {
+                        from: r,
+                        port: p,
+                        up,
+                        up_port,
+                        dst_shard,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pre-scan: deliveries already due at `start` on boundary pipes
+    // would normally have been exchanged at the end of cycle `start − 1`
+    // (which ran under a different scheduler), so stage them now.
+    let mail = Mailboxes::new(shards);
+    let parity0 = (start % 2) as usize;
+    for s in 0..shards {
+        for b in &flit_boundary[s] {
+            let pipe = sim.flit_pipes[b.from][b.port].as_mut().expect("boundary port connected");
+            while let Some(flit) = pipe.pop_ready(Cycle(start)) {
+                mail.flits[parity0][b.dst_shard][s]
+                    .lock()
+                    .expect("unshared yet")
+                    .push((b.down, b.down_port, flit));
+            }
+        }
+        for b in &credit_boundary[s] {
+            let pipe = &mut sim.credit_pipes[b.from][b.port];
+            while let Some(vc) = pipe.pop_ready(Cycle(start)) {
+                mail.credits[parity0][b.dst_shard][s]
+                    .lock()
+                    .expect("unshared yet")
+                    .push((b.up, b.up_port, vc));
+            }
+        }
+    }
+
+    // Split the network into per-shard mutable slices.
+    let mut workers: Vec<ShardWorker> = Vec::with_capacity(shards);
+    {
+        let mut routers_rest: &mut [Router] = &mut sim.routers;
+        let mut flit_rest: &mut [Vec<Option<Pipe<Flit>>>] = &mut sim.flit_pipes;
+        let mut credit_rest: &mut [Vec<Pipe<VcId>>] = &mut sim.credit_pipes;
+        let mut cdest_rest: &[Vec<CreditDest>] = &sim.credit_dests;
+        let mut inject_rest: &mut [Pipe<Flit>] = &mut sim.inject_pipes;
+        let mut source_rest: &mut [SourceQueue] = &mut sim.sources;
+        for s in 0..shards {
+            let routers_here = plan.router_range(s).len();
+            let nodes_here = plan.node_range(s).len();
+            let (routers, rest) = routers_rest.split_at_mut(routers_here);
+            routers_rest = rest;
+            let (flit_pipes, rest) = flit_rest.split_at_mut(routers_here);
+            flit_rest = rest;
+            let (credit_pipes, rest) = credit_rest.split_at_mut(routers_here);
+            credit_rest = rest;
+            let (credit_dests, rest) = cdest_rest.split_at(routers_here);
+            cdest_rest = rest;
+            let (inject_pipes, rest) = inject_rest.split_at_mut(nodes_here);
+            inject_rest = rest;
+            let (sources, rest) = source_rest.split_at_mut(nodes_here);
+            source_rest = rest;
+
+            let mut gating = GatingState::new(nodes_total, routers_total, radix);
+            if gated {
+                gating.active_mark.copy_from_slice(&sim.gating.active_mark);
+                gating.stepped_until.copy_from_slice(&sim.gating.stepped_until);
+                for &r in &sim.gating.work {
+                    if plan.shard_of_router(r) == s {
+                        gating.work.push(r);
+                    }
+                }
+            }
+            workers.push(ShardWorker {
+                idx: s,
+                cfg: sim.cfg,
+                plan: &plan,
+                topology: sim.topology.as_ref(),
+                router_off: plan.router_range(s).start,
+                node_off: plan.node_range(s).start,
+                routers,
+                flit_pipes,
+                credit_pipes,
+                credit_dests,
+                inject_pipes,
+                sources,
+                flit_boundary: std::mem::take(&mut flit_boundary[s]),
+                credit_boundary: std::mem::take(&mut credit_boundary[s]),
+                gating,
+                out: RouterOutput::default(),
+                sink: TelemetrySink::new(TelemetrySettings::disabled()),
+                recs: Vec::new(),
+                ejects: Vec::new(),
+            });
+        }
+    }
+    if gated {
+        // The serial calendar interleaves shards and references boundary
+        // pipes; rebuild each shard's calendar from its own pipe contents
+        // instead of trying to split it.
+        for w in &mut workers {
+            w.rebuild_calendar();
+        }
+    }
+
+    let staged: Vec<Mutex<Vec<PacketDescriptor>>> =
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let outs: Vec<Mutex<CycleOut>> = (0..shards).map(|_| Mutex::new(CycleOut::default())).collect();
+    let barrier = Barrier::new(shards + 1);
+    let warm_plus_measure = sim.cfg.warmup + sim.cfg.measure;
+    let warmup = sim.cfg.warmup;
+    let packet_len = sim.cfg.packet_len;
+
+    let finished: Vec<ShardWorker> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for mut w in workers {
+            let (barrier, mail, staged, outs) = (&barrier, &mail, &staged, &outs);
+            handles.push(scope.spawn(move || {
+                for t in start..end {
+                    barrier.wait();
+                    w.run_cycle(t, t + 1 == end, mail, &staged[w.idx], &outs[w.idx]);
+                    barrier.wait();
+                }
+                w
+            }));
+        }
+        // Coordinator: the stats/RNG owner. Phase 1 runs here with the
+        // run's single RNG, in the exact serial order, so the random
+        // stream and packet-id sequence are shard-count-invariant.
+        for t in start..end {
+            if t > start {
+                merge_cycle(&outs, &mut sim.stats, &mut sim.ejected);
+            }
+            if t < warm_plus_measure {
+                let in_window = t >= warmup;
+                for n in 0..nodes_total {
+                    if sim.injector.fires(&mut sim.rng) {
+                        let dest = sim.pattern.pick_dest(NodeId(n), nodes_total, &mut sim.rng);
+                        let packet = PacketDescriptor::new(
+                            PacketId(sim.next_packet),
+                            NodeId(n),
+                            dest,
+                            packet_len,
+                            Cycle(t),
+                        );
+                        sim.next_packet += 1;
+                        staged[plan.shard_of_node(n)]
+                            .lock()
+                            .expect("worker not panicked")
+                            .push(packet);
+                        if in_window {
+                            sim.stats.record_offered(1);
+                        }
+                    }
+                }
+            }
+            barrier.wait();
+            barrier.wait();
+        }
+        merge_cycle(&outs, &mut sim.stats, &mut sim.ejected);
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+
+    // Reassemble a serial-scheduler view of the world so `step()` (or a
+    // later `run_cycles`) can continue from cycle `end` seamlessly.
+    // Extract the owned scheduler state first: the workers hold the
+    // mutable borrows of the network, which the rebuild below needs back.
+    let shard_state: Vec<(usize, Vec<u64>, Vec<usize>)> = finished
+        .into_iter()
+        .map(|w| {
+            sim.gating.router_steps += w.gating.router_steps;
+            (w.idx, w.gating.stepped_until, w.gating.work)
+        })
+        .collect();
+    if gated {
+        for (idx, stepped_until, _) in &shard_state {
+            let range = plan.router_range(*idx);
+            sim.gating.stepped_until[range.clone()].copy_from_slice(&stepped_until[range]);
+        }
+        sim.gating.work.clear();
+        sim.gating.pending.clear();
+        for slot in &mut sim.gating.calendar {
+            slot.clear();
+        }
+        sim.gating.inject_sched.fill(u64::MAX);
+        for row in &mut sim.gating.flit_sched {
+            row.fill(u64::MAX);
+        }
+        for row in &mut sim.gating.credit_sched {
+            row.fill(u64::MAX);
+        }
+        for (n, pipe) in sim.inject_pipes.iter().enumerate() {
+            for due in pipe.dues() {
+                sim.gating.inject_sched[n] = due;
+                sim.gating.calendar[(due % WAKE_RING as u64) as usize]
+                    .push(WakeEvent::Inject(n));
+            }
+        }
+        for r in 0..routers_total {
+            for p in 0..radix {
+                if let Some(pipe) = sim.flit_pipes[r][p].as_ref() {
+                    for due in pipe.dues() {
+                        sim.gating.flit_sched[r][p] = due;
+                        sim.gating.calendar[(due % WAKE_RING as u64) as usize]
+                            .push(WakeEvent::FlitLink(r, p));
+                    }
+                }
+                for due in sim.credit_pipes[r][p].dues() {
+                    sim.gating.credit_sched[r][p] = due;
+                    sim.gating.calendar[(due % WAKE_RING as u64) as usize]
+                        .push(WakeEvent::CreditLink(r, p));
+                }
+            }
+        }
+        // Retention already put every non-quiescent router in its
+        // shard's work list; re-activate them for cycle `end`.
+        for (_, _, work) in &shard_state {
+            for &r in work {
+                NetworkSim::activate(&mut sim.gating.active_mark, &mut sim.gating.work, r, end);
+            }
+        }
+    }
+    sim.now = Cycle(end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vix_topology::build_topology;
+    use vix_core::TopologyKind;
+
+    #[test]
+    fn plan_partitions_routers_and_nodes_contiguously() {
+        for kind in [TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::FlattenedButterfly] {
+            let topo = build_topology(kind, 64).unwrap();
+            for shards in [1, 2, 3, 4, 7, 8, topo.routers()] {
+                let plan = ShardPlan::new(topo.as_ref(), shards);
+                assert_eq!(plan.shards(), shards);
+                // Router ranges tile [0, routers) in order.
+                let mut next = 0;
+                for s in 0..shards {
+                    let range = plan.router_range(s);
+                    assert_eq!(range.start, next);
+                    assert!(!range.is_empty(), "{kind:?}/{shards}: empty shard {s}");
+                    next = range.end;
+                    for r in range {
+                        assert_eq!(plan.shard_of_router(r), s);
+                    }
+                }
+                assert_eq!(next, topo.routers());
+                // Every node lands in the shard of its router.
+                for n in 0..topo.nodes() {
+                    let s = plan.shard_of_node(n);
+                    assert!(plan.node_range(s).contains(&n));
+                    assert_eq!(s, plan.shard_of_router(topo.router_of(NodeId(n)).0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_shard_sizes() {
+        let topo = build_topology(TopologyKind::Mesh, 64).unwrap();
+        let plan = ShardPlan::new(topo.as_ref(), 7);
+        let sizes: Vec<usize> = (0..7).map(|s| plan.router_range(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        assert!(sizes.iter().all(|&n| n == 9 || n == 10), "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be in")]
+    fn plan_rejects_more_shards_than_routers() {
+        let topo = build_topology(TopologyKind::Mesh, 16).unwrap();
+        let _ = ShardPlan::new(topo.as_ref(), 17);
+    }
+}

@@ -46,7 +46,11 @@ use vix_core::{ConfigError, NodeId, PortId, RouterId, TopologyKind};
 /// Port layout convention: the *directional* (router-to-router) ports come
 /// first, the *local* (terminal) ports last, so
 /// `is_local_port(p) ⇔ p.0 >= radix() - concentration()`.
-pub trait Topology: std::fmt::Debug {
+///
+/// Topologies are immutable routing tables, so the trait requires
+/// `Send + Sync`: the sharded simulation engine (`vix-sim`, DESIGN.md §8)
+/// shares one topology by reference across its worker threads.
+pub trait Topology: std::fmt::Debug + Send + Sync {
     /// Which of the paper's topologies this is.
     fn kind(&self) -> TopologyKind;
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sharded-engine perf-regression guard.
+#
+# Re-runs the shardscaling benchmark and compares the fresh `shards=1`
+# timing against the checked-in BENCH_shardscaling.json: more than 25 %
+# slower than the recorded figure fails the run (the serial path must not
+# pay for the sharded engine's existence). On hosts with ≥4 cores the
+# check additionally enforces the ≥2× speedup floor at 4 shards; on
+# smaller hosts that floor is physically unreachable and is skipped with
+# a note (the comparison itself lives in the bench's `--check` mode).
+#
+# Regenerate the recorded figures after an intentional perf change with:
+#   cargo bench -p vix-bench --bench shardscaling
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -f BENCH_shardscaling.json ]]; then
+    echo "BENCH_shardscaling.json missing; record it first with" >&2
+    echo "  cargo bench -p vix-bench --bench shardscaling" >&2
+    exit 1
+fi
+
+cargo bench -p vix-bench --bench shardscaling -- --check

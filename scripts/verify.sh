@@ -22,6 +22,13 @@ cargo test -q --workspace --release
 echo "==> cargo test -q --release --test gating_parity --test zero_alloc"
 cargo test -q --release --test gating_parity --test zero_alloc
 
+# Sharded-engine contract: sharded single runs are bit-identical to
+# serial for every shard count, allocator, and scheduler, and compose
+# with sweep-level parallelism. Covered by the suites above; re-run by
+# name so a failure here points straight at the sharding invariant.
+echo "==> cargo test -q --release --test shard_parity --test determinism"
+cargo test -q --release --test shard_parity --test determinism
+
 # Telemetry contract: the exporter schema is a compatibility surface for
 # external tooling (Perfetto, jq pipelines); run the schema test by name
 # so a drift failure points straight at the contract.
@@ -46,6 +53,12 @@ cargo bench -p vix-bench --bench loadsweep -- --smoke
 # of the recorded BENCH_allockernels.json figures.
 echo "==> scripts/check_alloc_kernels.sh"
 scripts/check_alloc_kernels.sh
+
+# Sharded-engine perf guard: the serial (shards=1) path must stay within
+# 25% of the recorded BENCH_shardscaling.json figure; hosts with ≥4 cores
+# additionally enforce the ≥2x speedup floor at 4 shards.
+echo "==> scripts/check_shardscaling.sh"
+scripts/check_shardscaling.sh
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! vixsim [--topology mesh|cmesh|fbfly] [--allocator if|vix|wf|wfvix|ap|pc|islip]
-//!        [--rate R] [--packet-len N] [--vcs V] [--virtual-inputs K]
+//!        [--nodes N] [--rate R] [--packet-len N] [--vcs V] [--virtual-inputs K]
 //!        [--pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor]
 //!        [--warmup N] [--measure N] [--drain N] [--seed S] [--jobs N]
-//!        [--no-speculation] [--no-dimension-aware] [--age-based-sa]
+//!        [--shards N] [--no-speculation] [--no-dimension-aware] [--age-based-sa]
 //!        [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
@@ -24,6 +24,7 @@ use vix::{NodeId, VirtualInputs};
 struct Options {
     topology: TopologyKind,
     allocator: AllocatorKind,
+    nodes: usize,
     rate: f64,
     packet_len: usize,
     vcs: usize,
@@ -34,6 +35,7 @@ struct Options {
     drain: u64,
     seed: u64,
     jobs: usize,
+    shards: usize,
     speculation: bool,
     dimension_aware: bool,
     age_based_sa: bool,
@@ -48,6 +50,7 @@ impl Default for Options {
         Options {
             topology: TopologyKind::Mesh,
             allocator: AllocatorKind::Vix,
+            nodes: 64,
             rate: 0.05,
             packet_len: 4,
             vcs: 6,
@@ -57,7 +60,8 @@ impl Default for Options {
             measure: 10_000,
             drain: 3_000,
             seed: 0xC0FFEE,
-            jobs: 0, // sweeps use all cores unless pinned
+            jobs: 0,   // sweeps use all cores unless pinned
+            shards: 1, // single runs are serial unless asked
             speculation: true,
             dimension_aware: true,
             age_based_sa: false,
@@ -72,6 +76,8 @@ impl Default for Options {
 const USAGE: &str = "usage: vixsim [options]
   --topology mesh|cmesh|fbfly      (default mesh)
   --allocator if|of|vix|wf|wfvix|ap|pc|islip   (default vix)
+  --nodes <n>                      terminal count, a perfect square of the
+                                   topology's concentration grid (default 64)
   --rate <pkts/cycle/node>         (default 0.05)
   --packet-len <flits>             (default 4)
   --vcs <n>                        (default 6)
@@ -81,6 +87,9 @@ const USAGE: &str = "usage: vixsim [options]
   --seed <n>
   --jobs <n>                       sweep worker threads; 0 = all cores
                                    (default 0; results identical for any value)
+  --shards <n>                     worker threads inside each simulation;
+                                   0 = all cores (default 1; results
+                                   identical for any value — DESIGN.md §8)
   --no-speculation  --no-dimension-aware  --age-based-sa  --five-stage
   --sweep-csv <file>               run a 10-point rate sweep, write CSV
   --trace-out <file>               record the flit-lifecycle trace (single
@@ -117,6 +126,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown allocator {other}")),
                 }
             }
+            "--nodes" => opt.nodes = value()?.parse().map_err(|e| format!("bad nodes: {e}"))?,
             "--rate" => opt.rate = value()?.parse().map_err(|e| format!("bad rate: {e}"))?,
             "--packet-len" => {
                 opt.packet_len = value()?.parse().map_err(|e| format!("bad packet length: {e}"))?
@@ -146,6 +156,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--drain" => opt.drain = value()?.parse().map_err(|e| format!("bad drain: {e}"))?,
             "--seed" => opt.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
             "--jobs" => opt.jobs = value()?.parse().map_err(|e| format!("bad jobs: {e}"))?,
+            "--shards" => opt.shards = value()?.parse().map_err(|e| format!("bad shards: {e}"))?,
             "--no-speculation" => opt.speculation = false,
             "--five-stage" => opt.five_stage = true,
             "--sweep-csv" => opt.sweep_csv = Some(value()?.clone()),
@@ -162,7 +173,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opt = match parse(&args) {
+    let mut opt = match parse(&args) {
         Ok(opt) => opt,
         Err(msg) => {
             if !msg.is_empty() {
@@ -172,6 +183,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let TrafficPattern::Hotspot { spots, .. } = &mut opt.pattern {
+        // The hot spots are the network corners; retarget them when
+        // --nodes moves the last terminal away from 63.
+        *spots = vec![NodeId(0), NodeId(opt.nodes.saturating_sub(1))];
+    }
 
     let needs_vi = matches!(opt.allocator, AllocatorKind::Vix | AllocatorKind::WavefrontVix);
     let k = match opt.virtual_inputs {
@@ -184,7 +200,17 @@ fn main() -> ExitCode {
         k if k == opt.vcs => VirtualInputs::Ideal,
         k => VirtualInputs::PerPort(k),
     };
-    let router = vix::RouterConfig::paper_default(opt.topology.radix_64())
+    // Derive the router radix from an actual topology instance so
+    // `--nodes` works for any valid terminal count, not just the paper's
+    // 64 (the fbfly radix grows with the mesh side).
+    let radix = match vix::topology::build_topology(opt.topology, opt.nodes) {
+        Ok(t) => t.radix(),
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let router = vix::RouterConfig::paper_default(radix)
         .with_vcs(opt.vcs)
         .with_virtual_inputs(vi)
         .with_speculation(opt.speculation)
@@ -195,7 +221,8 @@ fn main() -> ExitCode {
         } else {
             vix::PipelineKind::ThreeStage
         });
-    let network = NetworkConfig { topology: opt.topology, nodes: 64, router, allocator: opt.allocator };
+    let network =
+        NetworkConfig { topology: opt.topology, nodes: opt.nodes, router, allocator: opt.allocator };
     let telemetry = TelemetrySettings::disabled()
         .with_tracing(opt.trace_out.is_some())
         .with_metrics(opt.metrics_out.is_some() && opt.sweep_csv.is_none());
@@ -204,6 +231,7 @@ fn main() -> ExitCode {
         .with_windows(opt.warmup, opt.measure, opt.drain)
         .with_seed(opt.seed)
         .with_jobs(opt.jobs)
+        .with_shards(opt.shards)
         .with_telemetry(telemetry);
 
     if let Some(path) = &opt.sweep_csv {

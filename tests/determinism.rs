@@ -69,6 +69,52 @@ fn parallel_sweeps_match_serial_point_for_point() {
     }
 }
 
+#[test]
+fn sweeps_are_invariant_over_the_shards_x_jobs_grid() {
+    // The two parallelism axes — `jobs` worker threads across sweep
+    // points, `shards` worker threads inside each simulation — must
+    // compose without leaking into the results: every (shards, jobs)
+    // combination reproduces the (1, 1) sweep bit-for-bit, for every
+    // allocator configuration.
+    let allocators = [
+        AllocatorKind::InputFirst,
+        AllocatorKind::OutputFirst,
+        AllocatorKind::Wavefront,
+        AllocatorKind::AugmentingPath,
+        AllocatorKind::Vix,
+        AllocatorKind::WavefrontVix,
+        AllocatorKind::PacketChaining,
+        AllocatorKind::Islip(2),
+    ];
+    for kind in allocators {
+        let sweep = |shards: usize, jobs: usize| {
+            let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, kind);
+            network.nodes = 16;
+            let base = SimConfig::new(network, 0.0)
+                .with_windows(200, 600, 400)
+                .with_seed(0xD5EED)
+                .with_shards(shards);
+            LoadSweep::new(base)
+                .with_rates(&[0.03, 0.06])
+                .with_jobs(jobs)
+                .run()
+                .unwrap()
+                .points()
+                .to_vec()
+        };
+        let reference = sweep(1, 1);
+        for shards in [2, 4] {
+            for jobs in [1, 2] {
+                assert_eq!(
+                    sweep(shards, jobs),
+                    reference,
+                    "{kind:?}: shards={shards} x jobs={jobs} leaked into sweep results"
+                );
+            }
+        }
+    }
+}
+
 /// FNV-1a over a stream of `u64` words. Hand-rolled because the golden
 /// constants below must survive Rust upgrades, and `DefaultHasher`'s
 /// output is explicitly not guaranteed stable across releases.
