@@ -4,6 +4,7 @@
 use crate::separable::SeparableAllocator;
 use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
+use vix_core::bits::{set_bit, test_bit, words_for};
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
 use vix_telemetry::MatchingStats;
 
@@ -51,6 +52,10 @@ struct ChainingScratch {
     output_taken: Vec<bool>,
     /// VC request lines of one held connection's input port.
     lines: Vec<bool>,
+    /// Bitset kernel: inherited inputs, one bit per port.
+    input_taken_bits: Vec<u64>,
+    /// Bitset kernel: inherited outputs, one bit per port.
+    output_taken_bits: Vec<u64>,
 }
 
 impl PacketChainingAllocator {
@@ -81,19 +86,25 @@ impl PacketChainingAllocator {
 impl PacketChainingAllocator {
     /// Word-parallel kernel: inherited-chain champion lines come straight
     /// from the request bit-view's VC planes, and the taken flags are
-    /// single words. Phase 2 delegates to the inner separable allocator,
-    /// which inherits the same kernel choice from the shared config.
+    /// word arrays of one bit per port. Phase 2 delegates to the inner
+    /// separable allocator, which inherits the same kernel choice from the
+    /// shared config.
     fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
-        let Self { cfg, inner, held, vc_selectors, residual, inner_grants, matching, .. } = self;
+        let port_words = words_for(ports);
+        let Self { cfg, inner, held, vc_selectors, residual, inner_grants, scratch, matching } =
+            self;
+        let ChainingScratch { input_taken_bits, output_taken_bits, .. } = scratch;
         let bits = requests.bits();
-        let mut input_taken = 0u64;
-        let mut output_taken = 0u64;
+        input_taken_bits.clear();
+        input_taken_bits.resize(port_words, 0);
+        output_taken_bits.clear();
+        output_taken_bits.resize(port_words, 0);
 
         // Phase 1: inherit surviving chains.
         for (out, slot) in held.iter_mut().enumerate().take(ports) {
             let Some(input) = *slot else { continue };
-            if input_taken & (1u64 << input.0) != 0 {
+            if test_bit(input_taken_bits, input.0) {
                 *slot = None;
                 continue;
             }
@@ -101,9 +112,9 @@ impl PacketChainingAllocator {
             // non-speculative preferred.
             let mut chosen = None;
             for speculative in [false, true] {
-                let line_mask = bits.vc_plane(speculative, input, PortId(out));
+                let lines = bits.vc_plane(speculative, input, PortId(out));
                 let sel = &mut vc_selectors[input.0];
-                if let Some(v) = sel.peek_mask(line_mask) {
+                if let Some(v) = sel.peek_words(lines) {
                     sel.commit(v);
                     chosen = Some(VcId(v));
                     break;
@@ -111,8 +122,8 @@ impl PacketChainingAllocator {
             }
             match chosen {
                 Some(vc) => {
-                    input_taken |= 1u64 << input.0;
-                    output_taken |= 1u64 << out;
+                    set_bit(input_taken_bits, input.0);
+                    set_bit(output_taken_bits, out);
                     grants.add(Grant { port: input, vc, out_port: PortId(out) });
                 }
                 None => *slot = None,
@@ -122,7 +133,7 @@ impl PacketChainingAllocator {
         // Phase 2: separable allocation over the remaining requests.
         residual.clear();
         for r in requests.active_requests() {
-            if input_taken & (1u64 << r.port.0) == 0 && output_taken & (1u64 << r.out_port.0) == 0
+            if !test_bit(input_taken_bits, r.port.0) && !test_bit(output_taken_bits, r.out_port.0)
             {
                 residual.push(*r);
             }
@@ -139,7 +150,7 @@ impl PacketChainingAllocator {
         let vcs = self.cfg.partition.vcs();
         let Self { cfg, inner, held, vc_selectors, residual, inner_grants, scratch, matching } =
             self;
-        let ChainingScratch { input_taken, output_taken, lines } = scratch;
+        let ChainingScratch { input_taken, output_taken, lines, .. } = scratch;
         input_taken.clear();
         input_taken.resize(ports, false);
         output_taken.clear();

@@ -2,8 +2,8 @@
 //! baseline beyond the paper's evaluated schemes.
 
 use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
-use vix_arbiter::{first_set_from, Arbiter};
-use vix_core::bits::mask_up_to;
+use vix_arbiter::{first_set_from_words, Arbiter};
+use vix_core::bits::{any_set, clear_bit, set_bit, set_low_bits, test_bit, words_for};
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
 use vix_telemetry::MatchingStats;
 
@@ -47,8 +47,15 @@ struct IslipScratch {
     grants_to_input: Vec<Vec<usize>>,
     /// VC request lines of one matched input.
     lines: Vec<bool>,
-    /// Bitset kernel: output mask granting each input this iteration.
+    /// Bitset kernel: output mask granting each input this iteration,
+    /// `port_words` words per input.
     grant_masks: Vec<u64>,
+    /// Bitset kernel: still-unmatched inputs, one bit per port.
+    free_in: Vec<u64>,
+    /// Bitset kernel: already-matched outputs, one bit per port.
+    out_matched_bits: Vec<u64>,
+    /// Bitset kernel: requesting free inputs of one output.
+    cand: Vec<u64>,
 }
 
 impl IslipAllocator {
@@ -81,23 +88,31 @@ impl IslipAllocator {
 
 impl IslipAllocator {
     /// Word-parallel kernel: both pointer scans collapse to
-    /// [`first_set_from`] over the request-bit-view's per-output requester
-    /// masks. Grants, emission order, and pointer evolution match
+    /// [`first_set_from_words`] over the request-bit-view's per-output
+    /// requester masks. Grants, emission order, and pointer evolution match
     /// [`allocate_scalar`](Self::allocate_scalar) exactly.
     fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
         let iterations = self.iterations;
+        let port_words = words_for(ports);
         let Self { cfg, grant_pointers, accept_pointers, vc_selectors, scratch, matching, .. } =
             self;
-        let IslipScratch { matched_out_of_in, grant_masks, .. } = scratch;
+        let IslipScratch {
+            matched_out_of_in, grant_masks, free_in, out_matched_bits, cand, ..
+        } = scratch;
         let bits = requests.bits();
 
         matched_out_of_in.clear();
         matched_out_of_in.resize(ports, None);
         grant_masks.clear();
-        grant_masks.resize(ports, 0);
-        let mut free_in = mask_up_to(ports);
-        let mut out_matched = 0u64;
+        grant_masks.resize(ports * port_words, 0);
+        free_in.clear();
+        free_in.resize(port_words, 0);
+        set_low_bits(free_in, ports);
+        out_matched_bits.clear();
+        out_matched_bits.resize(port_words, 0);
+        cand.clear();
+        cand.resize(port_words, 0);
 
         for iter in 0..iterations {
             // Grant round: each free output grants one requesting free
@@ -106,26 +121,29 @@ impl IslipAllocator {
                 *m = 0;
             }
             for (out, &pointer) in grant_pointers.iter().enumerate().take(ports) {
-                if out_matched & (1u64 << out) != 0 {
+                if test_bit(out_matched_bits, out) {
                     continue;
                 }
                 // Port-level requests ignore speculation for the matching;
                 // the VC champion prefers non-speculative below.
-                let cand = bits.requesters_any(PortId(out)) & free_in;
-                if let Some(i) = first_set_from(cand, pointer, ports) {
-                    grant_masks[i] |= 1u64 << out;
+                for (w, c) in cand.iter_mut().enumerate() {
+                    *c = bits.requesters_any_word(PortId(out), w) & free_in[w];
+                }
+                if let Some(i) = first_set_from_words(cand, pointer, ports) {
+                    set_bit(&mut grant_masks[i * port_words..(i + 1) * port_words], out);
                 }
             }
             // Accept round.
             for input in 0..ports {
-                if matched_out_of_in[input].is_some() || grant_masks[input] == 0 {
+                let offered = &grant_masks[input * port_words..(input + 1) * port_words];
+                if matched_out_of_in[input].is_some() || !any_set(offered) {
                     continue;
                 }
-                let accepted = first_set_from(grant_masks[input], accept_pointers[input], ports)
+                let accepted = first_set_from_words(offered, accept_pointers[input], ports)
                     .expect("non-empty grant mask must contain an acceptable output");
                 matched_out_of_in[input] = Some(accepted);
-                out_matched |= 1u64 << accepted;
-                free_in &= !(1u64 << input);
+                set_bit(out_matched_bits, accepted);
+                clear_bit(free_in, input);
                 if iter == 0 {
                     // Pointer update rule: one past the matched partner,
                     // first iteration only.
@@ -140,9 +158,9 @@ impl IslipAllocator {
             let Some(out) = matched_out_of_in[input] else { continue };
             let mut chosen = None;
             for speculative in [false, true] {
-                let line_mask = bits.vc_plane(speculative, PortId(input), PortId(out));
+                let lines = bits.vc_plane(speculative, PortId(input), PortId(out));
                 let sel = &mut vc_selectors[input];
-                if let Some(v) = sel.peek_mask(line_mask) {
+                if let Some(v) = sel.peek_words(lines) {
                     sel.commit(v);
                     chosen = Some(VcId(v));
                     break;

@@ -65,24 +65,31 @@ use vix_telemetry::{MatchingStats, MatchingSummary};
 /// Bitset analogue of the scalar `mask_to_oldest` line masking: clears every
 /// set bit whose age is below the maximum age among set bits, leaving the
 /// arbiter to break ties among the oldest. `age_of` is only consulted for
-/// set bits.
-pub(crate) fn mask_to_oldest_bits(mask: &mut u64, mut age_of: impl FnMut(usize) -> u64) {
-    if *mask == 0 {
+/// set bits. Operates on a multi-word mask; single-word callers pass
+/// `std::slice::from_mut`.
+pub(crate) fn mask_to_oldest_bits(mask: &mut [u64], mut age_of: impl FnMut(usize) -> u64) {
+    let mut max = 0u64;
+    let mut any = false;
+    for (w, &word) in mask.iter().enumerate() {
+        let mut scan = word;
+        while scan != 0 {
+            let b = w * 64 + scan.trailing_zeros() as usize;
+            scan &= scan - 1;
+            max = max.max(age_of(b));
+            any = true;
+        }
+    }
+    if !any {
         return;
     }
-    let mut max = 0u64;
-    let mut scan = *mask;
-    while scan != 0 {
-        let b = scan.trailing_zeros() as usize;
-        scan &= scan - 1;
-        max = max.max(age_of(b));
-    }
-    let mut scan = *mask;
-    while scan != 0 {
-        let b = scan.trailing_zeros() as usize;
-        scan &= scan - 1;
-        if age_of(b) < max {
-            *mask &= !(1u64 << b);
+    for (w, word) in mask.iter_mut().enumerate() {
+        let mut scan = *word;
+        while scan != 0 {
+            let b = w * 64 + scan.trailing_zeros() as usize;
+            scan &= scan - 1;
+            if age_of(b) < max {
+                *word &= !(1u64 << (b % 64));
+            }
         }
     }
 }
@@ -134,23 +141,12 @@ pub struct AllocatorConfig {
 }
 
 impl AllocatorConfig {
-    /// Creates a configuration with round-robin arbiters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `ports`, the partition's VC count, or the total crossbar
-    /// inputs (`ports × groups`) exceed 64 — the word width the bitset
-    /// kernels pack each request row into. [`RouterConfig::validate`]
-    /// rejects such shapes with [`vix_core::ConfigError::TooWideForBitset`]
-    /// before they reach this constructor.
+    /// Creates a configuration with round-robin arbiters. Any shape is
+    /// accepted: the bitset kernels store `ceil(width / 64)` words per
+    /// request row, so radices, VC counts, and crossbar-input products
+    /// past 64 are first-class (DESIGN.md §6d).
     #[must_use]
     pub fn new(ports: usize, partition: VixPartition) -> Self {
-        assert!(ports <= 64, "ports must be at most 64 for the bitset kernels");
-        assert!(partition.vcs() <= 64, "VCs must be at most 64 for the bitset kernels");
-        assert!(
-            ports * partition.groups() <= 64,
-            "crossbar inputs (ports × virtual inputs) must be at most 64 for the bitset kernels"
-        );
         AllocatorConfig {
             ports,
             partition,

@@ -73,6 +73,10 @@ pub struct MatchingScratch {
     pub match_of_left: Vec<Option<usize>>,
     match_of_right: Vec<Option<usize>>,
     visited: Vec<bool>,
+    /// Bitset kernel: per-augmentation visited set, one bit per right vertex.
+    visited_bits: Vec<u64>,
+    /// Bitset kernel: still-unmatched right vertices.
+    free_rights: Vec<u64>,
 }
 
 /// [`max_bipartite_matching_from`] writing into caller-owned scratch.
@@ -98,7 +102,7 @@ pub fn max_bipartite_matching_into(
             assert!(r < rights, "right vertex {r} out of range ({rights})");
         }
     }
-    let MatchingScratch { match_of_left, match_of_right, visited } = scratch;
+    let MatchingScratch { match_of_left, match_of_right, visited, .. } = scratch;
     match_of_right.clear();
     match_of_right.resize(rights, None);
     match_of_left.clear();
@@ -139,22 +143,24 @@ pub fn max_bipartite_matching_into(
     }
 }
 
-/// `max_bipartite_matching_into` over bit-mask adjacency: `adjacency[l]`
-/// has bit `r` set iff left vertex `l` reaches right vertex `r`, so the
-/// whole graph is one `u64` per row and the per-augmentation visited set is
-/// a single word.
+/// `max_bipartite_matching_into` over bit-mask adjacency: each left vertex
+/// owns a row of `rights.div_ceil(64)` consecutive words in `adjacency`,
+/// with bit `r` of the row set iff the left vertex reaches right vertex
+/// `r`. The per-augmentation visited set is a word array of the same
+/// width, so graphs of any size stay dense.
 ///
-/// Candidate edges are scanned with `trailing_zeros`, i.e. in ascending
-/// right-vertex order — identical to the scalar algorithm on *sorted,
-/// deduplicated* adjacency lists, which is exactly what the allocators
-/// build. The resulting matching is therefore bit-identical to the scalar
-/// path. The matching is left in `scratch.match_of_left`; the boolean
-/// `visited` scratch field is unused here.
+/// Candidate edges are scanned word-by-word with `trailing_zeros`, i.e. in
+/// ascending right-vertex order — identical to the scalar algorithm on
+/// *sorted, deduplicated* adjacency lists, which is exactly what the
+/// allocators build. The resulting matching is therefore bit-identical to
+/// the scalar path. The matching is left in `scratch.match_of_left`; the
+/// boolean `visited` scratch field is unused here.
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if `rights > 64` or an adjacency row has bits
-/// at or above `rights`.
+/// Panics (in debug builds) if `adjacency.len()` is not
+/// `lefts * rights.div_ceil(64)` or an adjacency row has bits at or above
+/// `rights`.
 pub fn max_bipartite_matching_bits_into(
     lefts: usize,
     rights: usize,
@@ -162,13 +168,20 @@ pub fn max_bipartite_matching_bits_into(
     offset: usize,
     scratch: &mut MatchingScratch,
 ) {
-    debug_assert!(rights <= 64, "bit-mask matching supports at most 64 right vertices");
-    debug_assert_eq!(adjacency.len(), lefts, "adjacency must have one entry per left vertex");
+    let right_words = vix_core::bits::words_for(rights);
+    debug_assert_eq!(
+        adjacency.len(),
+        lefts * right_words,
+        "adjacency must have {right_words} words per left vertex"
+    );
     debug_assert!(
-        adjacency.iter().all(|&a| rights == 64 || a >> rights == 0),
+        rights.is_multiple_of(64)
+            || adjacency
+                .chunks_exact(right_words.max(1))
+                .all(|row| row[right_words - 1] >> (rights % 64) == 0),
         "adjacency row has right vertices out of range ({rights})"
     );
-    let MatchingScratch { match_of_left, match_of_right, .. } = scratch;
+    let MatchingScratch { match_of_left, match_of_right, visited_bits, free_rights, .. } = scratch;
     match_of_right.clear();
     match_of_right.resize(rights, None);
     match_of_left.clear();
@@ -176,26 +189,36 @@ pub fn max_bipartite_matching_bits_into(
 
     fn try_augment(
         l: usize,
+        right_words: usize,
         adjacency: &[u64],
-        visited: &mut u64,
-        free_rights: &mut u64,
+        visited: &mut [u64],
+        free_rights: &mut [u64],
         match_of_right: &mut [Option<usize>],
         match_of_left: &mut [Option<usize>],
     ) -> bool {
+        let row = &adjacency[l * right_words..(l + 1) * right_words];
         // Recompute the candidate mask after every recursive probe: the
         // recursion may have visited further right vertices, and the scalar
-        // loop skips those too.
-        let mut cand = adjacency[l] & !*visited;
-        while cand != 0 {
-            let r = cand.trailing_zeros() as usize;
-            *visited |= 1u64 << r;
+        // loop skips those too. Visited bits only accumulate, so a word
+        // that has drained stays drained and the scan never backtracks.
+        let mut w = 0;
+        while w < right_words {
+            let cand = row[w] & !visited[w];
+            if cand == 0 {
+                w += 1;
+                continue;
+            }
+            let bit = cand.trailing_zeros() as usize;
+            let r = w * 64 + bit;
+            visited[w] |= 1u64 << bit;
             let free = match match_of_right[r] {
                 None => {
-                    *free_rights &= !(1u64 << r);
+                    vix_core::bits::clear_bit(free_rights, r);
                     true
                 }
                 Some(other) => try_augment(
                     other,
+                    right_words,
                     adjacency,
                     visited,
                     free_rights,
@@ -208,7 +231,6 @@ pub fn max_bipartite_matching_bits_into(
                 match_of_left[l] = Some(r);
                 return true;
             }
-            cand = adjacency[l] & !*visited;
         }
         false
     }
@@ -218,16 +240,27 @@ pub fn max_bipartite_matching_bits_into(
     // augmentation never touches the match arrays, so skipping the
     // remaining lefts is behaviour-preserving, not an approximation. The
     // scalar reference kernel grinds through those provably-failing
-    // searches; tracking the free set as one word is what makes the
-    // saturation cutoff O(1) here.
-    let mut free_rights = if rights == 64 { !0u64 } else { (1u64 << rights) - 1 };
+    // searches; tracking the free set as a word array is what makes the
+    // saturation cutoff cheap here.
+    free_rights.clear();
+    free_rights.resize(right_words, 0);
+    vix_core::bits::set_low_bits(free_rights, rights);
     for i in 0..lefts {
-        if free_rights == 0 {
+        if !vix_core::bits::any_set(free_rights) {
             break;
         }
         let l = (i + offset) % lefts;
-        let mut visited = 0u64;
-        try_augment(l, adjacency, &mut visited, &mut free_rights, match_of_right, match_of_left);
+        visited_bits.clear();
+        visited_bits.resize(right_words, 0);
+        try_augment(
+            l,
+            right_words,
+            adjacency,
+            visited_bits,
+            free_rights,
+            match_of_right,
+            match_of_left,
+        );
     }
 }
 
@@ -310,6 +343,47 @@ mod tests {
                 let adj_lists: Vec<Vec<usize>> = adj_bits
                     .iter()
                     .map(|&m| (0..rights).filter(|&r| m & (1 << r) != 0).collect())
+                    .collect();
+                let mut scalar = MatchingScratch::default();
+                let mut bits = MatchingScratch::default();
+                max_bipartite_matching_into(lefts, rights, &adj_lists, offset, &mut scalar);
+                max_bipartite_matching_bits_into(lefts, rights, &adj_bits, offset, &mut bits);
+                assert_eq!(
+                    scalar.match_of_left, bits.match_of_left,
+                    "kernels diverged on {lefts}x{rights} offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bits_variant_matches_scalar_beyond_64_rights() {
+        // Multi-word rows: right domains of 70 and 130 vertices force two-
+        // and three-word adjacency rows; the matchings must stay identical
+        // to the scalar list kernel.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        for (lefts, rights) in [(12usize, 70usize), (9, 130), (80, 65)] {
+            let words = rights.div_ceil(64);
+            for offset in [0, 3, lefts - 1] {
+                let mut adj_bits = vec![0u64; lefts * words];
+                for row in adj_bits.chunks_exact_mut(words) {
+                    for (w, word) in row.iter_mut().enumerate() {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        // Sparse-ish rows so augmenting chains actually form.
+                        *word = state & state.rotate_left(29) & state.rotate_left(47);
+                        let hi = rights.saturating_sub(w * 64).min(64);
+                        *word &= ((1u128 << hi) - 1) as u64;
+                    }
+                }
+                let adj_lists: Vec<Vec<usize>> = adj_bits
+                    .chunks_exact(words)
+                    .map(|row| {
+                        (0..rights)
+                            .filter(|&r| row[r / 64] & (1u64 << (r % 64)) != 0)
+                            .collect()
+                    })
                     .collect();
                 let mut scalar = MatchingScratch::default();
                 let mut bits = MatchingScratch::default();

@@ -3,6 +3,7 @@
 
 use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
+use vix_core::bits::{extract_range, set_bit, words_for};
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
 use vix_telemetry::MatchingStats;
 
@@ -32,10 +33,8 @@ pub struct MaxMatchingAllocator {
     /// VCs of each sub-group, precomputed so the per-cycle loops never
     /// collect.
     group_vcs: Vec<Vec<VcId>>,
-    /// `partition.group_mask(g)` for every sub-group, hoisted out of the
-    /// per-edge bitset loops.
-    group_masks: Vec<u64>,
-    /// `partition.group_of(vc)` for every VC, hoisted likewise.
+    /// `partition.group_of(vc)` for every VC, hoisted out of the per-edge
+    /// bitset loops.
     vc_group: Vec<usize>,
     /// Champion selection within a matched sub-group, one per virtual input.
     vc_selectors: Vec<Box<dyn Arbiter>>,
@@ -53,11 +52,17 @@ pub struct MaxMatchingAllocator {
 struct MaxMatchingScratch {
     /// `adjacency[vi]` = outputs requested by the sub-group, ascending.
     adjacency: Vec<Vec<usize>>,
-    /// Bitset kernel: the same adjacency as one output mask per row.
+    /// Bitset kernel: the same adjacency as an output mask per row,
+    /// `port_words` words per virtual input.
     adjacency_bits: Vec<u64>,
     matching: crate::matching::MatchingScratch,
     /// VC request lines of one matched virtual input.
     lines: Vec<bool>,
+    /// Bitset kernel: union of both speculation classes' VC planes of one
+    /// matched (input, output) pair.
+    any_plane: Vec<u64>,
+    /// Bitset kernel: one sub-group's window of `any_plane`.
+    line_buf: Vec<u64>,
 }
 
 impl MaxMatchingAllocator {
@@ -68,8 +73,6 @@ impl MaxMatchingAllocator {
         let group_vcs = (0..groups)
             .map(|g| cfg.partition.vcs_in_group(VirtualInputId(g)).collect())
             .collect();
-        let group_masks =
-            (0..groups).map(|g| cfg.partition.group_mask(VirtualInputId(g))).collect();
         let vc_group =
             (0..cfg.partition.vcs()).map(|v| cfg.partition.group_of(VcId(v)).0).collect();
         let vc_selectors =
@@ -78,7 +81,6 @@ impl MaxMatchingAllocator {
         MaxMatchingAllocator {
             cfg,
             group_vcs,
-            group_masks,
             vc_group,
             vc_selectors,
             offset: 0,
@@ -100,9 +102,10 @@ impl SwitchAllocator for MaxMatchingAllocator {
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
         let group_size = self.cfg.partition.group_size();
-        let Self { cfg, group_vcs, group_masks, vc_group, vc_selectors, offset, scratch, match_stats } =
-            self;
-        let MaxMatchingScratch { adjacency, adjacency_bits, matching, lines } = scratch;
+        let port_words = words_for(ports);
+        let Self { cfg, group_vcs, vc_group, vc_selectors, offset, scratch, match_stats } = self;
+        let MaxMatchingScratch { adjacency, adjacency_bits, matching, lines, any_plane, line_buf } =
+            scratch;
 
         // Edge (virtual input → output) iff some VC of the sub-group
         // requests the output. Adjacency in ascending output order: the
@@ -112,10 +115,10 @@ impl SwitchAllocator for MaxMatchingAllocator {
         match cfg.kernel {
             KernelKind::Bitset => {
                 adjacency_bits.clear();
-                adjacency_bits.resize(ports * groups, 0);
+                adjacency_bits.resize(ports * groups * port_words, 0);
                 for req in requests.active_requests() {
-                    adjacency_bits[req.port.0 * groups + vc_group[req.vc.0]] |=
-                        1u64 << req.out_port.0;
+                    let row = (req.port.0 * groups + vc_group[req.vc.0]) * port_words;
+                    set_bit(&mut adjacency_bits[row..row + port_words], req.out_port.0);
                 }
                 crate::matching::max_bipartite_matching_bits_into(
                     ports * groups,
@@ -152,23 +155,25 @@ impl SwitchAllocator for MaxMatchingAllocator {
         *offset = (*offset + 1) % (ports * groups);
 
         for port in 0..ports {
-            for group in 0..groups {
+            for (group, vcs) in group_vcs.iter().enumerate() {
                 let vi = port * groups + group;
                 let Some(out) = matching.match_of_left[vi] else { continue };
                 let selector = &mut vc_selectors[vi];
                 // Champion among the sub-group's VCs that request `out`.
                 let local = match cfg.kernel {
                     KernelKind::Bitset => {
-                        let gstart = group * group_size;
-                        let line_mask = (requests
-                            .bits()
-                            .vc_plane_any(PortId(port), PortId(out))
-                            & group_masks[group])
-                            >> gstart;
-                        selector.peek_mask(line_mask)
+                        let bits = requests.bits();
+                        any_plane.clear();
+                        any_plane.resize(bits.vc_words(), 0);
+                        for (w, word) in any_plane.iter_mut().enumerate() {
+                            *word = bits.vc_plane_any_word(PortId(port), PortId(out), w);
+                        }
+                        line_buf.clear();
+                        line_buf.resize(words_for(group_size), 0);
+                        extract_range(any_plane, group * group_size, group_size, line_buf);
+                        selector.peek_words(line_buf)
                     }
                     KernelKind::Scalar => {
-                        let vcs = &group_vcs[group];
                         lines.clear();
                         lines.extend(vcs.iter().map(|&vc| {
                             requests.get(PortId(port), vc).is_some_and(|r| r.out_port.0 == out)

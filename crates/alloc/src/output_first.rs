@@ -4,7 +4,7 @@
 
 use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
-use vix_core::bits::mask_up_to;
+use vix_core::bits::{any_set, clear_range, deposit_range, set_bit, set_low_bits, test_bit, words_for};
 use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
 use vix_telemetry::MatchingStats;
 
@@ -47,14 +47,18 @@ struct OutputFirstScratch {
     /// Stage-2 request lines (one per output port).
     in_lines: Vec<bool>,
     /// Bitset kernel: stage-1 lines as a multi-word mask over the flat
-    /// `ports × vcs` index space (the one arbiter domain that can exceed
-    /// 64 bits).
+    /// `ports × vcs` index space.
     flat_words: Vec<u64>,
-    /// Bitset kernel: per-port mask of VCs whose virtual input is free.
+    /// Bitset kernel: per-port mask of VCs whose virtual input is free,
+    /// strided `words_for(vcs)` words per port.
     free_vcs: Vec<u64>,
     /// Bitset kernel: per-virtual-input mask of outputs whose stage-1
-    /// candidate it hosts.
+    /// candidate it hosts, strided `words_for(ports)` words per unit.
     cand_masks: Vec<u64>,
+    /// Bitset kernel: one port's masked VC line before deposit.
+    line_buf: Vec<u64>,
+    /// Bitset kernel: multi-word taken-output mask.
+    output_taken_bits: Vec<u64>,
 }
 
 impl OutputFirstAllocator {
@@ -74,10 +78,11 @@ impl OutputFirstAllocator {
 }
 
 impl OutputFirstAllocator {
-    /// Word-parallel kernel. Stage 1's `P·v : 1` arbiter domain is the one
-    /// place in the crate that can exceed 64 bits, so its lines are a
-    /// multi-word mask assembled from per-port VC planes; stage 2 works on
-    /// single-word output masks. Behaviour matches
+    /// Word-parallel kernel. Stage 1's `P·v : 1` arbiter domain is the
+    /// widest in the crate, so its lines are a multi-word mask assembled
+    /// by depositing each port's masked VC line at its flat offset
+    /// ([`deposit_range`] handles word-boundary straddles of any width);
+    /// stage 2 works on multi-word output masks. Behaviour matches
     /// [`allocate_scalar`](Self::allocate_scalar) exactly.
     fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
         let ports = self.cfg.ports;
@@ -85,57 +90,79 @@ impl OutputFirstAllocator {
         let groups = self.cfg.partition.groups();
         let units = ports * groups;
         let part = self.cfg.partition;
-        let flat_word_count = (ports * vcs).div_ceil(64);
+        let group_size = part.group_size();
+        let flat_word_count = words_for(ports * vcs);
+        let vc_words = words_for(vcs);
+        let port_words = words_for(ports);
         let Self { output_arbiters, input_arbiters, scratch, matching, .. } = self;
-        let OutputFirstScratch { candidates, flat_words, free_vcs, cand_masks, .. } = scratch;
+        let OutputFirstScratch {
+            candidates,
+            flat_words,
+            free_vcs,
+            cand_masks,
+            line_buf,
+            output_taken_bits,
+            ..
+        } = scratch;
         let bits = requests.bits();
 
-        // free_vcs[p] = VCs of port p whose virtual input is still free.
+        // free_vcs row p = VCs of port p whose virtual input is still free.
         free_vcs.clear();
-        free_vcs.resize(ports, mask_up_to(vcs));
-        let mut output_taken = 0u64;
+        free_vcs.resize(ports * vc_words, 0);
+        for p in 0..ports {
+            set_low_bits(&mut free_vcs[p * vc_words..(p + 1) * vc_words], vcs);
+        }
+        line_buf.clear();
+        line_buf.resize(vc_words, 0);
+        output_taken_bits.clear();
+        output_taken_bits.resize(port_words, 0);
 
         for speculative in [false, true] {
             // Stage 1: each free output picks a candidate VC.
             candidates.clear();
             candidates.resize(ports, None);
             cand_masks.clear();
-            cand_masks.resize(units, 0);
+            cand_masks.resize(units * port_words, 0);
             for out in 0..ports {
-                if output_taken & (1u64 << out) != 0 {
+                if test_bit(output_taken_bits, out) {
                     continue;
                 }
                 flat_words.clear();
                 flat_words.resize(flat_word_count, 0);
-                for (p, &free) in free_vcs.iter().enumerate().take(ports) {
-                    let line =
-                        bits.vc_plane(speculative, PortId(p), PortId(out)) & free;
-                    if line == 0 {
+                for p in 0..ports {
+                    let plane = bits.vc_plane(speculative, PortId(p), PortId(out));
+                    let free = &free_vcs[p * vc_words..(p + 1) * vc_words];
+                    for w in 0..vc_words {
+                        line_buf[w] = plane[w] & free[w];
+                    }
+                    if !any_set(line_buf) {
                         continue;
                     }
-                    let (w, b) = ((p * vcs) / 64, (p * vcs) % 64);
-                    flat_words[w] |= line << b;
-                    if b != 0 && b + vcs > 64 {
-                        // The port's VC window straddles a word boundary.
-                        flat_words[w + 1] |= line >> (64 - b);
-                    }
+                    // Deposit the port's VC window at its flat offset; the
+                    // window may straddle any number of word boundaries.
+                    deposit_range(flat_words, p * vcs, line_buf, vcs);
                 }
                 if let Some(flat) = output_arbiters[out].peek_words(flat_words) {
                     let (p, v) = (PortId(flat / vcs), VcId(flat % vcs));
                     candidates[out] = Some((p, v));
-                    cand_masks[p.0 * groups + part.group_of(v).0] |= 1u64 << out;
+                    set_bit(&mut cand_masks[(p.0 * groups + part.group_of(v).0) * port_words..], out);
                 }
             }
 
             // Stage 2: each virtual input accepts one of the outputs whose
             // candidate it hosts.
             for vi in 0..units {
-                let Some(out) = input_arbiters[vi].peek_mask(cand_masks[vi]) else { continue };
+                let cand = &cand_masks[vi * port_words..(vi + 1) * port_words];
+                let Some(out) = input_arbiters[vi].peek_words(cand) else { continue };
                 let (p, v) = candidates[out].expect("line implies candidate");
                 input_arbiters[vi].commit(out);
                 output_arbiters[out].commit(p.0 * vcs + v.0);
-                free_vcs[p.0] &= !part.group_mask(VirtualInputId(vi % groups));
-                output_taken |= 1u64 << out;
+                clear_range(
+                    &mut free_vcs[p.0 * vc_words..(p.0 + 1) * vc_words],
+                    part.group_start(VirtualInputId(vi % groups)),
+                    group_size,
+                );
+                set_bit(output_taken_bits, out);
                 grants.add(Grant { port: p, vc: v, out_port: PortId(out) });
             }
         }

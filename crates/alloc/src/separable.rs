@@ -7,6 +7,7 @@
 
 use crate::{mask_to_oldest_bits, AllocatorConfig, KernelKind, PriorityPolicy, SwitchAllocator};
 use vix_arbiter::Arbiter;
+use vix_core::bits::{any_set, extract_range, set_bit, test_bit, words_for};
 use vix_core::{Grant, GrantSet, PortId, RequestSet, SwitchRequest, VcId, VirtualInputId, VixPartition};
 use vix_telemetry::MatchingStats;
 
@@ -59,9 +60,20 @@ struct SeparableScratch {
     /// Stage-2 request lines / ages (one per virtual input).
     out_lines: Vec<bool>,
     out_ages: Vec<u64>,
-    /// Bitset kernel: per-output mask of champion virtual inputs, one word
-    /// per class (`[non-speculative, speculative]`).
+    /// Bitset kernel: per-output multi-word mask of champion virtual
+    /// inputs, one plane per class (`[non-speculative, speculative]`),
+    /// strided `words_for(ports × groups)` words per output row.
     champ_class: [Vec<u64>; 2],
+    /// Bitset kernel: the current port's per-class VC masks
+    /// (`class_vcs_word` assembled into contiguous words for windowing).
+    class_lines: [Vec<u64>; 2],
+    /// Bitset kernel: one sub-group's extracted stage-1 request lines.
+    line_buf: Vec<u64>,
+    /// Bitset kernel: one output's stage-2 request lines.
+    out_line_buf: Vec<u64>,
+    /// Bitset kernel: multi-word taken masks.
+    output_taken_bits: Vec<u64>,
+    vi_taken_bits: Vec<u64>,
 }
 
 impl SeparableAllocator {
@@ -144,9 +156,11 @@ fn mask_to_oldest(lines: &mut [bool], ages: &[u64]) {
 }
 
 /// Stage 1 on the dense bit-view: the sub-group's request lines for one
-/// class are a single shift-and-mask of the port's VC word, and the arbiter
-/// scans them with [`Arbiter::peek_mask`]. Grant order and arbiter state
-/// match [`input_stage`] exactly.
+/// class are a word-window extraction of the port's VC row
+/// ([`extract_range`]), and the arbiter scans them with
+/// [`Arbiter::peek_words`]. Grant order and arbiter state match
+/// [`input_stage`] exactly.
+#[allow(clippy::too_many_arguments)]
 fn input_stage_bits(
     cfg: &AllocatorConfig,
     arb: &dyn Arbiter,
@@ -154,21 +168,22 @@ fn input_stage_bits(
     port: usize,
     group: usize,
     has_speculative: bool,
+    class_lines: &[Vec<u64>; 2],
+    line_buf: &mut [u64],
 ) -> Option<(SwitchRequest, usize)> {
-    let gstart = group * cfg.partition.group_size();
-    let gmask = cfg.partition.group_mask(VirtualInputId(group));
+    let gstart = cfg.partition.group_start(VirtualInputId(group));
+    let gsize = cfg.partition.group_size();
     for speculative in [false, true] {
         if speculative && !has_speculative {
             continue;
         }
-        let mut lines =
-            (requests.bits().class_vcs(speculative, PortId(port)) & gmask) >> gstart;
+        extract_range(&class_lines[usize::from(speculative)], gstart, gsize, line_buf);
         if cfg.priority == PriorityPolicy::OldestFirst {
-            mask_to_oldest_bits(&mut lines, |local| {
+            mask_to_oldest_bits(line_buf, |local| {
                 requests.get(PortId(port), VcId(gstart + local)).map_or(0, |r| r.age)
             });
         }
-        if let Some(local) = arb.peek_mask(lines) {
+        if let Some(local) = arb.peek_words(line_buf) {
             let req =
                 requests.get(PortId(port), VcId(gstart + local)).expect("bit implies request");
             return Some((*req, local));
@@ -184,22 +199,47 @@ impl SeparableAllocator {
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
         let virtual_inputs = ports * groups;
+        let vi_words = words_for(virtual_inputs);
+        let vc_words = requests.bits().vc_words();
+        let line_words = words_for(self.cfg.partition.group_size());
         let Self { cfg, input_arbiters, output_arbiters, scratch, matching, .. } = self;
-        let SeparableScratch { champions, champ_class, .. } = scratch;
+        let SeparableScratch {
+            champions,
+            champ_class,
+            class_lines,
+            line_buf,
+            out_line_buf,
+            output_taken_bits,
+            vi_taken_bits,
+            ..
+        } = scratch;
 
         // Stage 1: champions[vi] = (request, local VC index in sub-group);
-        // champ_class[class][out] accumulates the stage-2 request masks.
+        // champ_class[class] accumulates the stage-2 request masks, one
+        // vi_words-wide row per output.
         champions.clear();
         champions.resize(virtual_inputs, None);
         for class in champ_class.iter_mut() {
             class.clear();
-            class.resize(ports, 0);
+            class.resize(ports * vi_words, 0);
         }
+        for class in class_lines.iter_mut() {
+            class.clear();
+            class.resize(vc_words, 0);
+        }
+        line_buf.clear();
+        line_buf.resize(line_words, 0);
         let has_speculative = requests.speculative_len() > 0;
         let mut any_speculative_champion = false;
         for port in 0..ports {
-            if requests.bits().active_vcs(PortId(port)) == 0 {
+            if !any_set(requests.bits().active_vcs(PortId(port))) {
                 continue;
+            }
+            for spec in [false, true] {
+                let class = &mut class_lines[usize::from(spec)];
+                for (w, word) in class.iter_mut().enumerate() {
+                    *word = requests.bits().class_vcs_word(spec, PortId(port), w);
+                }
             }
             for group in 0..groups {
                 let vi = port * groups + group;
@@ -210,9 +250,12 @@ impl SeparableAllocator {
                     port,
                     group,
                     has_speculative,
+                    class_lines,
+                    line_buf,
                 );
                 if let Some((r, _)) = champ {
-                    champ_class[usize::from(r.speculative)][r.out_port.0] |= 1u64 << vi;
+                    let row = usize::from(r.speculative);
+                    set_bit(&mut champ_class[row][r.out_port.0 * vi_words..], vi);
                     any_speculative_champion |= r.speculative;
                 }
                 champions[vi] = champ;
@@ -221,31 +264,40 @@ impl SeparableAllocator {
 
         // Stage 2: per-output arbitration among champion virtual inputs,
         // non-speculative pass first.
-        let mut output_taken = 0u64;
-        let mut vi_taken = 0u64;
+        output_taken_bits.clear();
+        output_taken_bits.resize(words_for(ports), 0);
+        vi_taken_bits.clear();
+        vi_taken_bits.resize(vi_words, 0);
+        out_line_buf.clear();
+        out_line_buf.resize(vi_words, 0);
         for speculative in [false, true] {
             if speculative && !any_speculative_champion {
                 continue;
             }
-            for out in 0..ports {
-                if output_taken & (1u64 << out) != 0
-                    || (champ_class[0][out] | champ_class[1][out]) == 0
-                {
+            for (out, arbiter) in output_arbiters.iter_mut().enumerate() {
+                if test_bit(output_taken_bits, out) {
                     continue;
                 }
-                let mut out_lines = champ_class[usize::from(speculative)][out] & !vi_taken;
+                let row = out * vi_words;
+                if (0..vi_words).all(|w| champ_class[0][row + w] | champ_class[1][row + w] == 0) {
+                    continue;
+                }
+                let class = &champ_class[usize::from(speculative)];
+                for (w, word) in out_line_buf.iter_mut().enumerate() {
+                    *word = class[row + w] & !vi_taken_bits[w];
+                }
                 if cfg.priority == PriorityPolicy::OldestFirst {
-                    mask_to_oldest_bits(&mut out_lines, |vi| {
+                    mask_to_oldest_bits(out_line_buf, |vi| {
                         champions[vi].as_ref().map_or(0, |(r, _)| r.age)
                     });
                 }
-                let Some(winner_vi) = output_arbiters[out].peek_mask(out_lines) else {
+                let Some(winner_vi) = arbiter.peek_words(out_line_buf) else {
                     continue;
                 };
                 let (req, local) = champions[winner_vi].expect("winner implies champion");
-                output_taken |= 1u64 << out;
-                vi_taken |= 1u64 << winner_vi;
-                output_arbiters[out].commit(winner_vi);
+                set_bit(output_taken_bits, out);
+                set_bit(vi_taken_bits, winner_vi);
+                arbiter.commit(winner_vi);
                 // Grant-aware input pointer update.
                 input_arbiters[winner_vi].commit(local);
                 grants.add(Grant { port: req.port, vc: req.vc, out_port: out.into() });

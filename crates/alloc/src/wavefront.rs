@@ -2,8 +2,10 @@
 
 use crate::{AllocatorConfig, KernelKind, SwitchAllocator};
 use vix_arbiter::Arbiter;
-use vix_core::bits::mask_up_to;
-use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VirtualInputId, VixPartition};
+use vix_core::bits::{
+    any_set, clear_bit, extract_range, range_any_set, set_bit, set_low_bits, test_bit, words_for,
+};
+use vix_core::{Grant, GrantSet, PortId, RequestSet, VcId, VixPartition};
 use vix_telemetry::MatchingStats;
 
 /// Wavefront allocator ("WF" in the paper), generalised to virtual inputs.
@@ -50,8 +52,17 @@ struct WavefrontScratch {
     /// VC request lines of one virtual input.
     lines: Vec<bool>,
     /// Bitset kernel: per-virtual-input output mask of one speculation
-    /// class (`rows[vi]` bit `o` ⇔ matrix entry `(vi, o)`).
+    /// class (`rows[vi]` bit `o` ⇔ matrix entry `(vi, o)`), strided
+    /// `words_for(ports)` words per row.
     rows: Vec<u64>,
+    /// Bitset kernel: multi-word unit/output masks shared by both
+    /// speculation sweeps of one cycle.
+    live_units: Vec<u64>,
+    sweep_live: Vec<u64>,
+    free_units: Vec<u64>,
+    free_outputs: Vec<u64>,
+    /// Bitset kernel: one sub-group's extracted VC request lines.
+    line_buf: Vec<u64>,
 }
 
 impl WavefrontAllocator {
@@ -80,10 +91,11 @@ impl WavefrontAllocator {
     }
 }
 
-/// One wavefront sweep on the dense bit-view: each matrix row is a `u64`
-/// output mask, the sweep walks live rows with `trailing_zeros`, and the
-/// diagonal membership test is a single AND. Visit order — diagonal-major,
-/// row-ascending — and arbiter state match [`sweep`] exactly.
+/// One wavefront sweep on the dense bit-view: each matrix row is a
+/// multi-word output mask, the sweep walks live rows word by word with
+/// `trailing_zeros`, and the diagonal membership test is a word-indexed
+/// bit probe. Visit order — diagonal-major, row-ascending — and arbiter
+/// state match [`sweep`] exactly.
 #[allow(clippy::too_many_arguments)]
 fn sweep_bits(
     cfg: &AllocatorConfig,
@@ -91,64 +103,86 @@ fn sweep_bits(
     vc_selectors: &mut [Box<dyn Arbiter>],
     requests: &RequestSet,
     speculative: bool,
-    rows: &mut Vec<u64>,
-    free_units: &mut u64,
-    free_outputs: &mut u64,
+    scratch: &mut WavefrontScratch,
     grants: &mut GrantSet,
 ) {
     let ports = cfg.ports;
     let groups = cfg.partition.groups();
     let units = ports * groups;
     let group_size = cfg.partition.group_size();
+    let port_words = words_for(ports);
+    let unit_words = words_for(units);
     let bits = requests.bits();
+    let WavefrontScratch { rows, live_units, sweep_live, free_units, free_outputs, line_buf, .. } =
+        scratch;
     // Virtual-input-level request matrix for this speculation class, one
-    // output-mask word per row.
+    // port_words-wide output-mask row per virtual input.
     rows.clear();
-    rows.resize(units, 0);
-    let mut live_units = 0u64;
+    rows.resize(units * port_words, 0);
+    live_units.clear();
+    live_units.resize(unit_words, 0);
     for port in 0..ports {
-        let mut outs = bits.row(speculative, PortId(port));
-        while outs != 0 {
-            let o = outs.trailing_zeros() as usize;
-            outs &= outs - 1;
-            let plane = bits.vc_plane(speculative, PortId(port), PortId(o));
-            for group in 0..groups {
-                if plane & cfg.partition.group_mask(VirtualInputId(group)) != 0 {
-                    let vi = port * groups + group;
-                    rows[vi] |= 1u64 << o;
-                    live_units |= 1u64 << vi;
+        for (w, &word) in bits.row(speculative, PortId(port)).iter().enumerate() {
+            let mut outs = word;
+            while outs != 0 {
+                let o = w * 64 + outs.trailing_zeros() as usize;
+                outs &= outs - 1;
+                let plane = bits.vc_plane(speculative, PortId(port), PortId(o));
+                for group in 0..groups {
+                    if range_any_set(plane, group * group_size, group_size) {
+                        let vi = port * groups + group;
+                        set_bit(&mut rows[vi * port_words..], o);
+                        set_bit(live_units, vi);
+                    }
                 }
             }
         }
     }
     // Sweep diagonal by diagonal, visiting only live rows. Skipped
     // iterations touch no arbiter state, so the early exits below cannot
-    // change observable behaviour.
+    // change observable behaviour. Each diagonal iterates a snapshot of
+    // the live mask — a unit appears at most once per diagonal, so
+    // mid-diagonal grants are excluded by the free-output probe alone,
+    // exactly as in the single-word kernel.
     for diag in 0..ports {
-        let mut live = live_units & *free_units;
-        if live == 0 || *free_outputs == 0 {
+        let mut any_live = false;
+        sweep_live.clear();
+        sweep_live.resize(unit_words, 0);
+        for (dst, (&lu, &fu)) in sweep_live.iter_mut().zip(live_units.iter().zip(free_units.iter()))
+        {
+            *dst = lu & fu;
+            any_live |= *dst != 0;
+        }
+        if !any_live || !any_set(free_outputs) {
             break;
         }
-        while live != 0 {
-            let vi = live.trailing_zeros() as usize;
-            live &= live - 1;
-            let o = (vi + offset + diag) % ports;
-            if rows[vi] & *free_outputs & (1u64 << o) == 0 {
-                continue;
+        for (w, &sweep_word) in sweep_live.iter().enumerate() {
+            let mut live = sweep_word;
+            while live != 0 {
+                let vi = w * 64 + live.trailing_zeros() as usize;
+                live &= live - 1;
+                let o = (vi + offset + diag) % ports;
+                let row = &rows[vi * port_words..(vi + 1) * port_words];
+                if !test_bit(row, o) || !test_bit(free_outputs, o) {
+                    continue;
+                }
+                let port = PortId(vi / groups);
+                let group = vi % groups;
+                let gstart = group * group_size;
+                // Champion VC within the sub-group.
+                extract_range(
+                    bits.vc_plane(speculative, port, PortId(o)),
+                    gstart,
+                    group_size,
+                    line_buf,
+                );
+                let sel = &mut vc_selectors[vi];
+                let local = sel.peek_words(line_buf).expect("matrix entry implies a requesting VC");
+                sel.commit(local);
+                clear_bit(free_units, vi);
+                clear_bit(free_outputs, o);
+                grants.add(Grant { port, vc: VcId(gstart + local), out_port: PortId(o) });
             }
-            let port = PortId(vi / groups);
-            let group = vi % groups;
-            let gstart = group * group_size;
-            // Champion VC within the sub-group.
-            let lines = (bits.vc_plane(speculative, port, PortId(o))
-                & cfg.partition.group_mask(VirtualInputId(group)))
-                >> gstart;
-            let sel = &mut vc_selectors[vi];
-            let local = sel.peek_mask(lines).expect("matrix entry implies a requesting VC");
-            sel.commit(local);
-            *free_units &= !(1u64 << vi);
-            *free_outputs &= !(1u64 << o);
-            grants.add(Grant { port, vc: VcId(gstart + local), out_port: PortId(o) });
         }
     }
 }
@@ -219,20 +253,16 @@ impl SwitchAllocator for WavefrontAllocator {
         let Self { cfg, offset, group_vcs, vc_selectors, scratch, matching } = self;
         match cfg.kernel {
             KernelKind::Bitset => {
-                let mut free_units = mask_up_to(units);
-                let mut free_outputs = mask_up_to(cfg.ports);
+                scratch.free_units.clear();
+                scratch.free_units.resize(words_for(units), 0);
+                set_low_bits(&mut scratch.free_units, units);
+                scratch.free_outputs.clear();
+                scratch.free_outputs.resize(words_for(cfg.ports), 0);
+                set_low_bits(&mut scratch.free_outputs, cfg.ports);
+                scratch.line_buf.clear();
+                scratch.line_buf.resize(words_for(cfg.partition.group_size()), 0);
                 for speculative in [false, true] {
-                    sweep_bits(
-                        cfg,
-                        *offset,
-                        vc_selectors,
-                        requests,
-                        speculative,
-                        &mut scratch.rows,
-                        &mut free_units,
-                        &mut free_outputs,
-                        grants,
-                    );
+                    sweep_bits(cfg, *offset, vc_selectors, requests, speculative, scratch, grants);
                 }
             }
             KernelKind::Scalar => {

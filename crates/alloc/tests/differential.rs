@@ -92,6 +92,63 @@ fn flavours() -> Vec<Flavour> {
     ]
 }
 
+/// Shapes that overflow a single 64-bit word somewhere in the bit-view —
+/// the configurations the bitset kernels used to reject outright:
+///
+/// * radix-16 × 8 VC mesh shapes, up to the ideal partition's 128 virtual
+///   inputs (two-word unit masks in separable/wavefront, a 128-requestor
+///   flat arbiter in output-first, 128 left vertices in the matcher);
+/// * a 32-port × 8 VC flattened-butterfly shape with k = 4 VIX groups
+///   (128 virtual inputs across a two-word port domain);
+/// * 68-port shapes whose per-output requester masks and Kuhn
+///   right-vertex domain span two words (68 > 64 outputs).
+fn wide_flavours() -> Vec<Flavour> {
+    let mesh16x8_ideal = AllocatorConfig::new(16, VixPartition::even(8, 8).unwrap());
+    let mesh16x8_vix4 = AllocatorConfig::new(16, VixPartition::even(8, 4).unwrap());
+    let mesh16x8 = AllocatorConfig::new(16, VixPartition::baseline(8));
+    let fbfly32x8_vix4 = AllocatorConfig::new(32, VixPartition::even(8, 4).unwrap());
+    let wide68 = AllocatorConfig::new(68, VixPartition::baseline(2));
+    let wide68_vix2 = AllocatorConfig::new(68, VixPartition::even(4, 2).unwrap());
+    vec![
+        flavour("VIX-16x8x8", 16, 8, move |k| {
+            Box::new(SeparableAllocator::new(mesh16x8_ideal.with_kernel(k)))
+        }),
+        flavour("WF-16x8x4", 16, 8, move |k| {
+            Box::new(WavefrontAllocator::new(mesh16x8_vix4.with_kernel(k)))
+        }),
+        flavour("Ideal-16x8", 16, 8, move |k| {
+            Box::new(MaxMatchingAllocator::new(mesh16x8_ideal.with_kernel(k)))
+        }),
+        flavour("OF-16x8", 16, 8, move |k| {
+            Box::new(OutputFirstAllocator::new(mesh16x8.with_kernel(k)))
+        }),
+        flavour("VIX-fbfly32x8x4", 32, 8, move |k| {
+            Box::new(SeparableAllocator::new(fbfly32x8_vix4.with_kernel(k)))
+        }),
+        flavour("WF-fbfly32x8x4", 32, 8, move |k| {
+            Box::new(WavefrontAllocator::new(fbfly32x8_vix4.with_kernel(k)))
+        }),
+        flavour("IF-68x2", 68, 2, move |k| {
+            Box::new(SeparableAllocator::new(wide68.with_kernel(k)))
+        }),
+        flavour("VIX-68x4x2", 68, 4, move |k| {
+            Box::new(SeparableAllocator::new(wide68_vix2.with_kernel(k)))
+        }),
+        flavour("AP-68", 68, 2, move |k| {
+            Box::new(MaxMatchingAllocator::new(wide68.with_kernel(k)))
+        }),
+        flavour("OF-68x2", 68, 2, move |k| {
+            Box::new(OutputFirstAllocator::new(wide68.with_kernel(k)))
+        }),
+        flavour("PC-68x2", 68, 2, move |k| {
+            Box::new(PacketChainingAllocator::new(wide68.with_kernel(k)))
+        }),
+        flavour("iSLIP-68x2", 68, 2, move |k| {
+            Box::new(IslipAllocator::new(wide68.with_kernel(k), 2))
+        }),
+    ]
+}
+
 fn random_requests(rng: &mut StdRng, ports: usize, vcs: usize, load_pct: u64) -> RequestSet {
     let mut rs = RequestSet::new(ports, vcs);
     for port in 0..ports {
@@ -155,6 +212,22 @@ fn bitset_kernels_match_scalar_over_long_traces() {
 fn bitset_kernels_match_scalar_across_seeds() {
     for f in flavours() {
         for seed in [1_u64, 0xBEEF, 0x5CA1_AB1E] {
+            assert_twins_agree(&f, seed, 120);
+        }
+    }
+}
+
+#[test]
+fn wide_shapes_bitset_kernels_match_scalar_over_long_traces() {
+    for f in wide_flavours() {
+        assert_twins_agree(&f, 0xA1DE_5EED, 400);
+    }
+}
+
+#[test]
+fn wide_shapes_bitset_kernels_match_scalar_across_seeds() {
+    for f in wide_flavours() {
+        for seed in [2_u64, 0xFACE] {
             assert_twins_agree(&f, seed, 120);
         }
     }

@@ -110,6 +110,40 @@ pub fn first_set_from(mask: u64, start: usize, width: usize) -> Option<usize> {
     Some(pick.trailing_zeros() as usize)
 }
 
+/// [`first_set_from`] over a multi-word mask: first set bit at or
+/// cyclically after `start` over a domain of `width` bits, where
+/// `words[w]` holds bits `64·w ..= 64·w + 63`. `words.len()` must be
+/// `width.div_ceil(64)` and stray bits at or above `width` must be clear.
+///
+/// Returns exactly what `first_set_from` would on the equivalent
+/// single-word mask when `width ≤ 64`.
+#[inline]
+#[must_use]
+pub fn first_set_from_words(words: &[u64], start: usize, width: usize) -> Option<usize> {
+    debug_assert!(start < width, "pointer {start} outside width {width}");
+    debug_assert!(words.len() == width.div_ceil(64), "mask width mismatch");
+    let sw = start / 64;
+    let sb = start % 64;
+    // Bits at or after `start`, scanning upward.
+    let rotated = words[sw] & (!0u64 << sb);
+    if rotated != 0 {
+        return Some(sw * 64 + rotated.trailing_zeros() as usize);
+    }
+    for (w, &word) in words.iter().enumerate().skip(sw + 1) {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+    }
+    // Wrap: the lowest set bit below `start`.
+    for (w, &word) in words.iter().enumerate().take(sw + 1) {
+        let masked = if w == sw { word & !(!0u64 << sb) } else { word };
+        if masked != 0 {
+            return Some(w * 64 + masked.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
 /// Arbitration policy selector for configurable allocators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArbiterKind {
@@ -201,6 +235,55 @@ mod trait_tests {
         assert_eq!(first_set_from(0b0001_0010, 5, 8), Some(1), "wraps past the top");
         assert_eq!(first_set_from(1 << 63, 10, 64), Some(63));
         assert_eq!(first_set_from(1, 63, 64), Some(0));
+    }
+
+    #[test]
+    fn first_set_from_words_matches_single_word() {
+        // For every width ≤ 64 the multi-word scan must agree bit-for-bit
+        // with the single-word primitive.
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for width in [1usize, 7, 33, 64] {
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let mask = x & crate_mask(width);
+                let start = (x >> 32) as usize % width;
+                assert_eq!(
+                    first_set_from_words(&[mask], start, width),
+                    first_set_from(mask, start, width),
+                    "width {width} mask {mask:#x} start {start}"
+                );
+            }
+        }
+    }
+
+    fn crate_mask(width: usize) -> u64 {
+        ((1u128 << width) - 1) as u64
+    }
+
+    #[test]
+    fn first_set_from_words_scans_multiple_words() {
+        let words = [0u64, 1u64 << 3, 1u64 << 10];
+        assert_eq!(first_set_from_words(&words, 0, 192), Some(67));
+        assert_eq!(first_set_from_words(&words, 67, 192), Some(67));
+        assert_eq!(first_set_from_words(&words, 68, 192), Some(138));
+        assert_eq!(first_set_from_words(&words, 139, 192), Some(67), "wraps past the top");
+        assert_eq!(first_set_from_words(&[0, 0, 0], 50, 192), None);
+        // A reference scan over every (pattern, start) of a 3-word domain.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let words = [x, x.rotate_left(21), x.rotate_left(43) & ((1 << 7) - 1)];
+            let width = 135;
+            let start = (x >> 17) as usize % width;
+            let expect = (0..width)
+                .map(|i| (start + i) % width)
+                .find(|&i| words[i / 64] & (1u64 << (i % 64)) != 0);
+            assert_eq!(first_set_from_words(&words, start, width), expect);
+        }
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //!
 //! Methodology: three router shapes from the paper's evaluation — the
 //! 5-port 2-D mesh, the 8-port concentrated mesh, and the 16-port
-//! flattened butterfly partitioned into 64 virtual inputs (the widest
-//! crossbar the bitset kernels support). For each shape × allocator ×
-//! kernel the harness replays a fixed pseudo-random request trace
-//! (~55 % load, speculative bits and ages included) through a warmed-up
-//! allocator and reports the fastest-sample ns per `allocate_into` call.
+//! flattened butterfly partitioned into 64 virtual inputs — plus a
+//! 128-virtual-input shape whose request rows span two 64-bit words,
+//! exercising the multi-word paths of the bitset kernels. For each
+//! shape × allocator × kernel the harness replays a fixed pseudo-random
+//! request trace (~55 % load, speculative bits and ages included) through
+//! a warmed-up allocator and reports the fastest-sample ns per
+//! `allocate_into` call.
 
 use std::time::Instant;
 use vix_alloc::{
@@ -122,15 +124,18 @@ fn config(
 }
 
 /// The benchmark matrix: every allocator family at the 5-port mesh, the
-/// radix-scaling subset at the 8-port concentrated mesh, and the
+/// radix-scaling subset at the 8-port concentrated mesh, the
 /// VIX-partitioned allocators at the 64-virtual-input flattened butterfly
-/// (paper Fig. 12's widest configuration).
+/// (paper Fig. 12's widest configuration), and a radix-16 × 8 VC shape
+/// with 128 virtual inputs — beyond one 64-bit word, so every request
+/// row, arbiter mask, and adjacency row runs the multi-word kernel path.
 fn configs() -> Vec<Config> {
     let mesh = AllocatorConfig::new(5, VixPartition::baseline(6));
     let mesh_vix = AllocatorConfig::new(5, VixPartition::even(6, 2).unwrap());
     let cmesh = AllocatorConfig::new(8, VixPartition::baseline(6));
     let cmesh_vix = AllocatorConfig::new(8, VixPartition::even(6, 2).unwrap());
     let fbfly = AllocatorConfig::new(16, VixPartition::even(4, 4).unwrap());
+    let wide = AllocatorConfig::new(16, VixPartition::even(8, 8).unwrap());
     vec![
         config("mesh-5p", "IF", 5, 6, move |k| {
             Box::new(SeparableAllocator::new(mesh.with_kernel(k)))
@@ -173,6 +178,15 @@ fn configs() -> Vec<Config> {
         }),
         config("fbfly-64vi", "Ideal", 16, 4, move |k| {
             Box::new(MaxMatchingAllocator::new(fbfly.with_kernel(k)))
+        }),
+        config("wide-128vi", "VIX", 16, 8, move |k| {
+            Box::new(SeparableAllocator::new(wide.with_kernel(k)))
+        }),
+        config("wide-128vi", "WF-VIX", 16, 8, move |k| {
+            Box::new(WavefrontAllocator::new(wide.with_kernel(k)))
+        }),
+        config("wide-128vi", "Ideal", 16, 8, move |k| {
+            Box::new(MaxMatchingAllocator::new(wide.with_kernel(k)))
         }),
     ]
 }

@@ -3,15 +3,21 @@
 //! Switch-allocation kernels spend their time answering three questions:
 //! *which outputs does this virtual input want?*, *which ports want this
 //! output?*, and *which VCs of this port carry a request of this
-//! speculation class?* Each is a row of a boolean matrix, and at the
-//! paper's shapes (radix ≤ 10, ≤ 6 VCs/port, ≤ 64 virtual inputs — see
-//! DESIGN.md §6d) every row fits one `u64`. [`RequestBits`] keeps those
-//! rows — per-(class, port, output) VC masks, per-(class, port) output
-//! masks, per-(class, output) requester masks, and per-port active /
-//! speculative VC masks — incrementally in sync with the owning
+//! speculation class?* Each is a row of a boolean matrix. [`RequestBits`]
+//! keeps those rows — per-(class, port, output) VC masks, per-(class,
+//! port) output masks, per-(class, output) requester masks, and per-port
+//! active / speculative VC masks — incrementally in sync with the owning
 //! [`RequestSet`](crate::RequestSet)'s `push`/`remove`/`clear`, so
-//! allocators evaluate a whole request row with one AND instead of a
-//! per-element scan and never rebuild the matrix.
+//! allocators evaluate a whole request row with a handful of ANDs instead
+//! of a per-element scan and never rebuild the matrix.
+//!
+//! Rows are stored *words-per-row* (DESIGN.md §6d): a row over a domain of
+//! `width` bits occupies `words_for(width) = ceil(width / 64)` consecutive
+//! `u64`s, little-endian (bit `i` lives in word `i / 64` at bit `i % 64`).
+//! At the paper's shapes every row is a single word and the kernels reduce
+//! to the PR 5 single-`u64` fast path; wider shapes — radix-16 × 8 VCs,
+//! 128-virtual-input flattened butterflies — simply use more words per row.
+//! There is no upper width limit.
 //!
 //! The view is maintained by the request set itself; allocators only read
 //! it (via [`RequestSet::bits`](crate::RequestSet::bits)), which is why
@@ -19,18 +25,149 @@
 
 use crate::ids::PortId;
 
-/// Widest dimension the bit-view supports: one `u64` row.
-pub const MAX_BIT_WIDTH: usize = 64;
+/// Number of `u64` words needed to hold `width` bits: `ceil(width / 64)`.
+///
+/// The words-per-row stride of every [`RequestBits`] plane and of every
+/// multi-word scratch mask in the allocator kernels.
+#[inline]
+#[must_use]
+pub const fn words_for(width: usize) -> usize {
+    width.div_ceil(64)
+}
 
 /// Mask with the low `n` bits set (`n <= 64`).
+///
+/// The widening to `u128` makes `n == 64` and `n == 0` fall out of the
+/// same expression — no shift-overflow special case for callers (or this
+/// function) to branch around.
 #[inline]
 #[must_use]
 pub fn mask_up_to(n: usize) -> u64 {
-    debug_assert!(n <= MAX_BIT_WIDTH, "mask width {n} exceeds one word");
-    if n >= 64 {
-        !0
-    } else {
-        (1u64 << n) - 1
+    debug_assert!(n <= 64, "mask width {n} exceeds one word");
+    ((1u128 << n) - 1) as u64
+}
+
+/// Fills `words` with the multi-word mask of the low `n` bits — the
+/// words-per-row generalisation of [`mask_up_to`]. Words past the mask are
+/// cleared. Handles `n == 0` (all clear) and `n % 64 == 0` (whole words)
+/// with the same expression as every other width.
+#[inline]
+pub fn set_low_bits(words: &mut [u64], n: usize) {
+    debug_assert!(n <= words.len() * 64, "mask width {n} exceeds {} words", words.len());
+    for (w, word) in words.iter_mut().enumerate() {
+        *word = mask_up_to(n.saturating_sub(w * 64).min(64));
+    }
+}
+
+/// Tests bit `i` of a multi-word mask.
+#[inline]
+#[must_use]
+pub fn test_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+/// Sets bit `i` of a multi-word mask.
+#[inline]
+pub fn set_bit(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Clears bit `i` of a multi-word mask.
+#[inline]
+pub fn clear_bit(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// `true` when any bit of a multi-word mask is set.
+#[inline]
+#[must_use]
+pub fn any_set(words: &[u64]) -> bool {
+    words.iter().any(|&w| w != 0)
+}
+
+/// Population count of a multi-word mask.
+#[inline]
+#[must_use]
+pub fn count_ones(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// `true` when any bit in `[start, start + len)` of a multi-word mask is
+/// set — a window test without materialising the extracted window.
+#[inline]
+#[must_use]
+pub fn range_any_set(words: &[u64], start: usize, len: usize) -> bool {
+    debug_assert!(start + len <= words.len() * 64, "window past end of mask");
+    let mut i = start;
+    let end = start + len;
+    while i < end {
+        let w = i / 64;
+        let lo = i % 64;
+        let take = (end - i).min(64 - lo);
+        if (words[w] >> lo) & mask_up_to(take) != 0 {
+            return true;
+        }
+        i += take;
+    }
+    false
+}
+
+/// Copies the `len`-bit window starting at bit `start` of `src` into the
+/// low bits of `dest`, clearing every other bit of `dest` — the
+/// multi-word form of `(mask >> start) & mask_up_to(len)`, used by the
+/// allocator kernels to carve one VIX sub-group's lines out of a VC row.
+///
+/// `dest` must hold at least `len` bits; `src` windows that reach past the
+/// end of `src` read as zero.
+#[inline]
+pub fn extract_range(src: &[u64], start: usize, len: usize, dest: &mut [u64]) {
+    debug_assert!(len <= dest.len() * 64, "window of {len} bits exceeds destination");
+    let sw = start / 64;
+    let sb = start % 64;
+    for (w, word) in dest.iter_mut().enumerate() {
+        let width = len.saturating_sub(w * 64).min(64);
+        if width == 0 {
+            *word = 0;
+            continue;
+        }
+        let lo = src.get(sw + w).copied().unwrap_or(0) >> sb;
+        let hi = if sb == 0 { 0 } else { src.get(sw + w + 1).copied().unwrap_or(0) << (64 - sb) };
+        *word = (lo | hi) & mask_up_to(width);
+    }
+}
+
+/// ORs the low `len` bits of `src` into `dest` starting at bit `start` —
+/// the inverse of [`extract_range`], used to deposit one port's VC line
+/// into a flat `ports × vcs` request word array even when the line
+/// straddles a word boundary. Bits of `src` at or above `len` must be
+/// clear.
+#[inline]
+pub fn deposit_range(dest: &mut [u64], start: usize, src: &[u64], len: usize) {
+    debug_assert!(start + len <= dest.len() * 64, "deposit past end of destination");
+    let dw = start / 64;
+    let db = start % 64;
+    let src_words = words_for(len);
+    for (w, &word) in src.iter().enumerate().take(src_words) {
+        dest[dw + w] |= word << db;
+        if db != 0 && dw + w + 1 < dest.len() {
+            dest[dw + w + 1] |= word >> (64 - db);
+        }
+    }
+}
+
+/// Clears every bit in `[start, start + len)` of a multi-word mask — used
+/// to retire one VIX sub-group's VC window from a free-VC mask.
+#[inline]
+pub fn clear_range(words: &mut [u64], start: usize, len: usize) {
+    debug_assert!(start + len <= words.len() * 64, "window past end of mask");
+    let mut i = start;
+    let end = start + len;
+    while i < end {
+        let w = i / 64;
+        let lo = i % 64;
+        let take = (end - i).min(64 - lo);
+        words[w] &= !(mask_up_to(take) << lo);
+        i += take;
     }
 }
 
@@ -38,22 +175,28 @@ pub fn mask_up_to(n: usize) -> u64 {
 ///
 /// All masks are indexed little-endian: bit `i` of a VC mask is VC `i`,
 /// bit `o` of an output mask is output port `o`, bit `p` of a requester
-/// mask is input port `p`. Speculation classes are stored as separate
-/// planes (`speculative == false` first), so allocators that run a
-/// non-speculative pass before a speculative one index the plane directly
-/// instead of filtering per element.
+/// mask is input port `p`. VC masks are `vc_words()` words wide; output
+/// and requester masks are `port_words()` words wide. Speculation classes
+/// are stored as separate planes (`speculative == false` first), so
+/// allocators that run a non-speculative pass before a speculative one
+/// index the plane directly instead of filtering per element.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestBits {
     ports: usize,
     vcs: usize,
-    /// `[class][port][out]` → VC mask; flattened as
-    /// `(class * ports + port) * ports + out`.
+    /// `ceil(vcs / 64)` — stride of every VC-mask row.
+    vc_words: usize,
+    /// `ceil(ports / 64)` — stride of every output/requester-mask row.
+    port_words: usize,
+    /// `[class][port][out]` → VC mask; row starts at
+    /// `((class * ports + port) * ports + out) * vc_words`.
     vc_planes: Vec<u64>,
     /// `[class][port]` → output mask (bit `o` ⇔ the `(class, port, o)`
-    /// VC plane is non-empty); flattened as `class * ports + port`.
+    /// VC plane is non-empty); row starts at
+    /// `(class * ports + port) * port_words`.
     rows: Vec<u64>,
-    /// `[class][out]` → requesting-port mask; flattened as
-    /// `class * ports + out`.
+    /// `[class][out]` → requesting-port mask; row starts at
+    /// `(class * ports + out) * port_words`.
     requesters: Vec<u64>,
     /// `[port]` → VC mask of all posted requests.
     active_vcs: Vec<u64>,
@@ -62,164 +205,209 @@ pub struct RequestBits {
 }
 
 impl RequestBits {
-    /// Creates an empty view for `ports × vcs` request slots.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either dimension exceeds [`MAX_BIT_WIDTH`] — the ≤ 64
-    /// invariant that lets every row live in one word. Router and
-    /// simulation configs reject such shapes at validation
-    /// ([`crate::RouterConfig::validate`]).
+    /// Creates an empty view for `ports × vcs` request slots. Any
+    /// dimensions are accepted; rows wider than 64 bits simply span
+    /// multiple words.
     pub(crate) fn new(ports: usize, vcs: usize) -> Self {
-        assert!(
-            ports <= MAX_BIT_WIDTH && vcs <= MAX_BIT_WIDTH,
-            "bit-view dimensions must be at most {MAX_BIT_WIDTH} (got {ports} ports, {vcs} vcs)"
-        );
+        let vc_words = words_for(vcs);
+        let port_words = words_for(ports);
         RequestBits {
             ports,
             vcs,
-            vc_planes: vec![0; 2 * ports * ports],
-            rows: vec![0; 2 * ports],
-            requesters: vec![0; 2 * ports],
-            active_vcs: vec![0; ports],
-            spec_vcs: vec![0; ports],
+            vc_words,
+            port_words,
+            vc_planes: vec![0; 2 * ports * ports * vc_words],
+            rows: vec![0; 2 * ports * port_words],
+            requesters: vec![0; 2 * ports * port_words],
+            active_vcs: vec![0; ports * vc_words],
+            spec_vcs: vec![0; ports * vc_words],
         }
     }
 
+    /// Words per VC-mask row: `ceil(vcs / 64)`.
     #[inline]
-    fn plane_idx(&self, speculative: bool, port: usize, out: usize) -> usize {
-        (usize::from(speculative) * self.ports + port) * self.ports + out
+    #[must_use]
+    pub fn vc_words(&self) -> usize {
+        self.vc_words
+    }
+
+    /// Words per output/requester-mask row: `ceil(ports / 64)`.
+    #[inline]
+    #[must_use]
+    pub fn port_words(&self) -> usize {
+        self.port_words
     }
 
     #[inline]
-    fn class_idx(&self, speculative: bool, i: usize) -> usize {
-        usize::from(speculative) * self.ports + i
+    fn plane_start(&self, speculative: bool, port: usize, out: usize) -> usize {
+        ((usize::from(speculative) * self.ports + port) * self.ports + out) * self.vc_words
+    }
+
+    #[inline]
+    fn row_start(&self, speculative: bool, i: usize) -> usize {
+        (usize::from(speculative) * self.ports + i) * self.port_words
     }
 
     /// Registers a request; the owning set guarantees the slot was empty.
     pub(crate) fn insert(&mut self, port: usize, vc: usize, out: usize, speculative: bool) {
-        let bit = 1u64 << vc;
-        let plane = self.plane_idx(speculative, port, out);
-        let row = self.class_idx(speculative, port);
-        let req = self.class_idx(speculative, out);
-        self.vc_planes[plane] |= bit;
-        self.rows[row] |= 1u64 << out;
-        self.requesters[req] |= 1u64 << port;
-        self.active_vcs[port] |= bit;
+        let plane = self.plane_start(speculative, port, out);
+        let row = self.row_start(speculative, port);
+        let req = self.row_start(speculative, out);
+        set_bit(&mut self.vc_planes[plane..plane + self.vc_words], vc);
+        set_bit(&mut self.rows[row..row + self.port_words], out);
+        set_bit(&mut self.requesters[req..req + self.port_words], port);
+        set_bit(&mut self.active_vcs[port * self.vc_words..(port + 1) * self.vc_words], vc);
         if speculative {
-            self.spec_vcs[port] |= bit;
+            set_bit(&mut self.spec_vcs[port * self.vc_words..(port + 1) * self.vc_words], vc);
         }
     }
 
     /// Unregisters a request previously passed to `insert`.
     pub(crate) fn remove(&mut self, port: usize, vc: usize, out: usize, speculative: bool) {
-        let bit = 1u64 << vc;
-        let plane = self.plane_idx(speculative, port, out);
-        let row = self.class_idx(speculative, port);
-        let req = self.class_idx(speculative, out);
-        self.vc_planes[plane] &= !bit;
-        if self.vc_planes[plane] == 0 {
-            self.rows[row] &= !(1u64 << out);
-            self.requesters[req] &= !(1u64 << port);
+        let plane = self.plane_start(speculative, port, out);
+        let row = self.row_start(speculative, port);
+        let req = self.row_start(speculative, out);
+        clear_bit(&mut self.vc_planes[plane..plane + self.vc_words], vc);
+        if !any_set(&self.vc_planes[plane..plane + self.vc_words]) {
+            clear_bit(&mut self.rows[row..row + self.port_words], out);
+            clear_bit(&mut self.requesters[req..req + self.port_words], port);
         }
-        self.active_vcs[port] &= !bit;
+        clear_bit(&mut self.active_vcs[port * self.vc_words..(port + 1) * self.vc_words], vc);
         if speculative {
-            self.spec_vcs[port] &= !bit;
+            clear_bit(&mut self.spec_vcs[port * self.vc_words..(port + 1) * self.vc_words], vc);
         }
     }
 
     /// Empties the view in O(posted requests) by walking its own rows.
     pub(crate) fn clear(&mut self) {
         for port in 0..self.ports {
-            if self.active_vcs[port] == 0 {
+            if !any_set(&self.active_vcs[port * self.vc_words..(port + 1) * self.vc_words]) {
                 continue;
             }
             for class in [false, true] {
-                let row_idx = self.class_idx(class, port);
-                let mut row = self.rows[row_idx];
-                self.rows[row_idx] = 0;
-                while row != 0 {
-                    let out = row.trailing_zeros() as usize;
-                    row &= row - 1;
-                    let plane = self.plane_idx(class, port, out);
-                    let req = self.class_idx(class, out);
-                    self.vc_planes[plane] = 0;
-                    self.requesters[req] = 0;
+                let row_start = self.row_start(class, port);
+                for w in 0..self.port_words {
+                    let mut row = self.rows[row_start + w];
+                    self.rows[row_start + w] = 0;
+                    while row != 0 {
+                        let out = w * 64 + row.trailing_zeros() as usize;
+                        row &= row - 1;
+                        let plane = self.plane_start(class, port, out);
+                        self.vc_planes[plane..plane + self.vc_words].fill(0);
+                        let req = self.row_start(class, out);
+                        self.requesters[req..req + self.port_words].fill(0);
+                    }
                 }
             }
-            self.active_vcs[port] = 0;
-            self.spec_vcs[port] = 0;
+            self.active_vcs[port * self.vc_words..(port + 1) * self.vc_words].fill(0);
+            self.spec_vcs[port * self.vc_words..(port + 1) * self.vc_words].fill(0);
         }
     }
 
     /// VC mask of `port`'s requests for `out` in one speculation class —
     /// the innermost row every separable/wavefront champion selection
     /// reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `port` or `out` is out of range. This
+    /// accessor sits on allocator inner loops, so the bounds check is a
+    /// `debug_assert` (the PR 5 convention of `vix.rs`).
     #[inline]
     #[must_use]
-    pub fn vc_plane(&self, speculative: bool, port: PortId, out: PortId) -> u64 {
-        self.vc_planes[self.plane_idx(speculative, port.0, out.0)]
+    pub fn vc_plane(&self, speculative: bool, port: PortId, out: PortId) -> &[u64] {
+        debug_assert!(
+            port.0 < self.ports && out.0 < self.ports,
+            "port {port} / out {out} out of range (ports = {})",
+            self.ports
+        );
+        let start = self.plane_start(speculative, port.0, out.0);
+        &self.vc_planes[start..start + self.vc_words]
     }
 
-    /// VC mask of `port`'s requests for `out`, either class.
+    /// Word `w` of the VC mask of `port`'s requests for `out`, either
+    /// speculation class (the OR of the two planes, one word at a time —
+    /// a slice cannot be returned for a computed union).
     #[inline]
     #[must_use]
-    pub fn vc_plane_any(&self, port: PortId, out: PortId) -> u64 {
-        self.vc_planes[self.plane_idx(false, port.0, out.0)]
-            | self.vc_planes[self.plane_idx(true, port.0, out.0)]
+    pub fn vc_plane_any_word(&self, port: PortId, out: PortId, w: usize) -> u64 {
+        debug_assert!(w < self.vc_words, "word {w} out of range ({} vc words)", self.vc_words);
+        self.vc_planes[self.plane_start(false, port.0, out.0) + w]
+            | self.vc_planes[self.plane_start(true, port.0, out.0) + w]
     }
 
     /// Output mask of `port` in one speculation class: bit `o` is set when
     /// any VC of the port posts a `speculative`-class request for `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `port` is out of range (hot-accessor
+    /// `debug_assert` convention).
     #[inline]
     #[must_use]
-    pub fn row(&self, speculative: bool, port: PortId) -> u64 {
-        self.rows[self.class_idx(speculative, port.0)]
+    pub fn row(&self, speculative: bool, port: PortId) -> &[u64] {
+        debug_assert!(port.0 < self.ports, "port {port} out of range (ports = {})", self.ports);
+        let start = self.row_start(speculative, port.0);
+        &self.rows[start..start + self.port_words]
     }
 
-    /// Output mask of `port` over both speculation classes.
+    /// Word `w` of the output mask of `port` over both speculation classes.
     #[inline]
     #[must_use]
-    pub fn row_any(&self, port: PortId) -> u64 {
-        self.rows[self.class_idx(false, port.0)] | self.rows[self.class_idx(true, port.0)]
+    pub fn row_any_word(&self, port: PortId, w: usize) -> u64 {
+        debug_assert!(w < self.port_words, "word {w} out of range ({} port words)", self.port_words);
+        self.rows[self.row_start(false, port.0) + w] | self.rows[self.row_start(true, port.0) + w]
     }
 
     /// Requesting-port mask of `out` in one speculation class.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `out` is out of range (hot-accessor
+    /// `debug_assert` convention).
     #[inline]
     #[must_use]
-    pub fn requesters(&self, speculative: bool, out: PortId) -> u64 {
-        self.requesters[self.class_idx(speculative, out.0)]
+    pub fn requesters(&self, speculative: bool, out: PortId) -> &[u64] {
+        debug_assert!(out.0 < self.ports, "out {out} out of range (ports = {})", self.ports);
+        let start = self.row_start(speculative, out.0);
+        &self.requesters[start..start + self.port_words]
     }
 
-    /// Requesting-port mask of `out` over both speculation classes.
+    /// Word `w` of the requesting-port mask of `out` over both classes.
     #[inline]
     #[must_use]
-    pub fn requesters_any(&self, out: PortId) -> u64 {
-        self.requesters[self.class_idx(false, out.0)] | self.requesters[self.class_idx(true, out.0)]
+    pub fn requesters_any_word(&self, out: PortId, w: usize) -> u64 {
+        debug_assert!(w < self.port_words, "word {w} out of range ({} port words)", self.port_words);
+        self.requesters[self.row_start(false, out.0) + w]
+            | self.requesters[self.row_start(true, out.0) + w]
     }
 
     /// VC mask of every posted request at `port`.
     #[inline]
     #[must_use]
-    pub fn active_vcs(&self, port: PortId) -> u64 {
-        self.active_vcs[port.0]
+    pub fn active_vcs(&self, port: PortId) -> &[u64] {
+        &self.active_vcs[port.0 * self.vc_words..(port.0 + 1) * self.vc_words]
     }
 
     /// VC mask of the speculative requests at `port`.
     #[inline]
     #[must_use]
-    pub fn spec_vcs(&self, port: PortId) -> u64 {
-        self.spec_vcs[port.0]
+    pub fn spec_vcs(&self, port: PortId) -> &[u64] {
+        &self.spec_vcs[port.0 * self.vc_words..(port.0 + 1) * self.vc_words]
     }
 
-    /// VC mask of one speculation class at `port`.
+    /// Word `w` of the VC mask of one speculation class at `port`
+    /// (non-speculative is computed as `active & !speculative`, so a slice
+    /// cannot be returned).
     #[inline]
     #[must_use]
-    pub fn class_vcs(&self, speculative: bool, port: PortId) -> u64 {
+    pub fn class_vcs_word(&self, speculative: bool, port: PortId, w: usize) -> u64 {
+        debug_assert!(w < self.vc_words, "word {w} out of range ({} vc words)", self.vc_words);
+        let i = port.0 * self.vc_words + w;
         if speculative {
-            self.spec_vcs[port.0]
+            self.spec_vcs[i]
         } else {
-            self.active_vcs[port.0] & !self.spec_vcs[port.0]
+            self.active_vcs[i] & !self.spec_vcs[i]
         }
     }
 }
@@ -259,29 +447,29 @@ mod tests {
         assert_consistent(&rs);
 
         let b = rs.bits();
-        assert_eq!(b.vc_plane(false, PortId(1), PortId(2)), 0b001);
-        assert_eq!(b.vc_plane(true, PortId(1), PortId(2)), 0b100);
-        assert_eq!(b.vc_plane_any(PortId(1), PortId(2)), 0b101);
-        assert_eq!(b.row(false, PortId(1)), 0b100);
-        assert_eq!(b.row(true, PortId(1)), 0b100);
-        assert_eq!(b.row_any(PortId(3)), 0b001);
-        assert_eq!(b.requesters(false, PortId(2)), 0b0010);
-        assert_eq!(b.requesters_any(PortId(2)), 0b0010);
-        assert_eq!(b.active_vcs(PortId(1)), 0b101);
-        assert_eq!(b.spec_vcs(PortId(1)), 0b100);
-        assert_eq!(b.class_vcs(false, PortId(1)), 0b001);
-        assert_eq!(b.class_vcs(true, PortId(1)), 0b100);
+        assert_eq!(b.vc_plane(false, PortId(1), PortId(2)), [0b001]);
+        assert_eq!(b.vc_plane(true, PortId(1), PortId(2)), [0b100]);
+        assert_eq!(b.vc_plane_any_word(PortId(1), PortId(2), 0), 0b101);
+        assert_eq!(b.row(false, PortId(1)), [0b100]);
+        assert_eq!(b.row(true, PortId(1)), [0b100]);
+        assert_eq!(b.row_any_word(PortId(3), 0), 0b001);
+        assert_eq!(b.requesters(false, PortId(2)), [0b0010]);
+        assert_eq!(b.requesters_any_word(PortId(2), 0), 0b0010);
+        assert_eq!(b.active_vcs(PortId(1)), [0b101]);
+        assert_eq!(b.spec_vcs(PortId(1)), [0b100]);
+        assert_eq!(b.class_vcs_word(false, PortId(1), 0), 0b001);
+        assert_eq!(b.class_vcs_word(true, PortId(1), 0), 0b100);
 
         rs.remove(PortId(1), VcId(0));
         assert_consistent(&rs);
-        assert_eq!(rs.bits().vc_plane(false, PortId(1), PortId(2)), 0);
-        assert_eq!(rs.bits().row(false, PortId(1)), 0);
-        assert_eq!(rs.bits().requesters(false, PortId(2)), 0);
+        assert_eq!(rs.bits().vc_plane(false, PortId(1), PortId(2)), [0]);
+        assert_eq!(rs.bits().row(false, PortId(1)), [0]);
+        assert_eq!(rs.bits().requesters(false, PortId(2)), [0]);
 
         rs.clear();
         assert_consistent(&rs);
-        assert_eq!(rs.bits().active_vcs(PortId(1)), 0);
-        assert_eq!(rs.bits().row_any(PortId(1)), 0);
+        assert_eq!(rs.bits().active_vcs(PortId(1)), [0]);
+        assert_eq!(rs.bits().row_any_word(PortId(1), 0), 0);
     }
 
     #[test]
@@ -292,10 +480,10 @@ mod tests {
         rs.push(req(0, 1, 1, false));
         assert_consistent(&rs);
         let b = rs.bits();
-        assert_eq!(b.vc_plane(true, PortId(0), PortId(2)), 0);
-        assert_eq!(b.vc_plane(false, PortId(0), PortId(1)), 0b10);
-        assert_eq!(b.spec_vcs(PortId(0)), 0);
-        assert_eq!(b.requesters_any(PortId(2)), 0);
+        assert_eq!(b.vc_plane(true, PortId(0), PortId(2)), [0]);
+        assert_eq!(b.vc_plane(false, PortId(0), PortId(1)), [0b10]);
+        assert_eq!(b.spec_vcs(PortId(0)), [0]);
+        assert_eq!(b.requesters_any_word(PortId(2), 0), 0);
     }
 
     #[test]
@@ -329,16 +517,172 @@ mod tests {
     }
 
     #[test]
+    fn wide_shapes_span_multiple_words() {
+        // 70 ports × 3 VCs: output and requester rows straddle two words.
+        let mut rs = RequestSet::new(70, 3);
+        rs.push(req(68, 1, 69, false));
+        rs.push(req(68, 2, 3, true));
+        rs.push(req(1, 0, 69, false));
+        assert_consistent(&rs);
+
+        let b = rs.bits();
+        assert_eq!(b.port_words(), 2);
+        assert_eq!(b.vc_words(), 1);
+        assert_eq!(b.row(false, PortId(68)), [0, 1u64 << (69 - 64)]);
+        assert_eq!(b.row(true, PortId(68)), [1u64 << 3, 0]);
+        assert_eq!(b.row_any_word(PortId(68), 0), 1u64 << 3);
+        assert_eq!(b.requesters(false, PortId(69)), [1u64 << 1, 1u64 << (68 - 64)]);
+        assert_eq!(b.requesters_any_word(PortId(69), 1), 1u64 << (68 - 64));
+        assert_eq!(b.vc_plane(false, PortId(68), PortId(69)), [0b010]);
+
+        rs.remove(PortId(68), VcId(1));
+        assert_consistent(&rs);
+        assert!(!any_set(rs.bits().row(false, PortId(68))));
+
+        rs.clear();
+        assert_consistent(&rs);
+        assert!(!any_set(rs.bits().active_vcs(PortId(68))));
+    }
+
+    #[test]
+    fn wide_vc_rows_span_multiple_words() {
+        // 3 ports × 130 VCs: every VC mask is three words.
+        let mut rs = RequestSet::new(3, 130);
+        rs.push(req(0, 129, 2, false));
+        rs.push(req(0, 64, 2, true));
+        rs.push(req(0, 63, 1, false));
+        assert_consistent(&rs);
+
+        let b = rs.bits();
+        assert_eq!(b.vc_words(), 3);
+        assert_eq!(b.vc_plane(false, PortId(0), PortId(2)), [0, 0, 1u64 << 1]);
+        assert_eq!(b.vc_plane(true, PortId(0), PortId(2)), [0, 1, 0]);
+        assert_eq!(b.vc_plane_any_word(PortId(0), PortId(2), 1), 1);
+        assert_eq!(b.active_vcs(PortId(0)), [1u64 << 63, 1, 1u64 << 1]);
+        assert_eq!(b.spec_vcs(PortId(0)), [0, 1, 0]);
+        assert_eq!(b.class_vcs_word(false, PortId(0), 1), 0);
+        assert_eq!(b.class_vcs_word(true, PortId(0), 1), 1);
+
+        rs.clear();
+        assert_consistent(&rs);
+    }
+
+    #[test]
     fn mask_up_to_covers_edges() {
         assert_eq!(mask_up_to(0), 0);
         assert_eq!(mask_up_to(1), 1);
         assert_eq!(mask_up_to(6), 0b11_1111);
+        assert_eq!(mask_up_to(63), u64::MAX >> 1);
         assert_eq!(mask_up_to(64), u64::MAX);
     }
 
     #[test]
-    #[should_panic(expected = "at most 64")]
-    fn oversized_dimensions_rejected() {
-        let _ = RequestSet::new(65, 2);
+    fn set_low_bits_exhaustive_widths_0_to_192() {
+        // The satellite contract: every width from 0 to 192 — including
+        // the word-aligned widths 0, 64, 128, 192 that used to need a
+        // shift-overflow special case — produces exactly `n` low bits.
+        let mut words = [0u64; 3];
+        for n in 0..=192usize {
+            words.fill(!0); // stale garbage the fill must overwrite
+            set_low_bits(&mut words, n);
+            for i in 0..192 {
+                assert_eq!(test_bit(&words, i), i < n, "width {n}, bit {i}");
+            }
+            assert_eq!(count_ones(&words) as usize, n, "width {n}");
+        }
+    }
+
+    #[test]
+    fn bit_ops_round_trip() {
+        let mut words = [0u64; 2];
+        for i in [0, 1, 63, 64, 100, 127] {
+            assert!(!test_bit(&words, i));
+            set_bit(&mut words, i);
+            assert!(test_bit(&words, i));
+        }
+        assert!(any_set(&words));
+        assert_eq!(count_ones(&words), 6);
+        for i in [0, 1, 63, 64, 100, 127] {
+            clear_bit(&mut words, i);
+            assert!(!test_bit(&words, i));
+        }
+        assert!(!any_set(&words));
+    }
+
+    #[test]
+    fn extract_range_matches_shift_and_mask() {
+        let src = [0xDEAD_BEEF_CAFE_F00Du64, 0x0123_4567_89AB_CDEF, 0xFFFF_0000_FFFF_0000];
+        let mut dest = [0u64; 2];
+        for start in 0..=128usize {
+            for len in [0, 1, 5, 63, 64, 65, 100, 128] {
+                if start + len > 192 {
+                    continue;
+                }
+                dest.fill(!0);
+                extract_range(&src, start, len, &mut dest);
+                for i in 0..128 {
+                    let expect = i < len && test_bit(&src, start + i);
+                    assert_eq!(test_bit(&dest, i), expect, "start {start} len {len} bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_past_the_end_reads_zero() {
+        let src = [!0u64];
+        let mut dest = [0u64; 2];
+        extract_range(&src, 32, 80, &mut dest);
+        assert_eq!(dest, [0xFFFF_FFFF, 0]);
+    }
+
+    #[test]
+    fn deposit_range_is_extracts_inverse() {
+        let line = [0b1011_0110u64, 0b101];
+        for start in [0usize, 1, 60, 64, 120, 129] {
+            let len = 67;
+            let mut flat = [0u64; 4];
+            deposit_range(&mut flat, start, &line, len);
+            let mut back = [0u64; 2];
+            extract_range(&flat, start, len, &mut back);
+            assert_eq!(back, [line[0], line[1] & mask_up_to(3)], "start {start}");
+            // Nothing outside the window was touched.
+            assert_eq!(count_ones(&flat), count_ones(&back), "start {start}");
+        }
+    }
+
+    #[test]
+    fn deposit_ors_into_existing_bits() {
+        let mut flat = [1u64, 0];
+        deposit_range(&mut flat, 62, &[0b1111], 4);
+        assert_eq!(flat, [1 | (0b11 << 62), 0b11]);
+    }
+
+    #[test]
+    fn range_helpers_agree_on_windows() {
+        let words = [0u64, 1u64 << 5, 0];
+        assert!(range_any_set(&words, 64, 6));
+        assert!(range_any_set(&words, 69, 1));
+        assert!(!range_any_set(&words, 70, 58));
+        assert!(!range_any_set(&words, 0, 64));
+        assert!(!range_any_set(&words, 0, 0));
+        assert!(range_any_set(&words, 0, 192));
+
+        let mut cleared = words;
+        clear_range(&mut cleared, 64, 6);
+        assert!(!any_set(&cleared));
+        let mut untouched = words;
+        clear_range(&mut untouched, 70, 122);
+        assert_eq!(untouched, words);
+    }
+
+    #[test]
+    fn words_for_matches_div_ceil() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
     }
 }

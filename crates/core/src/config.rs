@@ -300,24 +300,9 @@ impl RouterConfig {
             return Err(ConfigError::BadVirtualInputs { virtual_inputs: vi, vcs: self.vcs_per_port });
         }
         self.partition()?;
-        // The word-parallel allocator kernels keep every request row in one
-        // u64 (DESIGN.md §6d): ports, VCs per port, and total virtual
-        // inputs must each fit the word.
-        if self.ports > 64 {
-            return Err(ConfigError::TooWideForBitset { dimension: "ports", value: self.ports });
-        }
-        if self.vcs_per_port > 64 {
-            return Err(ConfigError::TooWideForBitset {
-                dimension: "VCs per port",
-                value: self.vcs_per_port,
-            });
-        }
-        if self.crossbar_inputs() > 64 {
-            return Err(ConfigError::TooWideForBitset {
-                dimension: "crossbar inputs (ports × virtual inputs per port)",
-                value: self.crossbar_inputs(),
-            });
-        }
+        // No width cap: the word-parallel allocator kernels store
+        // ceil(width / 64) words per request row (DESIGN.md §6d), so any
+        // radix, VC count, or virtual-input product is representable.
         Ok(())
     }
 }
@@ -667,21 +652,17 @@ mod tests {
     }
 
     #[test]
-    fn shapes_wider_than_one_word_rejected() {
-        // The bit-view keeps every request row in one u64; any dimension
-        // past 64 must be caught at validation, not at RequestSet::new.
-        let wide = RouterConfig::new(65, 2, 5);
-        assert!(matches!(
-            wide.validate(),
-            Err(ConfigError::TooWideForBitset { dimension: "ports", .. })
-        ));
-        // 33 ports × 2 virtual inputs = 66 crossbar inputs > 64.
+    fn shapes_wider_than_one_word_validate() {
+        // The bit-view stores ceil(width / 64) words per row, so shapes
+        // past 64 ports, VCs, or crossbar inputs are all legal now.
+        RouterConfig::new(65, 2, 5).validate().unwrap();
+        // 33 ports × 2 virtual inputs = 66 crossbar inputs.
         let cfg = RouterConfig::new(33, 2, 5).with_virtual_inputs(VirtualInputs::PerPort(2));
-        assert!(matches!(cfg.validate(), Err(ConfigError::TooWideForBitset { .. })));
-        // 64 virtual inputs exactly is the widest legal shape.
-        let max = RouterConfig::new(16, 4, 5).with_virtual_inputs(VirtualInputs::PerPort(4));
-        max.validate().unwrap();
-        assert_eq!(max.crossbar_inputs(), 64);
+        cfg.validate().unwrap();
+        // Radix-16 × 8 VCs under ideal VIX: 128 virtual inputs.
+        let wide = RouterConfig::new(16, 8, 5).with_virtual_inputs(VirtualInputs::Ideal);
+        wide.validate().unwrap();
+        assert_eq!(wide.crossbar_inputs(), 128);
     }
 
     #[test]

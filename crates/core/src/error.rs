@@ -36,15 +36,6 @@ pub enum ConfigError {
         /// Human-readable constraint, e.g. "must be a perfect square".
         requirement: &'static str,
     },
-    /// A dimension exceeds the 64-bit word width of the request bit-view
-    /// (ports, VCs per port, and total virtual inputs must each be ≤ 64 so
-    /// the word-parallel allocator kernels hold every row in one `u64`).
-    TooWideForBitset {
-        /// Which dimension overflowed, e.g. "ports" or "crossbar inputs".
-        dimension: &'static str,
-        /// Offending value.
-        value: usize,
-    },
     /// An injection rate outside `0.0 ..= 1.0` flits/cycle/node.
     BadInjectionRate {
         /// Offending rate.
@@ -73,10 +64,6 @@ impl fmt::Display for ConfigError {
             ConfigError::BadNodeCount { nodes, requirement } => {
                 write!(f, "unsupported node count {nodes}: {requirement}")
             }
-            ConfigError::TooWideForBitset { dimension, value } => write!(
-                f,
-                "{dimension} must be at most 64 for the word-parallel allocator kernels, got {value}"
-            ),
             ConfigError::BadInjectionRate { rate } => {
                 write!(f, "injection rate must lie in [0, 1] flits/cycle/node, got {rate}")
             }
@@ -115,7 +102,6 @@ mod tests {
             ConfigError::BadVirtualInputs { virtual_inputs: 3, vcs: 2 },
             ConfigError::UnevenPartition { vcs: 5, virtual_inputs: 2 },
             ConfigError::BadNodeCount { nodes: 63, requirement: "must be a perfect square" },
-            ConfigError::TooWideForBitset { dimension: "crossbar inputs", value: 80 },
             ConfigError::BadInjectionRate { rate: -0.5 },
             ConfigError::ZeroPacketLength,
         ];

@@ -60,9 +60,9 @@ impl RequestSet {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero or exceeds
-    /// [`crate::bits::MAX_BIT_WIDTH`] (the ≤ 64 invariant of the
-    /// word-parallel bit-view).
+    /// Panics if either dimension is zero. There is no upper width limit:
+    /// the word-parallel bit-view stores `ceil(width / 64)` words per row
+    /// (DESIGN.md §6d).
     #[must_use]
     pub fn new(ports: usize, vcs: usize) -> Self {
         assert!(ports > 0 && vcs > 0, "request set dimensions must be nonzero");
@@ -122,11 +122,13 @@ impl RequestSet {
     /// resetting, so an almost-empty set clears in a handful of word ops.
     pub fn clear(&mut self) {
         for port in 0..self.ports {
-            let mut m = self.bits.active_vcs(PortId(port));
-            while m != 0 {
-                let vc = m.trailing_zeros() as usize;
-                m &= m - 1;
-                self.slots[port * self.vcs + vc] = None;
+            for (w, &word) in self.bits.active_vcs(PortId(port)).iter().enumerate() {
+                let mut m = word;
+                while m != 0 {
+                    let vc = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    self.slots[port * self.vcs + vc] = None;
+                }
             }
         }
         self.bits.clear();
@@ -188,11 +190,11 @@ impl RequestSet {
         self.speculative
     }
 
-    /// True when one of the VCs of `port` posted a request (O(1) — one
-    /// word test on the bit-view's per-port activity mask).
+    /// True when one of the VCs of `port` posted a request (O(words) —
+    /// a word scan of the bit-view's per-port activity mask).
     #[must_use]
     pub fn port_is_active(&self, port: PortId) -> bool {
-        self.bits.active_vcs(port) != 0
+        crate::bits::any_set(self.bits.active_vcs(port))
     }
 
     /// The dense word-parallel view of this set, incrementally maintained

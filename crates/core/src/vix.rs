@@ -79,23 +79,51 @@ impl VixPartition {
         VirtualInputId(vc.0 / self.group_size())
     }
 
-    /// Bit mask over the port's flat VC index space selecting the VCs of
-    /// one sub-group — the word-parallel companion of
-    /// [`vcs_in_group`](VixPartition::vcs_in_group), used by the bitset
-    /// allocator kernels to carve a sub-group's lines out of a
-    /// [`RequestBits`](crate::bits::RequestBits) VC mask in one AND.
+    /// First flat VC index of one sub-group — the start of the
+    /// `group_size()`-bit window the bitset allocator kernels carve out of
+    /// a [`RequestBits`](crate::bits::RequestBits) VC row with
+    /// [`extract_range`](crate::bits::extract_range), which works for any
+    /// VC width.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `group` is out of range. This accessor
     /// sits on allocator inner loops, so the bounds check is a
     /// `debug_assert`.
+    #[inline]
+    #[must_use]
+    pub fn group_start(&self, group: VirtualInputId) -> usize {
+        debug_assert!(
+            group.0 < self.groups,
+            "sub-group {group} out of range (groups = {})",
+            self.groups
+        );
+        group.0 * self.group_size()
+    }
+
+    /// Bit mask over the port's flat VC index space selecting the VCs of
+    /// one sub-group — the single-word companion of
+    /// [`vcs_in_group`](VixPartition::vcs_in_group), usable when the
+    /// sub-group's window lies inside the first word of the VC row
+    /// (`group_start + group_size ≤ 64`). Wider rows use
+    /// [`group_start`](VixPartition::group_start) with
+    /// [`extract_range`](crate::bits::extract_range) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `group` is out of range or its window
+    /// reaches past bit 63. This accessor sits on allocator inner loops,
+    /// so the bounds checks are `debug_assert`s.
     #[must_use]
     pub fn group_mask(&self, group: VirtualInputId) -> u64 {
         debug_assert!(
             group.0 < self.groups,
             "sub-group {group} out of range (groups = {})",
             self.groups
+        );
+        debug_assert!(
+            (group.0 + 1) * self.group_size() <= 64,
+            "sub-group {group} window reaches past one word; use group_start + extract_range"
         );
         crate::bits::mask_up_to(self.group_size()) << (group.0 * self.group_size())
     }

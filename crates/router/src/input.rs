@@ -1,73 +1,123 @@
-//! Input-side state: per-VC flit buffers.
+//! Input-side state: per-VC flit buffers in structure-of-arrays layout.
+//!
+//! Every scalar register of a virtual channel — output-VC binding,
+//! head-of-line wait counter, route-computation flag — lives in its own
+//! flat array indexed by `(port, vc)`, and the FIFO contents sit in a
+//! parallel array of ring buffers. The pipeline's per-stage sweeps
+//! (RC scan, VA candidate scan, request build, HOL aging) each touch one
+//! array linearly instead of hopping across per-VC structs, which keeps
+//! them cache-friendly at high radix and VC counts.
 
 use std::collections::VecDeque;
 use vix_core::{Flit, PortId, VcId};
 
-/// One virtual channel of an input port: a FIFO flit buffer plus the
-/// output-VC binding of its head-of-line packet.
+/// All input virtual channels of a router, structure-of-arrays: one entry
+/// per `(port, vc)` pair in each parallel array, flat index
+/// `port * vc_count + vc`.
 #[derive(Debug, Clone, Default)]
-pub struct VirtualChannel {
-    buffer: VecDeque<Flit>,
+pub struct InputVcs {
+    ports: usize,
+    vcs: usize,
+    /// FIFO flit buffers, one ring buffer per `(port, vc)`.
+    buffers: Vec<VecDeque<Flit>>,
     /// Output VC (at the downstream router) assigned to the head-of-line
     /// packet by VC allocation; `None` while the HOL head flit awaits VA.
-    out_vc: Option<VcId>,
+    out_vc: Vec<Option<VcId>>,
     /// Cycles the current head-of-line flit has waited without
     /// traversing; feeds age-based allocation policies.
-    hol_wait: u64,
+    hol_wait: Vec<u64>,
     /// Whether route computation has run for the HOL packet (only
     /// meaningful for five-stage pipelines; three-stage routers use
     /// lookahead routing and never consult it).
-    rc_done: bool,
+    rc_done: Vec<bool>,
 }
 
-impl VirtualChannel {
-    /// Creates an empty VC.
+impl InputVcs {
+    /// Creates `ports × vcs` empty virtual channels.
     #[must_use]
-    pub fn new() -> Self {
-        VirtualChannel::default()
+    pub fn new(ports: usize, vcs: usize) -> Self {
+        let n = ports * vcs;
+        InputVcs {
+            ports,
+            vcs,
+            buffers: (0..n).map(|_| VecDeque::new()).collect(),
+            out_vc: vec![None; n],
+            hol_wait: vec![0; n],
+            rc_done: vec![false; n],
+        }
     }
 
-    /// Creates an empty VC whose buffer is pre-sized to `depth` flits, so
-    /// no push ever grows it — steady-state operation stays off the heap.
+    /// Creates `ports × vcs` empty virtual channels whose buffers are
+    /// pre-sized to `depth` flits, so no push ever grows them —
+    /// steady-state operation stays off the heap.
     #[must_use]
-    pub fn with_depth(depth: usize) -> Self {
-        VirtualChannel { buffer: VecDeque::with_capacity(depth), ..VirtualChannel::default() }
+    pub fn with_depth(ports: usize, vcs: usize, depth: usize) -> Self {
+        let n = ports * vcs;
+        InputVcs {
+            ports,
+            vcs,
+            buffers: (0..n).map(|_| VecDeque::with_capacity(depth)).collect(),
+            out_vc: vec![None; n],
+            hol_wait: vec![0; n],
+            rc_done: vec![false; n],
+        }
     }
 
-    /// Buffered flit count.
+    /// Number of input ports.
     #[must_use]
-    pub fn occupancy(&self) -> usize {
-        self.buffer.len()
+    pub fn ports(&self) -> usize {
+        self.ports
     }
 
-    /// True when no flits are buffered.
+    /// Number of VCs per port.
     #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.buffer.is_empty()
+    pub fn vc_count(&self) -> usize {
+        self.vcs
     }
 
-    /// Head-of-line flit, if any.
+    #[inline]
+    fn idx(&self, port: PortId, vc: VcId) -> usize {
+        debug_assert!(port.0 < self.ports, "input port {port} out of range");
+        debug_assert!(vc.0 < self.vcs, "input VC {vc} out of range");
+        port.0 * self.vcs + vc.0
+    }
+
+    /// Buffered flit count of one VC.
     #[must_use]
-    pub fn head(&self) -> Option<&Flit> {
-        self.buffer.front()
+    pub fn occupancy(&self, port: PortId, vc: VcId) -> usize {
+        self.buffers[self.idx(port, vc)].len()
+    }
+
+    /// True when no flits are buffered in the VC.
+    #[must_use]
+    pub fn is_empty(&self, port: PortId, vc: VcId) -> bool {
+        self.buffers[self.idx(port, vc)].is_empty()
+    }
+
+    /// Head-of-line flit of the VC, if any.
+    #[must_use]
+    pub fn head(&self, port: PortId, vc: VcId) -> Option<&Flit> {
+        self.buffers[self.idx(port, vc)].front()
     }
 
     /// Output VC bound to the HOL packet.
     #[must_use]
-    pub fn out_vc(&self) -> Option<VcId> {
-        self.out_vc
+    pub fn out_vc(&self, port: PortId, vc: VcId) -> Option<VcId> {
+        self.out_vc[self.idx(port, vc)]
     }
 
     /// Binds the HOL packet to a downstream VC (VC allocation result).
-    pub fn bind_out_vc(&mut self, vc: VcId) {
-        debug_assert!(self.out_vc.is_none(), "rebinding an already-bound VC");
-        self.out_vc = Some(vc);
+    pub fn bind_out_vc(&mut self, port: PortId, vc: VcId, bound: VcId) {
+        let i = self.idx(port, vc);
+        debug_assert!(self.out_vc[i].is_none(), "rebinding an already-bound VC");
+        self.out_vc[i] = Some(bound);
     }
 
     /// True when the HOL flit is a head awaiting VC allocation.
     #[must_use]
-    pub fn needs_va(&self) -> bool {
-        self.out_vc.is_none() && self.head().is_some_and(Flit::is_head)
+    pub fn needs_va(&self, port: PortId, vc: VcId) -> bool {
+        let i = self.idx(port, vc);
+        self.out_vc[i].is_none() && self.buffers[i].front().is_some_and(Flit::is_head)
     }
 
     /// Appends an arriving flit (buffer write).
@@ -76,9 +126,10 @@ impl VirtualChannel {
     ///
     /// Panics if the buffer already holds `depth` flits — that is a credit
     /// protocol violation upstream, never legal backpressure.
-    pub fn push(&mut self, flit: Flit, depth: usize) {
-        assert!(self.buffer.len() < depth, "buffer overflow: upstream violated credits");
-        self.buffer.push_back(flit);
+    pub fn push(&mut self, port: PortId, vc: VcId, flit: Flit, depth: usize) {
+        let i = self.idx(port, vc);
+        assert!(self.buffers[i].len() < depth, "buffer overflow: upstream violated credits");
+        self.buffers[i].push_back(flit);
     }
 
     /// Removes and returns the HOL flit (switch traversal); clears the
@@ -88,102 +139,59 @@ impl VirtualChannel {
     /// # Panics
     ///
     /// Panics if the buffer is empty.
-    pub fn pop(&mut self) -> Flit {
-        let flit = self.buffer.pop_front().expect("pop from empty VC");
+    pub fn pop(&mut self, port: PortId, vc: VcId) -> Flit {
+        let i = self.idx(port, vc);
+        let flit = self.buffers[i].pop_front().expect("pop from empty VC");
         if flit.is_tail() {
-            self.out_vc = None;
-            self.rc_done = false;
+            self.out_vc[i] = None;
+            self.rc_done[i] = false;
         }
-        self.hol_wait = 0;
+        self.hol_wait[i] = 0;
         flit
     }
 
     /// Whether route computation has completed for the HOL packet.
     #[must_use]
-    pub fn rc_done(&self) -> bool {
-        self.rc_done
+    pub fn rc_done(&self, port: PortId, vc: VcId) -> bool {
+        self.rc_done[self.idx(port, vc)]
     }
 
     /// Marks the HOL packet's route as computed (five-stage RC stage).
-    pub fn mark_rc_done(&mut self) {
-        self.rc_done = true;
+    pub fn mark_rc_done(&mut self, port: PortId, vc: VcId) {
+        let i = self.idx(port, vc);
+        self.rc_done[i] = true;
     }
 
     /// Cycles the current head-of-line flit has waited.
     #[must_use]
-    pub fn hol_wait(&self) -> u64 {
-        self.hol_wait
+    pub fn hol_wait(&self, port: PortId, vc: VcId) -> u64 {
+        self.hol_wait[self.idx(port, vc)]
     }
 
-    /// Ages the head-of-line flit by one cycle (no-op when empty).
-    pub fn age_hol(&mut self) {
-        if !self.buffer.is_empty() {
-            self.hol_wait += 1;
+    /// Ages every non-empty VC's head-of-line flit by one cycle — one
+    /// linear sweep over the parallel occupancy and wait arrays.
+    pub fn age_hol_all(&mut self) {
+        for (buffer, wait) in self.buffers.iter().zip(self.hol_wait.iter_mut()) {
+            if !buffer.is_empty() {
+                *wait += 1;
+            }
         }
     }
-}
 
-/// All virtual channels of one input port.
-#[derive(Debug, Clone)]
-pub struct InputPort {
-    id: PortId,
-    vcs: Vec<VirtualChannel>,
-}
-
-impl InputPort {
-    /// Creates an input port with `vcs` empty virtual channels.
+    /// Total buffered flits in one port's VCs.
     #[must_use]
-    pub fn new(id: PortId, vcs: usize) -> Self {
-        InputPort { id, vcs: (0..vcs).map(|_| VirtualChannel::new()).collect() }
+    pub fn port_occupancy(&self, port: PortId) -> usize {
+        debug_assert!(port.0 < self.ports, "input port {port} out of range");
+        self.buffers[port.0 * self.vcs..(port.0 + 1) * self.vcs]
+            .iter()
+            .map(VecDeque::len)
+            .sum()
     }
 
-    /// Creates an input port whose VC buffers are pre-sized to `depth`
-    /// flits each (see [`VirtualChannel::with_depth`]).
+    /// Total buffered flits across all ports and VCs.
     #[must_use]
-    pub fn with_depth(id: PortId, vcs: usize, depth: usize) -> Self {
-        InputPort { id, vcs: (0..vcs).map(|_| VirtualChannel::with_depth(depth)).collect() }
-    }
-
-    /// This port's id.
-    #[must_use]
-    pub fn id(&self) -> PortId {
-        self.id
-    }
-
-    /// Number of VCs.
-    #[must_use]
-    pub fn vc_count(&self) -> usize {
-        self.vcs.len()
-    }
-
-    /// Immutable access to one VC.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vc` is out of range.
-    #[must_use]
-    pub fn vc(&self, vc: VcId) -> &VirtualChannel {
-        &self.vcs[vc.0]
-    }
-
-    /// Mutable access to one VC.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vc` is out of range.
-    pub fn vc_mut(&mut self, vc: VcId) -> &mut VirtualChannel {
-        &mut self.vcs[vc.0]
-    }
-
-    /// Total buffered flits across VCs.
-    #[must_use]
-    pub fn occupancy(&self) -> usize {
-        self.vcs.iter().map(VirtualChannel::occupancy).sum()
-    }
-
-    /// Iterator over `(VcId, &VirtualChannel)`.
-    pub fn iter(&self) -> impl Iterator<Item = (VcId, &VirtualChannel)> {
-        self.vcs.iter().enumerate().map(|(i, vc)| (VcId(i), vc))
+    pub fn total_occupancy(&self) -> usize {
+        self.buffers.iter().map(VecDeque::len).sum()
     }
 }
 
@@ -204,89 +212,109 @@ mod tests {
         }
     }
 
+    const P: PortId = PortId(0);
+    const V: VcId = VcId(0);
+
     #[test]
     fn fifo_order_preserved() {
-        let mut vc = VirtualChannel::new();
+        let mut vcs = InputVcs::new(1, 1);
         for i in 0..3 {
-            vc.push(flit(3, i), 5);
+            vcs.push(P, V, flit(3, i), 5);
         }
-        assert_eq!(vc.occupancy(), 3);
+        assert_eq!(vcs.occupancy(P, V), 3);
         for i in 0..3 {
-            assert_eq!(vc.pop().index, i);
+            assert_eq!(vcs.pop(P, V).index, i);
         }
-        assert!(vc.is_empty());
+        assert!(vcs.is_empty(P, V));
     }
 
     #[test]
     fn needs_va_only_for_unbound_head() {
-        let mut vc = VirtualChannel::new();
-        assert!(!vc.needs_va(), "empty VC needs no VA");
-        vc.push(flit(2, 0), 5);
-        assert!(vc.needs_va());
-        vc.bind_out_vc(VcId(3));
-        assert!(!vc.needs_va());
-        assert_eq!(vc.out_vc(), Some(VcId(3)));
+        let mut vcs = InputVcs::new(1, 1);
+        assert!(!vcs.needs_va(P, V), "empty VC needs no VA");
+        vcs.push(P, V, flit(2, 0), 5);
+        assert!(vcs.needs_va(P, V));
+        vcs.bind_out_vc(P, V, VcId(3));
+        assert!(!vcs.needs_va(P, V));
+        assert_eq!(vcs.out_vc(P, V), Some(VcId(3)));
     }
 
     #[test]
     fn tail_pop_clears_binding() {
-        let mut vc = VirtualChannel::new();
-        vc.push(flit(2, 0), 5);
-        vc.push(flit(2, 1), 5);
-        vc.bind_out_vc(VcId(2));
-        vc.pop(); // head
-        assert_eq!(vc.out_vc(), Some(VcId(2)), "binding persists for body/tail");
-        vc.pop(); // tail
-        assert_eq!(vc.out_vc(), None, "tail departure frees the binding");
+        let mut vcs = InputVcs::new(1, 1);
+        vcs.push(P, V, flit(2, 0), 5);
+        vcs.push(P, V, flit(2, 1), 5);
+        vcs.bind_out_vc(P, V, VcId(2));
+        vcs.pop(P, V); // head
+        assert_eq!(vcs.out_vc(P, V), Some(VcId(2)), "binding persists for body/tail");
+        vcs.pop(P, V); // tail
+        assert_eq!(vcs.out_vc(P, V), None, "tail departure frees the binding");
     }
 
     #[test]
     fn body_flit_at_hol_does_not_need_va() {
-        let mut vc = VirtualChannel::new();
-        vc.push(flit(3, 1), 5);
-        assert!(!vc.needs_va(), "body flits never trigger VA");
+        let mut vcs = InputVcs::new(1, 1);
+        vcs.push(P, V, flit(3, 1), 5);
+        assert!(!vcs.needs_va(P, V), "body flits never trigger VA");
     }
 
     #[test]
     #[should_panic(expected = "buffer overflow")]
     fn overflow_detected() {
-        let mut vc = VirtualChannel::new();
-        vc.push(flit(1, 0), 1);
-        vc.push(flit(1, 0), 1);
+        let mut vcs = InputVcs::new(1, 1);
+        vcs.push(P, V, flit(1, 0), 1);
+        vcs.push(P, V, flit(1, 0), 1);
     }
 
     #[test]
     fn rc_state_resets_per_packet() {
-        let mut vc = VirtualChannel::new();
-        vc.push(flit(1, 0), 5);
-        assert!(!vc.rc_done());
-        vc.mark_rc_done();
-        assert!(vc.rc_done());
-        vc.pop(); // head-tail: packet done
-        assert!(!vc.rc_done(), "next packet needs its own RC");
+        let mut vcs = InputVcs::new(1, 1);
+        vcs.push(P, V, flit(1, 0), 5);
+        assert!(!vcs.rc_done(P, V));
+        vcs.mark_rc_done(P, V);
+        assert!(vcs.rc_done(P, V));
+        vcs.pop(P, V); // head-tail: packet done
+        assert!(!vcs.rc_done(P, V), "next packet needs its own RC");
     }
 
     #[test]
     fn hol_wait_tracks_stalled_head() {
-        let mut vc = VirtualChannel::new();
-        vc.age_hol();
-        assert_eq!(vc.hol_wait(), 0, "empty VCs do not age");
-        vc.push(flit(2, 0), 5);
-        vc.age_hol();
-        vc.age_hol();
-        assert_eq!(vc.hol_wait(), 2);
-        vc.pop();
-        assert_eq!(vc.hol_wait(), 0, "traversal resets the age");
+        let mut vcs = InputVcs::new(1, 1);
+        vcs.age_hol_all();
+        assert_eq!(vcs.hol_wait(P, V), 0, "empty VCs do not age");
+        vcs.push(P, V, flit(2, 0), 5);
+        vcs.age_hol_all();
+        vcs.age_hol_all();
+        assert_eq!(vcs.hol_wait(P, V), 2);
+        vcs.pop(P, V);
+        assert_eq!(vcs.hol_wait(P, V), 0, "traversal resets the age");
     }
 
     #[test]
-    fn port_aggregates_occupancy() {
-        let mut port = InputPort::new(PortId(2), 4);
-        assert_eq!(port.id(), PortId(2));
-        assert_eq!(port.vc_count(), 4);
-        port.vc_mut(VcId(0)).push(flit(1, 0), 5);
-        port.vc_mut(VcId(3)).push(flit(1, 0), 5);
-        assert_eq!(port.occupancy(), 2);
-        assert_eq!(port.iter().filter(|(_, vc)| !vc.is_empty()).count(), 2);
+    fn per_vc_state_is_independent() {
+        // Scalar registers of (port, vc) pairs must not alias across the
+        // flat arrays.
+        let mut vcs = InputVcs::new(3, 4);
+        vcs.push(PortId(2), VcId(3), flit(2, 0), 5);
+        vcs.push(PortId(1), VcId(0), flit(1, 0), 5);
+        vcs.bind_out_vc(PortId(2), VcId(3), VcId(1));
+        vcs.mark_rc_done(PortId(1), VcId(0));
+        assert_eq!(vcs.out_vc(PortId(2), VcId(3)), Some(VcId(1)));
+        assert_eq!(vcs.out_vc(PortId(1), VcId(0)), None);
+        assert!(vcs.rc_done(PortId(1), VcId(0)));
+        assert!(!vcs.rc_done(PortId(2), VcId(3)));
+        assert_eq!(vcs.occupancy(PortId(2), VcId(3)), 1);
+        assert_eq!(vcs.occupancy(PortId(2), VcId(0)), 0);
+    }
+
+    #[test]
+    fn occupancy_aggregates_per_port_and_total() {
+        let mut vcs = InputVcs::new(2, 4);
+        vcs.push(PortId(0), VcId(0), flit(1, 0), 5);
+        vcs.push(PortId(0), VcId(3), flit(1, 0), 5);
+        vcs.push(PortId(1), VcId(2), flit(1, 0), 5);
+        assert_eq!(vcs.port_occupancy(PortId(0)), 2);
+        assert_eq!(vcs.port_occupancy(PortId(1)), 1);
+        assert_eq!(vcs.total_occupancy(), 3);
     }
 }

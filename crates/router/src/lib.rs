@@ -34,8 +34,8 @@ mod output;
 mod pipeline;
 mod vc_alloc;
 
-pub use input::{InputPort, VirtualChannel};
-pub use output::{OutputPort, OutputVcState};
+pub use input::InputVcs;
+pub use output::OutputVcs;
 pub use pipeline::{Router, RouterOutput};
 pub use vc_alloc::{preferred_group, VcAllocPolicy};
 

@@ -1,8 +1,8 @@
 //! The router pipeline: VC allocation, (speculative) switch allocation,
 //! and switch traversal, per Fig. 6(b) of the paper.
 
-use crate::input::InputPort;
-use crate::output::OutputPort;
+use crate::input::InputVcs;
+use crate::output::OutputVcs;
 use crate::vc_alloc::{select_output_vc, VcAllocPolicy};
 use crate::RouterEnv;
 use vix_alloc::SwitchAllocator;
@@ -46,8 +46,11 @@ pub struct Router {
     cfg: RouterConfig,
     env: RouterEnv,
     allocator: Box<dyn SwitchAllocator>,
-    inputs: Vec<InputPort>,
-    outputs: Vec<OutputPort>,
+    /// Input-side VC state, structure-of-arrays over `(port, vc)`.
+    inputs: InputVcs,
+    /// Output-side credit/allocation state, structure-of-arrays over
+    /// `(port, vc)`.
+    outputs: OutputVcs,
     /// Rotating start index for VC-allocation fairness.
     va_pointer: usize,
     /// Flits currently buffered across all input VCs — maintained
@@ -83,18 +86,9 @@ impl Router {
         cfg.validate().expect("router config must be valid");
         assert_eq!(env.port_dims.len(), cfg.ports(), "dimension table size mismatch");
         assert_eq!(env.sink_ports.len(), cfg.ports(), "sink table size mismatch");
-        let inputs = (0..cfg.ports())
-            .map(|p| InputPort::with_depth(PortId(p), cfg.vcs_per_port(), cfg.buffer_depth()))
-            .collect();
-        let outputs = (0..cfg.ports())
-            .map(|p| {
-                if env.sink_ports[p] {
-                    OutputPort::sink(PortId(p), cfg.vcs_per_port())
-                } else {
-                    OutputPort::new(PortId(p), cfg.vcs_per_port(), cfg.buffer_depth())
-                }
-            })
-            .collect();
+        let inputs = InputVcs::with_depth(cfg.ports(), cfg.vcs_per_port(), cfg.buffer_depth());
+        let outputs =
+            OutputVcs::new(cfg.ports(), cfg.vcs_per_port(), cfg.buffer_depth(), &env.sink_ports);
         let mut activity = ActivityCounters::new();
         activity.routers = 1;
         let total_vcs = cfg.ports() * cfg.vcs_per_port();
@@ -151,13 +145,13 @@ impl Router {
     /// Buffered flits in input VC `(port, vc)`.
     #[must_use]
     pub fn buffer_occupancy(&self, port: PortId, vc: VcId) -> usize {
-        self.inputs[port.0].vc(vc).occupancy()
+        self.inputs.occupancy(port, vc)
     }
 
     /// Credits available on output `(port, vc)`.
     #[must_use]
     pub fn output_credits(&self, port: PortId, vc: VcId) -> usize {
-        self.outputs[port.0].vc(vc).credits()
+        self.outputs.credits(port, vc)
     }
 
     /// True when no flit is buffered anywhere in the router.
@@ -165,7 +159,7 @@ impl Router {
     pub fn is_empty(&self) -> bool {
         debug_assert_eq!(
             self.buffered,
-            self.inputs.iter().map(InputPort::occupancy).sum::<usize>(),
+            self.inputs.total_occupancy(),
             "incremental occupancy count out of sync"
         );
         self.buffered == 0
@@ -207,7 +201,7 @@ impl Router {
     /// flow-control protocol violation).
     pub fn accept_flit(&mut self, port: PortId, flit: Flit) {
         let vc = flit.out_vc.expect("delivered flit must carry its input VC");
-        self.inputs[port.0].vc_mut(vc).push(flit, self.cfg.buffer_depth());
+        self.inputs.push(port, vc, flit, self.cfg.buffer_depth());
         self.buffered += 1;
         self.activity.buffer_writes += 1;
     }
@@ -215,7 +209,7 @@ impl Router {
     /// Returns one credit for output `(port, vc)` (a downstream buffer slot
     /// freed).
     pub fn credit_return(&mut self, port: PortId, vc: VcId) {
-        self.outputs[port.0].return_credit(vc, self.cfg.buffer_depth());
+        self.outputs.return_credit(port, vc, self.cfg.buffer_depth());
     }
 
     /// Runs one cycle: VC allocation, switch allocation, switch traversal.
@@ -277,9 +271,9 @@ impl Router {
         if five_stage {
             for p in 0..ports {
                 for v in 0..vcs {
-                    let vc = inputs[p].vc_mut(VcId(v));
-                    if vc.needs_va() && !vc.rc_done() {
-                        vc.mark_rc_done();
+                    let (port, vc) = (PortId(p), VcId(v));
+                    if inputs.needs_va(port, vc) && !inputs.rc_done(port, vc) {
+                        inputs.mark_rc_done(port, vc);
                         rc_this_cycle[p * vcs + v] = true;
                     }
                 }
@@ -292,19 +286,19 @@ impl Router {
         for k in 0..total_vcs {
             let flat = (*va_pointer + k) % total_vcs;
             let (p, v) = (flat / vcs, flat % vcs);
-            if !inputs[p].vc(VcId(v)).needs_va() {
+            let (port, vc) = (PortId(p), VcId(v));
+            if !inputs.needs_va(port, vc) {
                 continue;
             }
             if five_stage && rc_this_cycle[flat] {
                 continue; // RC occupied this cycle; VA starts next cycle
             }
             activity.va_arbitrations += 1;
-            let head = *inputs[p].vc(VcId(v)).head().expect("needs_va implies a head");
+            let head = *inputs.head(port, vc).expect("needs_va implies a head");
             let out_port = head.out_port;
-            let output = &mut outputs[out_port.0];
-            if output.is_sink() {
+            if outputs.is_sink(out_port) {
                 // Ejection: no downstream VC contention to track.
-                inputs[p].vc_mut(VcId(v)).bind_out_vc(VcId(0));
+                inputs.bind_out_vc(port, vc, VcId(0));
                 bound_this_cycle[flat] = true;
                 if tel.tracing() {
                     tel.trace(TraceEvent {
@@ -325,10 +319,10 @@ impl Router {
                 VcAllocPolicy::MaxCredits
             };
             let dim = env.port_dims[head.lookahead_port.0];
-            match select_output_vc(policy, output, &partition, dim) {
+            match select_output_vc(policy, outputs, out_port, &partition, dim) {
                 Some(w) => {
-                    output.allocate(w);
-                    inputs[p].vc_mut(VcId(v)).bind_out_vc(w);
+                    outputs.allocate(out_port, w);
+                    inputs.bind_out_vc(port, vc, w);
                     bound_this_cycle[flat] = true;
                     if tel.tracing() {
                         tel.trace(TraceEvent {
@@ -355,23 +349,23 @@ impl Router {
         // so the allocator's word-parallel kernels start from ready-made
         // request planes — no per-cycle rebuild on the SA critical path.
         requests.clear();
-        for (p, input) in inputs.iter().enumerate() {
+        for p in 0..ports {
             for v in 0..vcs {
                 let flat = p * vcs + v;
-                let vc = input.vc(VcId(v));
-                let Some(head) = vc.head() else { continue };
+                let (port, vc) = (PortId(p), VcId(v));
+                let Some(head) = inputs.head(port, vc) else { continue };
                 let out_port = head.out_port;
-                match vc.out_vc() {
+                match inputs.out_vc(port, vc) {
                     Some(w) if !bound_this_cycle[flat] => {
                         // Established packet: request only when a credit
                         // guarantees the traversal.
-                        if outputs[out_port.0].can_send(w) {
+                        if outputs.can_send(out_port, w) {
                             requests.push(SwitchRequest {
-                                port: PortId(p),
-                                vc: VcId(v),
+                                port,
+                                vc,
                                 out_port,
                                 speculative: false,
-                                age: vc.hol_wait(),
+                                age: inputs.hol_wait(port, vc),
                             });
                             if tel.tracing() {
                                 tel.trace(TraceEvent {
@@ -394,11 +388,11 @@ impl Router {
                         let was_candidate = bound_this_cycle[flat] || va_failed_this_cycle[flat];
                         if speculation && was_candidate {
                             requests.push(SwitchRequest {
-                                port: PortId(p),
-                                vc: VcId(v),
+                                port,
+                                vc,
                                 out_port,
                                 speculative: true,
-                                age: vc.hol_wait(),
+                                age: inputs.hol_wait(port, vc),
                             });
                             if tel.tracing() {
                                 tel.trace(TraceEvent {
@@ -429,9 +423,8 @@ impl Router {
         // ---- Switch traversal.
         traversed.clear();
         for g in grants.iter() {
-            let vc = inputs[g.port.0].vc(g.vc);
             if tel.tracing() {
-                let packet = vc.head().map_or(NO_PACKET, |f| f.packet.id.0);
+                let packet = inputs.head(g.port, g.vc).map_or(NO_PACKET, |f| f.packet.id.0);
                 tel.trace(TraceEvent {
                     router,
                     port: g.port.0 as u32,
@@ -441,27 +434,26 @@ impl Router {
                     ..TraceEvent::at(now, TraceEventKind::SaGrant)
                 });
             }
-            let Some(w) = vc.out_vc() else {
+            let Some(w) = inputs.out_vc(g.port, g.vc) else {
                 // Failed speculation: the grant is wasted.
                 tel.count(tel.ids.stall_sa_spec_dropped, 1);
                 continue;
             };
-            if !outputs[g.out_port.0].can_send(w) {
+            if !outputs.can_send(g.out_port, w) {
                 // Speculative grant without a credit.
                 tel.count(tel.ids.stall_sa_no_credit, 1);
                 continue;
             }
-            let mut flit = inputs[g.port.0].vc_mut(g.vc).pop();
+            let mut flit = inputs.pop(g.port, g.vc);
             *buffered -= 1;
             flit.out_vc = Some(w);
-            let output_port = &mut outputs[g.out_port.0];
-            output_port.consume_credit(w);
+            outputs.consume_credit(g.out_port, w);
             if flit.is_tail() {
-                output_port.release(w);
+                outputs.release(g.out_port, w);
             }
             activity.buffer_reads += 1;
             activity.crossbar_traversals += 1;
-            if output_port.is_sink() {
+            if outputs.is_sink(g.out_port) {
                 activity.ejections += 1;
                 activity.bits_delivered += cfg.flit_width_bits as u64;
             } else {
@@ -485,11 +477,7 @@ impl Router {
         allocator.observe_traversals(traversed);
         // Age the head-of-line flits that did not move this cycle (pop
         // reset the winners' counters above).
-        for input in inputs.iter_mut() {
-            for v in 0..vcs {
-                input.vc_mut(VcId(v)).age_hol();
-            }
-        }
+        inputs.age_hol_all();
         activity.cycles += 1;
     }
 }

@@ -1,8 +1,8 @@
 //! VC allocation policy, including the VIX dimension-aware sub-group
 //! assignment with load balancing (§2.3 of the paper).
 
-use crate::output::OutputPort;
-use vix_core::{VcId, VixPartition};
+use crate::output::OutputVcs;
+use vix_core::{PortId, VcId, VixPartition};
 
 /// Preferred VC sub-group for a packet whose *downstream* output port moves
 /// along `dimension` (0 = X, 1 = Y, 2 = local/ejection).
@@ -33,27 +33,29 @@ pub enum VcAllocPolicy {
 
 /// Picks a downstream VC for a packet at VC allocation time.
 ///
-/// `downstream_dim` is the dimension of the output port the packet will
-/// request at the downstream router (its lookahead port). `partition`
-/// describes the downstream input port's sub-groups. Returns `None` when
-/// every VC is held by another packet.
+/// `out` is the output port being allocated, `downstream_dim` the
+/// dimension of the output port the packet will request at the downstream
+/// router (its lookahead port). `partition` describes the downstream input
+/// port's sub-groups. Returns `None` when every VC is held by another
+/// packet.
 ///
 /// The selection never picks an allocated VC, so atomic (non-interleaved)
 /// VC usage is preserved.
 #[must_use]
 pub fn select_output_vc(
     policy: VcAllocPolicy,
-    output: &OutputPort,
+    outputs: &OutputVcs,
+    out: PortId,
     partition: &VixPartition,
     downstream_dim: usize,
 ) -> Option<VcId> {
     // Iterate the free VCs directly — no intermediate Vec. The winner is
     // identical because keys are unique (lowest-index tie-break via
     // `Reverse(vc.0)`), so `max_by_key` order-independence holds.
-    let free = output.iter().filter(|(_, s)| !s.is_allocated()).map(|(vc, _)| vc);
+    let free = (0..outputs.vc_count()).map(VcId).filter(|&vc| !outputs.is_allocated(out, vc));
     match policy {
         VcAllocPolicy::MaxCredits => {
-            free.max_by_key(|&vc| (output.vc(vc).credits(), std::cmp::Reverse(vc.0)))
+            free.max_by_key(|&vc| (outputs.credits(out, vc), std::cmp::Reverse(vc.0)))
         }
         VcAllocPolicy::DimensionAware => {
             let preferred = preferred_group(downstream_dim, partition.groups());
@@ -61,7 +63,7 @@ pub fn select_output_vc(
             let load = |group: usize| {
                 partition
                     .vcs_in_group(vix_core::VirtualInputId(group))
-                    .filter(|&vc| output.vc(vc).is_allocated())
+                    .filter(|&vc| outputs.is_allocated(out, vc))
                     .count()
             };
             free.max_by_key(|&vc| {
@@ -72,7 +74,7 @@ pub fn select_output_vc(
                 (
                     usize::from(in_preferred),
                     std::cmp::Reverse(load(group)),
-                    output.vc(vc).credits(),
+                    outputs.credits(out, vc),
                     std::cmp::Reverse(vc.0),
                 )
             })
@@ -83,10 +85,11 @@ pub fn select_output_vc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vix_core::PortId;
 
-    fn port_with(vcs: usize, depth: usize) -> OutputPort {
-        OutputPort::new(PortId(0), vcs, depth)
+    const OUT: PortId = PortId(0);
+
+    fn port_with(vcs: usize, depth: usize) -> OutputVcs {
+        OutputVcs::new(1, vcs, depth, &[false])
     }
 
     #[test]
@@ -100,11 +103,11 @@ mod tests {
     #[test]
     fn max_credits_picks_fullest_vc() {
         let mut port = port_with(3, 5);
-        port.consume_credit(VcId(0));
-        port.consume_credit(VcId(0));
-        port.consume_credit(VcId(1));
+        port.consume_credit(OUT, VcId(0));
+        port.consume_credit(OUT, VcId(0));
+        port.consume_credit(OUT, VcId(1));
         let part = VixPartition::baseline(3);
-        let vc = select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0);
+        let vc = select_output_vc(VcAllocPolicy::MaxCredits, &port, OUT, &part, 0);
         assert_eq!(vc, Some(VcId(2)));
     }
 
@@ -112,17 +115,23 @@ mod tests {
     fn max_credits_ties_break_to_lowest_index() {
         let port = port_with(3, 5);
         let part = VixPartition::baseline(3);
-        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0), Some(VcId(0)));
+        assert_eq!(
+            select_output_vc(VcAllocPolicy::MaxCredits, &port, OUT, &part, 0),
+            Some(VcId(0))
+        );
     }
 
     #[test]
     fn allocated_vcs_never_selected() {
         let mut port = port_with(2, 5);
-        port.allocate(VcId(0));
+        port.allocate(OUT, VcId(0));
         let part = VixPartition::baseline(2);
-        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0), Some(VcId(1)));
-        port.allocate(VcId(1));
-        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, &part, 0), None);
+        assert_eq!(
+            select_output_vc(VcAllocPolicy::MaxCredits, &port, OUT, &part, 0),
+            Some(VcId(1))
+        );
+        port.allocate(OUT, VcId(1));
+        assert_eq!(select_output_vc(VcAllocPolicy::MaxCredits, &port, OUT, &part, 0), None);
     }
 
     #[test]
@@ -131,9 +140,9 @@ mod tests {
         let port = port_with(6, 5);
         let part = VixPartition::even(6, 2).unwrap();
         // X-bound packet → sub-group 0; Y-bound → sub-group 1.
-        let x = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 0).unwrap();
+        let x = select_output_vc(VcAllocPolicy::DimensionAware, &port, OUT, &part, 0).unwrap();
         assert_eq!(part.group_of(x).0, 0);
-        let y = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 1).unwrap();
+        let y = select_output_vc(VcAllocPolicy::DimensionAware, &port, OUT, &part, 1).unwrap();
         assert_eq!(part.group_of(y).0, 1);
     }
 
@@ -141,9 +150,9 @@ mod tests {
     fn dimension_aware_falls_back_when_preferred_full() {
         let mut port = port_with(4, 5);
         let part = VixPartition::even(4, 2).unwrap();
-        port.allocate(VcId(0));
-        port.allocate(VcId(1)); // sub-group 0 exhausted
-        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 0).unwrap();
+        port.allocate(OUT, VcId(0));
+        port.allocate(OUT, VcId(1)); // sub-group 0 exhausted
+        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, OUT, &part, 0).unwrap();
         assert_eq!(part.group_of(vc).0, 1, "must fall back to the other sub-group");
     }
 
@@ -151,17 +160,17 @@ mod tests {
     fn local_traffic_balances_load() {
         let mut port = port_with(4, 5);
         let part = VixPartition::even(4, 2).unwrap();
-        port.allocate(VcId(0)); // sub-group 0 carries one packet
-        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 2).unwrap();
+        port.allocate(OUT, VcId(0)); // sub-group 0 carries one packet
+        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, OUT, &part, 2).unwrap();
         assert_eq!(part.group_of(vc).0, 1, "local packet goes to the lighter sub-group");
     }
 
     #[test]
     fn dimension_aware_on_baseline_degenerates_to_credits() {
         let mut port = port_with(3, 5);
-        port.consume_credit(VcId(0));
+        port.consume_credit(OUT, VcId(0));
         let part = VixPartition::baseline(3);
-        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, &part, 0);
+        let vc = select_output_vc(VcAllocPolicy::DimensionAware, &port, OUT, &part, 0);
         assert_eq!(vc, Some(VcId(1)));
     }
 }

@@ -133,11 +133,15 @@ impl MatchingSummary {
 }
 
 /// Per-allocator recorder. The distinct-virtual-input / distinct-output
-/// scans run word-parallel over the request set's bit-view, so the
-/// recorder owns nothing but the summary.
+/// scans run word-parallel over the request set's bit-view; the only
+/// owned state besides the summary is the reused output-union word
+/// buffer, which reaches its steady-state capacity after the first
+/// recorded cycle.
 #[derive(Debug, Clone, Default)]
 pub struct MatchingStats {
     summary: MatchingSummary,
+    /// Union of requested outputs across all ports, one bit per output.
+    out_union: Vec<u64>,
 }
 
 impl MatchingStats {
@@ -147,6 +151,7 @@ impl MatchingStats {
     pub fn new(virtual_inputs: usize) -> Self {
         MatchingStats {
             summary: MatchingSummary { virtual_inputs: virtual_inputs as u64, ..Default::default() },
+            out_union: Vec::new(),
         }
     }
 
@@ -154,10 +159,10 @@ impl MatchingStats {
     /// gated and ungated schedules observe identical statistics.
     ///
     /// The distinct-virtual-input and distinct-output scans run over the
-    /// [`RequestSet`]'s incrementally-maintained bit-view: one word of
-    /// active-VC lines per port, one word of requested outputs per port,
-    /// so the whole scan is `O(ports × groups)` with no per-request work
-    /// and no scratch bitmaps.
+    /// [`RequestSet`]'s incrementally-maintained bit-view: a word array of
+    /// active-VC lines per port, a word array of requested outputs per
+    /// port, so the whole scan is `O(ports × (groups + words))` with no
+    /// per-request work.
     pub fn record(&mut self, requests: &RequestSet, grants: &GrantSet, partition: &VixPartition) {
         let offered = requests.len();
         if offered == 0 {
@@ -166,17 +171,21 @@ impl MatchingStats {
         let bits = requests.bits();
         let groups = partition.groups();
         let group_size = partition.group_size();
-        let group_base = vix_core::bits::mask_up_to(group_size);
+        let out_union = &mut self.out_union;
+        out_union.clear();
+        out_union.resize(bits.port_words(), 0);
         let mut active_vi = 0u64;
-        let mut out_union = 0u64;
         for port in 0..requests.ports() {
             let active = bits.active_vcs(PortId(port));
-            if active == 0 {
+            if !vix_core::bits::any_set(active) {
                 continue;
             }
-            out_union |= bits.row_any(PortId(port));
+            for (w, word) in out_union.iter_mut().enumerate() {
+                *word |= bits.row_any_word(PortId(port), w);
+            }
             for group in 0..groups {
-                active_vi += u64::from(active & (group_base << (group * group_size)) != 0);
+                active_vi +=
+                    u64::from(vix_core::bits::range_any_set(active, group * group_size, group_size));
             }
         }
         let s = &mut self.summary;
@@ -184,7 +193,7 @@ impl MatchingStats {
         s.requests += offered as u64;
         s.survivors += active_vi;
         s.grants += grants.len() as u64;
-        s.match_bound += active_vi.min(u64::from(out_union.count_ones()));
+        s.match_bound += active_vi.min(u64::from(vix_core::bits::count_ones(out_union)));
     }
 
     /// Snapshot of the counters so far.

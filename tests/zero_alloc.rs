@@ -42,12 +42,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations_in_steady_state(kind: AllocatorKind, telemetry: TelemetrySettings) -> u64 {
-    const NODES: usize = 64; // 8×8 mesh
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, kind);
+    network.nodes = 64; // 8×8 mesh
+    allocations_in_steady_state_for(network, telemetry)
+}
+
+fn allocations_in_steady_state_for(network: NetworkConfig, telemetry: TelemetrySettings) -> u64 {
     const WARMUP_CYCLES: usize = 500;
     const MEASURED_CYCLES: usize = 1_000;
 
-    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, kind);
-    network.nodes = NODES;
     // Keep the whole run inside the sim's warmup window: traffic flows the
     // entire time and the measurement stats never record (their latency
     // log grows unboundedly by design — it is not part of the hot path).
@@ -68,6 +71,23 @@ fn allocations_in_steady_state(kind: AllocatorKind, telemetry: TelemetrySettings
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
     drop(sim);
     after - before
+}
+
+#[test]
+fn wide_config_steady_state_stays_off_the_heap() {
+    // 16 VCs with ideal virtual inputs on the mesh's 5-port router: 80
+    // crossbar inputs, so every bitset row, arbiter mask, and matcher
+    // adjacency row spans two 64-bit words. The multi-word scratch must be
+    // preallocated exactly like the narrow case — same gate, same cycles.
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    network.nodes = 64;
+    network.router = network.router.with_vcs(16).with_virtual_inputs(VirtualInputs::Ideal);
+    let allocs = allocations_in_steady_state_for(network, TelemetrySettings::disabled());
+    assert!(
+        allocs < 64,
+        "{allocs} heap allocations in 1,000 steady-state cycles of an 8×8 mesh \
+         with 80 crossbar inputs per router (gate: < 64)"
+    );
 }
 
 #[test]
