@@ -193,9 +193,41 @@ fn input_stage_bits(
 }
 
 impl SeparableAllocator {
+    /// Single-request fast path: the lone requester is its sub-group's
+    /// champion and its output's only contender, and every arbiter kind
+    /// (`peek` over a one-asserted-line input can only return that line)
+    /// grants it — so both stages collapse to their grant-time pointer
+    /// commits. Grants, emission order, and arbiter state are identical to
+    /// the full kernels; the differential twin traces cross-check this
+    /// against [`allocate_scalar`](Self::allocate_scalar).
+    fn allocate_single(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        debug_assert_eq!(requests.len(), 1);
+        let groups = self.cfg.partition.groups();
+        for port in 0..self.cfg.ports {
+            let active = requests.bits().active_vcs(PortId(port));
+            let Some(w) = active.iter().position(|&word| word != 0) else {
+                continue;
+            };
+            let vc = w * 64 + active[w].trailing_zeros() as usize;
+            let req = *requests.get(PortId(port), VcId(vc)).expect("bit implies request");
+            let group = self.cfg.partition.group_of(VcId(vc)).0;
+            let vi = port * groups + group;
+            let local = vc - self.cfg.partition.group_start(VirtualInputId(group));
+            self.output_arbiters[req.out_port.0].commit(vi);
+            // Grant-aware input pointer update.
+            self.input_arbiters[vi].commit(local);
+            grants.add(Grant { port: req.port, vc: req.vc, out_port: req.out_port });
+            break;
+        }
+        self.matching.record(requests, grants, &self.cfg.partition);
+    }
+
     /// Word-parallel kernel: identical grants, emission order, and arbiter
     /// state to [`allocate_scalar`](Self::allocate_scalar).
     fn allocate_bitset(&mut self, requests: &RequestSet, grants: &mut GrantSet) {
+        if requests.len() == 1 {
+            return self.allocate_single(requests, grants);
+        }
         let ports = self.cfg.ports;
         let groups = self.cfg.partition.groups();
         let virtual_inputs = ports * groups;
@@ -232,16 +264,32 @@ impl SeparableAllocator {
         let has_speculative = requests.speculative_len() > 0;
         let mut any_speculative_champion = false;
         for port in 0..ports {
-            if !any_set(requests.bits().active_vcs(PortId(port))) {
+            let active = requests.bits().active_vcs(PortId(port));
+            if !any_set(active) {
                 continue;
             }
             for spec in [false, true] {
+                if spec && !has_speculative {
+                    // The row was zeroed above and `input_stage_bits` never
+                    // reads the speculative plane without speculative
+                    // requests — skip assembling it.
+                    continue;
+                }
                 let class = &mut class_lines[usize::from(spec)];
                 for (w, word) in class.iter_mut().enumerate() {
                     *word = requests.bits().class_vcs_word(spec, PortId(port), w);
                 }
             }
             for group in 0..groups {
+                // A sub-group with no requesting VC can neither elect a
+                // champion nor move its arbiter — skip the virtual dispatch.
+                if !vix_core::bits::range_any_set(
+                    active,
+                    cfg.partition.group_start(VirtualInputId(group)),
+                    cfg.partition.group_size(),
+                ) {
+                    continue;
+                }
                 let vi = port * groups + group;
                 let champ = input_stage_bits(
                     cfg,

@@ -121,6 +121,11 @@ impl RequestSet {
     /// the bit-view's per-port activity masks say exactly which slots need
     /// resetting, so an almost-empty set clears in a handful of word ops.
     pub fn clear(&mut self) {
+        if self.active == 0 {
+            // Every mutator keeps `slots`/`bits` in lockstep with `active`,
+            // so an empty set is already fully cleared.
+            return;
+        }
         for port in 0..self.ports {
             for (w, &word) in self.bits.active_vcs(PortId(port)).iter().enumerate() {
                 let mut m = word;

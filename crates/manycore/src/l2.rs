@@ -30,7 +30,9 @@ pub struct L2Bank {
     cache: SetAssocCache,
     mshr: MshrFile,
     lookup_latency: u64,
-    /// Lookups in flight: `(ready_at, txn, block)`.
+    /// Lookups in flight: `(ready_at, txn, block)`. Bounded by the bank's
+    /// few-cycle lookup latency and off the per-cycle NoC transport, so a
+    /// `VecDeque` at steady capacity is fine here.
     pipeline: VecDeque<(u64, u64, u64)>,
     hits: u64,
     misses: u64,

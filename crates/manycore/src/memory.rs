@@ -13,7 +13,10 @@ pub struct MemoryController {
     max_outstanding: usize,
     /// Minimum cycles between replies (bandwidth cap).
     reply_gap: u64,
-    /// `(ready_at, block, reply_to_bank)`.
+    /// `(ready_at, block, reply_to_bank)`. A `VecDeque` is fine here:
+    /// controllers sit off the per-cycle NoC transport (the zero-alloc /
+    /// hotpath gates never build a manycore system), see a few requests
+    /// per hundred cycles, and reach steady capacity after warmup.
     in_flight: VecDeque<(u64, u64, NodeId)>,
     /// Requests waiting for an outstanding slot.
     backlog: VecDeque<(u64, NodeId)>,

@@ -111,7 +111,9 @@ pub struct ManycoreSystem {
     /// In-flight message payloads, keyed by packet tag.
     messages: HashMap<u64, Msg>,
     /// Same-node messages bypass the network with a 1-cycle latency:
-    /// `(ready_at, dest, msg)`.
+    /// `(ready_at, dest, msg)`. Cold by construction — only Table-4
+    /// application-mix runs build a `ManycoreSystem`; the NoC transport
+    /// hot path (ring slabs + pipes) never touches this queue.
     local: VecDeque<(u64, NodeId, Msg)>,
     next_txn: u64,
     next_tag: u64,

@@ -1,25 +1,41 @@
-//! Input-side state: per-VC flit buffers in structure-of-arrays layout.
+//! Input-side state: per-VC flit buffers in structure-of-arrays layout
+//! over one contiguous slab.
 //!
 //! Every scalar register of a virtual channel — output-VC binding,
 //! head-of-line wait counter, route-computation flag — lives in its own
-//! flat array indexed by `(port, vc)`, and the FIFO contents sit in a
-//! parallel array of ring buffers. The pipeline's per-stage sweeps
-//! (RC scan, VA candidate scan, request build, HOL aging) each touch one
-//! array linearly instead of hopping across per-VC structs, which keeps
-//! them cache-friendly at high radix and VC counts.
+//! flat array indexed by `(port, vc)`. The FIFO contents of *all* VCs
+//! live in a single `Vec<Flit>` slab of `ports × vcs × depth` slots:
+//! VC `(port, vc)` owns the `depth` consecutive slots starting at
+//! `(port · vcs + vc) · depth` and treats them as a ring via per-VC
+//! `head`/`len` cursors (branch-free conditional-subtract wrap, so `depth`
+//! need not be a power of two). One allocation at construction, zero
+//! pointer chasing per access, and neighbouring VCs share cache lines —
+//! the pipeline's per-stage sweeps (RC scan, VA candidate scan, request
+//! build, HOL aging) each touch one array linearly.
+//!
+//! A parallel occupancy bitset (one bit per VC, multi-word beyond 64 VCs)
+//! lets those sweeps skip empty VCs entirely; at typical loads only a
+//! handful of a router's VCs hold flits.
 
-use std::collections::VecDeque;
+use vix_core::bits::{clear_bit, set_bit, words_for};
 use vix_core::{Flit, PortId, VcId};
 
-/// All input virtual channels of a router, structure-of-arrays: one entry
-/// per `(port, vc)` pair in each parallel array, flat index
-/// `port * vc_count + vc`.
-#[derive(Debug, Clone, Default)]
+/// All input virtual channels of a router: scalar registers in
+/// structure-of-arrays layout (flat index `port * vc_count + vc`), FIFO
+/// contents in one contiguous ring-buffer slab.
+#[derive(Debug, Clone)]
 pub struct InputVcs {
     ports: usize,
     vcs: usize,
-    /// FIFO flit buffers, one ring buffer per `(port, vc)`.
-    buffers: Vec<VecDeque<Flit>>,
+    depth: usize,
+    /// The flit slab: slot `i * depth + k` is ring slot `k` of flat VC `i`.
+    slab: Vec<Flit>,
+    /// Ring cursor of each VC: index of the head-of-line slot, `0 .. depth`.
+    head: Vec<u32>,
+    /// Buffered flit count of each VC, `0 ..= depth`.
+    len: Vec<u32>,
+    /// Occupancy bitset over flat VC indices: bit set ⇔ `len > 0`.
+    occupied: Vec<u64>,
     /// Output VC (at the downstream router) assigned to the head-of-line
     /// packet by VC allocation; `None` while the HOL head flit awaits VA.
     out_vc: Vec<Option<VcId>>,
@@ -33,30 +49,26 @@ pub struct InputVcs {
 }
 
 impl InputVcs {
-    /// Creates `ports × vcs` empty virtual channels.
+    /// Creates `ports × vcs` empty virtual channels of `depth` flits each.
+    /// The whole slab is allocated here; no later operation touches the
+    /// heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero — a zero-depth VC could never buffer a
+    /// flit.
     #[must_use]
-    pub fn new(ports: usize, vcs: usize) -> Self {
+    pub fn new(ports: usize, vcs: usize, depth: usize) -> Self {
+        assert!(depth >= 1, "VC buffers need at least one slot");
         let n = ports * vcs;
         InputVcs {
             ports,
             vcs,
-            buffers: (0..n).map(|_| VecDeque::new()).collect(),
-            out_vc: vec![None; n],
-            hol_wait: vec![0; n],
-            rc_done: vec![false; n],
-        }
-    }
-
-    /// Creates `ports × vcs` empty virtual channels whose buffers are
-    /// pre-sized to `depth` flits, so no push ever grows them —
-    /// steady-state operation stays off the heap.
-    #[must_use]
-    pub fn with_depth(ports: usize, vcs: usize, depth: usize) -> Self {
-        let n = ports * vcs;
-        InputVcs {
-            ports,
-            vcs,
-            buffers: (0..n).map(|_| VecDeque::with_capacity(depth)).collect(),
+            depth,
+            slab: vec![Flit::default(); n * depth],
+            head: vec![0; n],
+            len: vec![0; n],
+            occupied: vec![0; words_for(n.max(1))],
             out_vc: vec![None; n],
             hol_wait: vec![0; n],
             rc_done: vec![false; n],
@@ -75,6 +87,12 @@ impl InputVcs {
         self.vcs
     }
 
+    /// Ring capacity of each VC in flits.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
     #[inline]
     fn idx(&self, port: PortId, vc: VcId) -> usize {
         debug_assert!(port.0 < self.ports, "input port {port} out of range");
@@ -82,22 +100,47 @@ impl InputVcs {
         port.0 * self.vcs + vc.0
     }
 
+    /// Slab index of ring slot `offset` past the head of flat VC `i`
+    /// (branch-free wrap: `head + offset < 2 · depth` always holds).
+    #[inline]
+    fn slot(&self, i: usize, offset: usize) -> usize {
+        let mut pos = self.head[i] as usize + offset;
+        debug_assert!(offset < self.depth, "ring offset beyond capacity");
+        if pos >= self.depth {
+            pos -= self.depth;
+        }
+        i * self.depth + pos
+    }
+
+    /// The occupancy bitset: bit `port * vc_count + vc` is set exactly
+    /// when that VC buffers at least one flit. Sweeps over candidate VCs
+    /// iterate its set bits instead of probing every `(port, vc)` pair.
+    #[must_use]
+    pub fn occupied_words(&self) -> &[u64] {
+        &self.occupied
+    }
+
     /// Buffered flit count of one VC.
     #[must_use]
     pub fn occupancy(&self, port: PortId, vc: VcId) -> usize {
-        self.buffers[self.idx(port, vc)].len()
+        self.len[self.idx(port, vc)] as usize
     }
 
     /// True when no flits are buffered in the VC.
     #[must_use]
     pub fn is_empty(&self, port: PortId, vc: VcId) -> bool {
-        self.buffers[self.idx(port, vc)].is_empty()
+        self.len[self.idx(port, vc)] == 0
     }
 
     /// Head-of-line flit of the VC, if any.
     #[must_use]
     pub fn head(&self, port: PortId, vc: VcId) -> Option<&Flit> {
-        self.buffers[self.idx(port, vc)].front()
+        let i = self.idx(port, vc);
+        if self.len[i] == 0 {
+            None
+        } else {
+            Some(&self.slab[self.slot(i, 0)])
+        }
     }
 
     /// Output VC bound to the HOL packet.
@@ -117,19 +160,28 @@ impl InputVcs {
     #[must_use]
     pub fn needs_va(&self, port: PortId, vc: VcId) -> bool {
         let i = self.idx(port, vc);
-        self.out_vc[i].is_none() && self.buffers[i].front().is_some_and(Flit::is_head)
+        self.out_vc[i].is_none()
+            && self.len[i] > 0
+            && self.slab[self.slot(i, 0)].is_head()
     }
 
-    /// Appends an arriving flit (buffer write).
+    /// Appends an arriving flit (buffer write into the VC's next free ring
+    /// slot).
     ///
     /// # Panics
     ///
-    /// Panics if the buffer already holds `depth` flits — that is a credit
+    /// Panics if the ring already holds `depth` flits — that is a credit
     /// protocol violation upstream, never legal backpressure.
-    pub fn push(&mut self, port: PortId, vc: VcId, flit: Flit, depth: usize) {
+    pub fn push(&mut self, port: PortId, vc: VcId, flit: Flit) {
         let i = self.idx(port, vc);
-        assert!(self.buffers[i].len() < depth, "buffer overflow: upstream violated credits");
-        self.buffers[i].push_back(flit);
+        let len = self.len[i] as usize;
+        assert!(len < self.depth, "buffer overflow: upstream violated credits");
+        let slot = self.slot(i, len);
+        self.slab[slot] = flit;
+        if len == 0 {
+            set_bit(&mut self.occupied, i);
+        }
+        self.len[i] += 1;
     }
 
     /// Removes and returns the HOL flit (switch traversal); clears the
@@ -141,7 +193,17 @@ impl InputVcs {
     /// Panics if the buffer is empty.
     pub fn pop(&mut self, port: PortId, vc: VcId) -> Flit {
         let i = self.idx(port, vc);
-        let flit = self.buffers[i].pop_front().expect("pop from empty VC");
+        assert!(self.len[i] > 0, "pop from empty VC");
+        let flit = self.slab[self.slot(i, 0)];
+        let mut head = self.head[i] + 1;
+        if head as usize == self.depth {
+            head = 0;
+        }
+        self.head[i] = head;
+        self.len[i] -= 1;
+        if self.len[i] == 0 {
+            clear_bit(&mut self.occupied, i);
+        }
         if flit.is_tail() {
             self.out_vc[i] = None;
             self.rc_done[i] = false;
@@ -169,12 +231,11 @@ impl InputVcs {
     }
 
     /// Ages every non-empty VC's head-of-line flit by one cycle — one
-    /// linear sweep over the parallel occupancy and wait arrays.
+    /// branch-free linear sweep over the parallel occupancy-count and wait
+    /// arrays.
     pub fn age_hol_all(&mut self) {
-        for (buffer, wait) in self.buffers.iter().zip(self.hol_wait.iter_mut()) {
-            if !buffer.is_empty() {
-                *wait += 1;
-            }
+        for (len, wait) in self.len.iter().zip(self.hol_wait.iter_mut()) {
+            *wait += u64::from(*len > 0);
         }
     }
 
@@ -182,16 +243,16 @@ impl InputVcs {
     #[must_use]
     pub fn port_occupancy(&self, port: PortId) -> usize {
         debug_assert!(port.0 < self.ports, "input port {port} out of range");
-        self.buffers[port.0 * self.vcs..(port.0 + 1) * self.vcs]
+        self.len[port.0 * self.vcs..(port.0 + 1) * self.vcs]
             .iter()
-            .map(VecDeque::len)
+            .map(|&l| l as usize)
             .sum()
     }
 
     /// Total buffered flits across all ports and VCs.
     #[must_use]
     pub fn total_occupancy(&self) -> usize {
-        self.buffers.iter().map(VecDeque::len).sum()
+        self.len.iter().map(|&l| l as usize).sum()
     }
 }
 
@@ -202,14 +263,7 @@ mod tests {
 
     fn flit(len: usize, index: usize) -> Flit {
         let packet = PacketDescriptor::new(PacketId(1), NodeId(0), NodeId(1), len, Cycle(0));
-        Flit {
-            packet,
-            index,
-            out_port: PortId(0),
-            lookahead_port: PortId(0),
-            out_vc: None,
-            injected_at: Cycle(0),
-        }
+        Flit::new(packet, index, PortId(0), PortId(0), None, Cycle(0))
     }
 
     const P: PortId = PortId(0);
@@ -217,22 +271,22 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
-        let mut vcs = InputVcs::new(1, 1);
+        let mut vcs = InputVcs::new(1, 1, 5);
         for i in 0..3 {
-            vcs.push(P, V, flit(3, i), 5);
+            vcs.push(P, V, flit(3, i));
         }
         assert_eq!(vcs.occupancy(P, V), 3);
         for i in 0..3 {
-            assert_eq!(vcs.pop(P, V).index, i);
+            assert_eq!(vcs.pop(P, V).index(), i);
         }
         assert!(vcs.is_empty(P, V));
     }
 
     #[test]
     fn needs_va_only_for_unbound_head() {
-        let mut vcs = InputVcs::new(1, 1);
+        let mut vcs = InputVcs::new(1, 1, 5);
         assert!(!vcs.needs_va(P, V), "empty VC needs no VA");
-        vcs.push(P, V, flit(2, 0), 5);
+        vcs.push(P, V, flit(2, 0));
         assert!(vcs.needs_va(P, V));
         vcs.bind_out_vc(P, V, VcId(3));
         assert!(!vcs.needs_va(P, V));
@@ -241,9 +295,9 @@ mod tests {
 
     #[test]
     fn tail_pop_clears_binding() {
-        let mut vcs = InputVcs::new(1, 1);
-        vcs.push(P, V, flit(2, 0), 5);
-        vcs.push(P, V, flit(2, 1), 5);
+        let mut vcs = InputVcs::new(1, 1, 5);
+        vcs.push(P, V, flit(2, 0));
+        vcs.push(P, V, flit(2, 1));
         vcs.bind_out_vc(P, V, VcId(2));
         vcs.pop(P, V); // head
         assert_eq!(vcs.out_vc(P, V), Some(VcId(2)), "binding persists for body/tail");
@@ -253,23 +307,79 @@ mod tests {
 
     #[test]
     fn body_flit_at_hol_does_not_need_va() {
-        let mut vcs = InputVcs::new(1, 1);
-        vcs.push(P, V, flit(3, 1), 5);
+        let mut vcs = InputVcs::new(1, 1, 5);
+        vcs.push(P, V, flit(3, 1));
         assert!(!vcs.needs_va(P, V), "body flits never trigger VA");
     }
 
     #[test]
     #[should_panic(expected = "buffer overflow")]
     fn overflow_detected() {
-        let mut vcs = InputVcs::new(1, 1);
-        vcs.push(P, V, flit(1, 0), 1);
-        vcs.push(P, V, flit(1, 0), 1);
+        let mut vcs = InputVcs::new(1, 1, 1);
+        vcs.push(P, V, flit(1, 0));
+        vcs.push(P, V, flit(1, 0));
+    }
+
+    #[test]
+    fn full_ring_stalls_without_overwriting() {
+        // Fill one VC to exactly `depth`; every buffered flit must survive
+        // intact (backpressure is expressed upstream through credits — the
+        // ring itself never overwrites) and drain in FIFO order.
+        let depth = 4;
+        let mut vcs = InputVcs::new(1, 1, depth);
+        for i in 0..depth {
+            vcs.push(P, V, flit(depth, i));
+        }
+        assert_eq!(vcs.occupancy(P, V), depth, "exactly full, nothing dropped");
+        assert_eq!(vcs.head(P, V).map(Flit::index), Some(0), "head slot not overwritten");
+        for i in 0..depth {
+            assert_eq!(vcs.pop(P, V).index(), i, "FIFO order across the full ring");
+        }
+    }
+
+    #[test]
+    fn ring_wraps_across_slot_boundary() {
+        // Interleave pops and pushes so the cursors wrap the physical slab
+        // region several times; FIFO order must hold throughout.
+        let mut vcs = InputVcs::new(1, 1, 3);
+        let mut next_push = 0usize;
+        let mut next_pop = 0usize;
+        for _ in 0..3 {
+            vcs.push(P, V, flit(64, next_push));
+            next_push += 1;
+        }
+        for _ in 0..10 {
+            assert_eq!(vcs.pop(P, V).index(), next_pop);
+            next_pop += 1;
+            vcs.push(P, V, flit(64, next_push));
+            next_push += 1;
+        }
+        while !vcs.is_empty(P, V) {
+            assert_eq!(vcs.pop(P, V).index(), next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, next_push, "every pushed flit came back out");
+    }
+
+    #[test]
+    fn occupied_bitset_tracks_nonempty_vcs() {
+        let mut vcs = InputVcs::new(3, 4, 2);
+        assert!(vcs.occupied_words().iter().all(|&w| w == 0));
+        vcs.push(PortId(2), VcId(3), flit(2, 0)); // flat 11
+        vcs.push(PortId(0), VcId(1), flit(1, 0)); // flat 1
+        assert_eq!(vcs.occupied_words()[0], (1 << 11) | (1 << 1));
+        vcs.push(PortId(2), VcId(3), flit(2, 1));
+        assert_eq!(vcs.occupied_words()[0], (1 << 11) | (1 << 1), "second flit sets no new bit");
+        vcs.pop(PortId(2), VcId(3));
+        assert_eq!(vcs.occupied_words()[0], (1 << 11) | (1 << 1), "still one flit left");
+        vcs.pop(PortId(2), VcId(3));
+        assert_eq!(vcs.occupied_words()[0], 1 << 1, "drained VC clears its bit");
     }
 
     #[test]
     fn rc_state_resets_per_packet() {
-        let mut vcs = InputVcs::new(1, 1);
-        vcs.push(P, V, flit(1, 0), 5);
+        let mut vcs = InputVcs::new(1, 1, 5);
+        vcs.push(P, V, flit(1, 0));
         assert!(!vcs.rc_done(P, V));
         vcs.mark_rc_done(P, V);
         assert!(vcs.rc_done(P, V));
@@ -279,10 +389,10 @@ mod tests {
 
     #[test]
     fn hol_wait_tracks_stalled_head() {
-        let mut vcs = InputVcs::new(1, 1);
+        let mut vcs = InputVcs::new(1, 1, 5);
         vcs.age_hol_all();
         assert_eq!(vcs.hol_wait(P, V), 0, "empty VCs do not age");
-        vcs.push(P, V, flit(2, 0), 5);
+        vcs.push(P, V, flit(2, 0));
         vcs.age_hol_all();
         vcs.age_hol_all();
         assert_eq!(vcs.hol_wait(P, V), 2);
@@ -292,11 +402,11 @@ mod tests {
 
     #[test]
     fn per_vc_state_is_independent() {
-        // Scalar registers of (port, vc) pairs must not alias across the
-        // flat arrays.
-        let mut vcs = InputVcs::new(3, 4);
-        vcs.push(PortId(2), VcId(3), flit(2, 0), 5);
-        vcs.push(PortId(1), VcId(0), flit(1, 0), 5);
+        // Scalar registers and ring regions of (port, vc) pairs must not
+        // alias across the slab.
+        let mut vcs = InputVcs::new(3, 4, 5);
+        vcs.push(PortId(2), VcId(3), flit(2, 0));
+        vcs.push(PortId(1), VcId(0), flit(1, 0));
         vcs.bind_out_vc(PortId(2), VcId(3), VcId(1));
         vcs.mark_rc_done(PortId(1), VcId(0));
         assert_eq!(vcs.out_vc(PortId(2), VcId(3)), Some(VcId(1)));
@@ -309,12 +419,18 @@ mod tests {
 
     #[test]
     fn occupancy_aggregates_per_port_and_total() {
-        let mut vcs = InputVcs::new(2, 4);
-        vcs.push(PortId(0), VcId(0), flit(1, 0), 5);
-        vcs.push(PortId(0), VcId(3), flit(1, 0), 5);
-        vcs.push(PortId(1), VcId(2), flit(1, 0), 5);
+        let mut vcs = InputVcs::new(2, 4, 5);
+        vcs.push(PortId(0), VcId(0), flit(1, 0));
+        vcs.push(PortId(0), VcId(3), flit(1, 0));
+        vcs.push(PortId(1), VcId(2), flit(1, 0));
         assert_eq!(vcs.port_occupancy(PortId(0)), 2);
         assert_eq!(vcs.port_occupancy(PortId(1)), 1);
         assert_eq!(vcs.total_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_depth_rejected() {
+        let _ = InputVcs::new(1, 1, 0);
     }
 }

@@ -67,6 +67,45 @@ pub struct Router {
     rc_this_cycle: Vec<bool>,
     bound_this_cycle: Vec<bool>,
     va_failed_this_cycle: Vec<bool>,
+    /// Snapshot of the input occupancy bitset taken at the top of each
+    /// step; the RC/VA/request sweeps iterate its set bits (occupancy is
+    /// invariant across those stages — only traversal pops flits).
+    occ_scratch: Vec<u64>,
+}
+
+/// Visits the set bits of `words` within index range `[lo, hi)` in
+/// ascending order.
+#[inline]
+fn for_each_set_in(words: &[u64], lo: usize, hi: usize, f: &mut impl FnMut(usize)) {
+    if lo >= hi {
+        return;
+    }
+    let (first, last) = (lo / 64, (hi - 1) / 64);
+    for (w, &bits) in words.iter().enumerate().take(last + 1).skip(first) {
+        let mut word = bits;
+        if w == first {
+            word &= !0u64 << (lo % 64);
+        }
+        if w == last {
+            let used = hi - w * 64;
+            if used < 64 {
+                word &= (1u64 << used) - 1;
+            }
+        }
+        while word != 0 {
+            f(w * 64 + word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
+}
+
+/// Visits the set bits of `words` over `[0, total)` in cyclic ascending
+/// order starting at `start` — the masked equivalent of
+/// `for k in 0..total { visit((start + k) % total) }`.
+#[inline]
+fn for_each_set_cyclic(words: &[u64], total: usize, start: usize, mut f: impl FnMut(usize)) {
+    for_each_set_in(words, start, total, &mut f);
+    for_each_set_in(words, 0, start, &mut f);
 }
 
 impl Router {
@@ -86,7 +125,7 @@ impl Router {
         cfg.validate().expect("router config must be valid");
         assert_eq!(env.port_dims.len(), cfg.ports(), "dimension table size mismatch");
         assert_eq!(env.sink_ports.len(), cfg.ports(), "sink table size mismatch");
-        let inputs = InputVcs::with_depth(cfg.ports(), cfg.vcs_per_port(), cfg.buffer_depth());
+        let inputs = InputVcs::new(cfg.ports(), cfg.vcs_per_port(), cfg.buffer_depth());
         let outputs =
             OutputVcs::new(cfg.ports(), cfg.vcs_per_port(), cfg.buffer_depth(), &env.sink_ports);
         let mut activity = ActivityCounters::new();
@@ -102,11 +141,14 @@ impl Router {
             buffered: 0,
             activity,
             requests: RequestSet::new(cfg.ports(), cfg.vcs_per_port()),
-            grants: GrantSet::new(),
-            traversed: GrantSet::new(),
+            // At most one grant per output port per cycle — preallocating
+            // that bound keeps the first full-crossbar cycle off the heap.
+            grants: GrantSet::with_capacity(cfg.ports()),
+            traversed: GrantSet::with_capacity(cfg.ports()),
             rc_this_cycle: vec![false; total_vcs],
             bound_this_cycle: vec![false; total_vcs],
             va_failed_this_cycle: vec![false; total_vcs],
+            occ_scratch: Vec::with_capacity(vix_core::bits::words_for(total_vcs.max(1))),
             cfg,
         }
     }
@@ -200,8 +242,8 @@ impl Router {
     /// Panics if the flit carries no VC or the buffer is full (either is a
     /// flow-control protocol violation).
     pub fn accept_flit(&mut self, port: PortId, flit: Flit) {
-        let vc = flit.out_vc.expect("delivered flit must carry its input VC");
-        self.inputs.push(port, vc, flit, self.cfg.buffer_depth());
+        let vc = flit.out_vc().expect("delivered flit must carry its input VC");
+        self.inputs.push(port, vc, flit);
         self.buffered += 1;
         self.activity.buffer_writes += 1;
     }
@@ -260,8 +302,16 @@ impl Router {
             rc_this_cycle,
             bound_this_cycle,
             va_failed_this_cycle,
+            occ_scratch,
             ..
         } = self;
+
+        // Snapshot the occupancy bitset once: RC, VA, and the request
+        // build only ever look at VCs that buffer a flit, and none of them
+        // changes occupancy (only traversal pops). Iterating set bits
+        // skips the empty majority of `(port, vc)` pairs at typical loads.
+        occ_scratch.clear();
+        occ_scratch.extend_from_slice(inputs.occupied_words());
 
         // ---- Route computation stage (five-stage pipeline only): a head
         // flit reaching the front of its VC spends one cycle in RC before
@@ -269,33 +319,36 @@ impl Router {
         // route arrived with the flit (lookahead).
         rc_this_cycle.fill(false);
         if five_stage {
-            for p in 0..ports {
-                for v in 0..vcs {
-                    let (port, vc) = (PortId(p), VcId(v));
-                    if inputs.needs_va(port, vc) && !inputs.rc_done(port, vc) {
-                        inputs.mark_rc_done(port, vc);
-                        rc_this_cycle[p * vcs + v] = true;
-                    }
+            for_each_set_in(occ_scratch, 0, total_vcs, &mut |flat| {
+                let (port, vc) = (PortId(flat / vcs), VcId(flat % vcs));
+                if inputs.needs_va(port, vc) && !inputs.rc_done(port, vc) {
+                    inputs.mark_rc_done(port, vc);
+                    rc_this_cycle[flat] = true;
                 }
-            }
+            });
         }
 
         // ---- VC allocation (with speculative SA run in the same cycle).
+        // Candidates are visited in cyclic order from the fairness pointer,
+        // exactly as a full `(va_pointer + k) % total_vcs` sweep would.
         bound_this_cycle.fill(false);
         va_failed_this_cycle.fill(false);
-        for k in 0..total_vcs {
-            let flat = (*va_pointer + k) % total_vcs;
+        for_each_set_cyclic(occ_scratch, total_vcs, *va_pointer, |flat| {
             let (p, v) = (flat / vcs, flat % vcs);
             let (port, vc) = (PortId(p), VcId(v));
             if !inputs.needs_va(port, vc) {
-                continue;
+                return;
             }
             if five_stage && rc_this_cycle[flat] {
-                continue; // RC occupied this cycle; VA starts next cycle
+                return; // RC occupied this cycle; VA starts next cycle
             }
             activity.va_arbitrations += 1;
-            let head = *inputs.head(port, vc).expect("needs_va implies a head");
-            let out_port = head.out_port;
+            // Read the head by slot reference; only the routing fields and
+            // packet id are needed, not a whole-flit copy.
+            let (out_port, lookahead_port, packet_id) = {
+                let head = inputs.head(port, vc).expect("needs_va implies a head");
+                (head.out_port(), head.lookahead_port(), head.packet.id.0)
+            };
             if outputs.is_sink(out_port) {
                 // Ejection: no downstream VC contention to track.
                 inputs.bind_out_vc(port, vc, VcId(0));
@@ -306,19 +359,19 @@ impl Router {
                         port: p as u32,
                         vc: v as u32,
                         out_port: out_port.0 as u32,
-                        packet: head.packet.id.0,
+                        packet: packet_id,
                         extra: 0,
                         ..TraceEvent::at(now, TraceEventKind::VcAlloc)
                     });
                 }
-                continue;
+                return;
             }
             let policy = if cfg.dimension_aware_va && partition.groups() > 1 {
                 VcAllocPolicy::DimensionAware
             } else {
                 VcAllocPolicy::MaxCredits
             };
-            let dim = env.port_dims[head.lookahead_port.0];
+            let dim = env.port_dims[lookahead_port.0];
             match select_output_vc(policy, outputs, out_port, &partition, dim) {
                 Some(w) => {
                     outputs.allocate(out_port, w);
@@ -330,7 +383,7 @@ impl Router {
                             port: p as u32,
                             vc: v as u32,
                             out_port: out_port.0 as u32,
-                            packet: head.packet.id.0,
+                            packet: packet_id,
                             extra: w.0 as u32,
                             ..TraceEvent::at(now, TraceEventKind::VcAlloc)
                         });
@@ -341,7 +394,7 @@ impl Router {
                     tel.count(tel.ids.stall_va_no_free_vc, 1);
                 }
             }
-        }
+        });
         *va_pointer = (*va_pointer + 1) % total_vcs;
 
         // ---- Build the switch-allocation request set. Each `push` also
@@ -349,76 +402,86 @@ impl Router {
         // so the allocator's word-parallel kernels start from ready-made
         // request planes — no per-cycle rebuild on the SA critical path.
         requests.clear();
-        for p in 0..ports {
-            for v in 0..vcs {
-                let flat = p * vcs + v;
-                let (port, vc) = (PortId(p), VcId(v));
-                let Some(head) = inputs.head(port, vc) else { continue };
-                let out_port = head.out_port;
-                match inputs.out_vc(port, vc) {
-                    Some(w) if !bound_this_cycle[flat] => {
-                        // Established packet: request only when a credit
-                        // guarantees the traversal.
-                        if outputs.can_send(out_port, w) {
-                            requests.push(SwitchRequest {
-                                port,
-                                vc,
-                                out_port,
-                                speculative: false,
-                                age: inputs.hol_wait(port, vc),
+        for_each_set_in(occ_scratch, 0, total_vcs, &mut |flat| {
+            let (p, v) = (flat / vcs, flat % vcs);
+            let (port, vc) = (PortId(p), VcId(v));
+            let head = inputs.head(port, vc).expect("occupied VC has a head");
+            let out_port = head.out_port();
+            let head_packet = head.packet.id.0;
+            match inputs.out_vc(port, vc) {
+                Some(w) if !bound_this_cycle[flat] => {
+                    // Established packet: request only when a credit
+                    // guarantees the traversal.
+                    if outputs.can_send(out_port, w) {
+                        requests.push(SwitchRequest {
+                            port,
+                            vc,
+                            out_port,
+                            speculative: false,
+                            age: inputs.hol_wait(port, vc),
+                        });
+                        if tel.tracing() {
+                            tel.trace(TraceEvent {
+                                router,
+                                port: p as u32,
+                                vc: v as u32,
+                                out_port: out_port.0 as u32,
+                                packet: head_packet,
+                                extra: 0,
+                                ..TraceEvent::at(now, TraceEventKind::SaRequest)
                             });
-                            if tel.tracing() {
-                                tel.trace(TraceEvent {
-                                    router,
-                                    port: p as u32,
-                                    vc: v as u32,
-                                    out_port: out_port.0 as u32,
-                                    packet: head.packet.id.0,
-                                    extra: 0,
-                                    ..TraceEvent::at(now, TraceEventKind::SaRequest)
-                                });
-                            }
                         }
                     }
-                    Some(_) | None => {
-                        // VA happened (or failed) this very cycle: the SA
-                        // request is speculative. A grant to a VC whose VA
-                        // failed is dropped at traversal — the wasted-grant
-                        // cost of speculation.
-                        let was_candidate = bound_this_cycle[flat] || va_failed_this_cycle[flat];
-                        if speculation && was_candidate {
-                            requests.push(SwitchRequest {
-                                port,
-                                vc,
-                                out_port,
-                                speculative: true,
-                                age: inputs.hol_wait(port, vc),
+                }
+                Some(_) | None => {
+                    // VA happened (or failed) this very cycle: the SA
+                    // request is speculative. A grant to a VC whose VA
+                    // failed is dropped at traversal — the wasted-grant
+                    // cost of speculation.
+                    let was_candidate = bound_this_cycle[flat] || va_failed_this_cycle[flat];
+                    if speculation && was_candidate {
+                        requests.push(SwitchRequest {
+                            port,
+                            vc,
+                            out_port,
+                            speculative: true,
+                            age: inputs.hol_wait(port, vc),
+                        });
+                        if tel.tracing() {
+                            tel.trace(TraceEvent {
+                                router,
+                                port: p as u32,
+                                vc: v as u32,
+                                out_port: out_port.0 as u32,
+                                packet: head_packet,
+                                extra: 1,
+                                ..TraceEvent::at(now, TraceEventKind::SaRequest)
                             });
-                            if tel.tracing() {
-                                tel.trace(TraceEvent {
-                                    router,
-                                    port: p as u32,
-                                    vc: v as u32,
-                                    out_port: out_port.0 as u32,
-                                    packet: head.packet.id.0,
-                                    extra: 1,
-                                    ..TraceEvent::at(now, TraceEventKind::SaRequest)
-                                });
-                            }
                         }
                     }
                 }
             }
-        }
+        });
 
-        // ---- Switch allocation.
+        // ---- Switch allocation. An empty request set can neither grant
+        // nor commit an arbiter, and every allocator replays the rest of
+        // its empty-cycle drift (wavefront diagonals, scan offsets, broken
+        // chains) through `note_idle_cycles` — the same contract gating
+        // already leans on for skipped cycles, pinned by the
+        // `note_idle_cycles_matches_empty_allocations` test. So a woken
+        // router with nothing to request skips the full kernel call.
         activity.sa_arbitrations += requests.len() as u64;
-        allocator.allocate_into(requests, grants);
-        debug_assert!(
-            grants.validate_against(requests, &partition).is_ok(),
-            "allocator produced conflicting grants"
-        );
-        tel.count(tel.ids.stall_sa_no_grant, (requests.len() - grants.len()) as u64);
+        if requests.is_empty() {
+            grants.clear();
+            allocator.note_idle_cycles(1);
+        } else {
+            allocator.allocate_into(requests, grants);
+            debug_assert!(
+                grants.validate_against(requests, &partition).is_ok(),
+                "allocator produced conflicting grants"
+            );
+            tel.count(tel.ids.stall_sa_no_grant, (requests.len() - grants.len()) as u64);
+        }
 
         // ---- Switch traversal.
         traversed.clear();
@@ -446,7 +509,7 @@ impl Router {
             }
             let mut flit = inputs.pop(g.port, g.vc);
             *buffered -= 1;
-            flit.out_vc = Some(w);
+            flit.set_out_vc(Some(w));
             outputs.consume_credit(g.out_port, w);
             if flit.is_tail() {
                 outputs.release(g.out_port, w);
@@ -466,7 +529,7 @@ impl Router {
                     vc: g.vc.0 as u32,
                     out_port: g.out_port.0 as u32,
                     packet: flit.packet.id.0,
-                    flit: flit.index as u32,
+                    flit: flit.index() as u32,
                     ..TraceEvent::at(now, TraceEventKind::SwitchTraversal)
                 });
             }
@@ -498,14 +561,7 @@ mod tests {
 
     fn flit_to(out: PortId, len: usize, index: usize, vc: VcId) -> Flit {
         let packet = PacketDescriptor::new(PacketId(7), NodeId(0), NodeId(1), len, Cycle(0));
-        Flit {
-            packet,
-            index,
-            out_port: out,
-            lookahead_port: out,
-            out_vc: Some(vc),
-            injected_at: Cycle(0),
-        }
+        Flit::new(packet, index, out, out, Some(vc), Cycle(0))
     }
 
     #[test]
@@ -564,7 +620,7 @@ mod tests {
         for cycle in 0..3u64 {
             let out = r.step(Cycle(cycle));
             assert_eq!(out.flits.len(), 1, "cycle {cycle}");
-            assert_eq!(out.flits[0].1.index, cycle as usize, "flits stay in order");
+            assert_eq!(out.flits[0].1.index(), cycle as usize, "flits stay in order");
         }
         assert!(r.is_empty());
     }
@@ -595,9 +651,9 @@ mod tests {
         r.accept_flit(PortId(0), flit_to(PortId(1), 2, 0, VcId(2)));
         r.accept_flit(PortId(0), flit_to(PortId(1), 2, 1, VcId(2)));
         let out1 = r.step(Cycle(0));
-        let w = out1.flits[0].1.out_vc.unwrap();
+        let w = out1.flits[0].1.out_vc().unwrap();
         let out2 = r.step(Cycle(1));
-        assert_eq!(out2.flits[0].1.out_vc, Some(w), "body follows the head's VC");
+        assert_eq!(out2.flits[0].1.out_vc(), Some(w), "body follows the head's VC");
     }
 
     #[test]
@@ -684,7 +740,7 @@ mod tests {
         let cfg = RouterConfig::new(3, 2, 4);
         let mut r = test_router(AllocatorKind::InputFirst, cfg);
         let mut f = flit_to(PortId(2), 1, 0, VcId(0));
-        f.out_vc = None;
+        f.set_out_vc(None);
         r.accept_flit(PortId(0), f);
     }
 

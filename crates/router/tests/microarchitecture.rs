@@ -21,7 +21,7 @@ fn packet(id: u64, len: usize) -> PacketDescriptor {
 }
 
 fn flit_of(p: PacketDescriptor, index: usize, out: PortId, vc: VcId) -> Flit {
-    Flit { packet: p, index, out_port: out, lookahead_port: out, out_vc: Some(vc), injected_at: Cycle(0) }
+    Flit::new(p, index, out, out, Some(vc), Cycle(0))
 }
 
 #[test]
@@ -59,15 +59,15 @@ fn dimension_aware_va_separates_subgroups_at_router_level() {
     // Both head to output 0 (non-sink), with lookahead in X (dim 0 → port
     // 0/1) vs Y (dim 1 → port 2).
     let mut a = flit_of(packet(1, 1), 0, PortId(0), VcId(0));
-    a.lookahead_port = PortId(1); // X downstream
+    a.set_route(a.out_port(), PortId(1)); // X downstream
     let mut b = flit_of(packet(2, 1), 0, PortId(0), VcId(1));
-    b.lookahead_port = PortId(2); // Y downstream
+    b.set_route(b.out_port(), PortId(2)); // Y downstream
     r.accept_flit(PortId(1), a);
     r.accept_flit(PortId(2), b);
     let mut out_vcs = Vec::new();
     for c in 0..4 {
         for (_, f) in r.step(Cycle(c)).flits {
-            out_vcs.push(f.out_vc.expect("assigned").0);
+            out_vcs.push(f.out_vc().expect("assigned").0);
         }
     }
     assert_eq!(out_vcs.len(), 2);

@@ -1,18 +1,40 @@
 //! Fixed-latency pipelined channels for flits and credits.
+//!
+//! [`Pipe`] is a flat ring buffer in structure-of-arrays layout: delivery
+//! cycles and payloads live in two parallel `Vec`s sized once from the
+//! pipe's latency and push rate, so steady-state traffic recirculates
+//! through preallocated slots and the due-cycle scans the schedulers run
+//! every cycle never touch payload cache lines.
 
-use std::collections::VecDeque;
 use vix_core::Cycle;
 
 /// A fixed-latency FIFO pipe: items pushed at cycle `t` become available at
 /// `t + latency`. Models link traversal and credit return wires.
+///
+/// Storage is a power-of-two ring with a head cursor and length; slots are
+/// written lazily in physical order on first use, then reused in place
+/// forever. If a consumer falls behind the sized capacity (items are only
+/// removed by [`Pipe::pop_ready`], so an undrained pipe can exceed
+/// `latency × rate` in flight), the ring doubles — a cold path that never
+/// fires in a correctly-clocked simulation loop.
 #[derive(Debug, Clone)]
 pub struct Pipe<T> {
     latency: u64,
-    queue: VecDeque<(u64, T)>,
+    /// Delivery cycles, parallel to `items` (separate array so due scans
+    /// stay out of the payload cache lines).
+    dues: Vec<u64>,
+    items: Vec<T>,
+    /// Physical index of the oldest in-flight item.
+    head: usize,
+    /// Items in flight.
+    len: usize,
+    /// Ring capacity, always a power of two.
+    cap: usize,
 }
 
-impl<T> Pipe<T> {
-    /// Creates a pipe with the given latency in cycles (≥ 1).
+impl<T: Copy> Pipe<T> {
+    /// Creates a pipe with the given latency in cycles (≥ 1), sized for
+    /// one push per cycle.
     ///
     /// # Panics
     ///
@@ -20,8 +42,30 @@ impl<T> Pipe<T> {
     /// combinational loop between routers.
     #[must_use]
     pub fn new(latency: u64) -> Self {
+        Pipe::with_rate(latency, 1)
+    }
+
+    /// Creates a pipe with the given latency, sized for up to `per_cycle`
+    /// pushes per cycle (e.g. a credit pipe behind a VIX router, where one
+    /// input port can free up to `vcs` buffer slots in a single cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero.
+    #[must_use]
+    pub fn with_rate(latency: u64, per_cycle: usize) -> Self {
         assert!(latency >= 1, "channel latency must be at least one cycle");
-        Pipe { latency, queue: VecDeque::new() }
+        // Items pushed at cycle `t` leave at `t + latency`, so at most
+        // `(latency + 1) × rate` can coexist within one delivery window.
+        let cap = ((latency as usize + 1) * per_cycle.max(1)).next_power_of_two();
+        Pipe {
+            latency,
+            dues: Vec::with_capacity(cap),
+            items: Vec::with_capacity(cap),
+            head: 0,
+            len: 0,
+            cap,
+        }
     }
 
     /// The pipe's latency in cycles.
@@ -33,40 +77,84 @@ impl<T> Pipe<T> {
     /// Items currently in flight.
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// True when nothing is in flight.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
+    }
+
+    /// Current ring capacity in slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Enqueues an item at cycle `now`; it arrives at `now + latency`.
     pub fn push(&mut self, now: Cycle, item: T) {
         let deliver = now.0 + self.latency;
         debug_assert!(
-            self.queue.back().is_none_or(|(t, _)| *t <= deliver),
+            self.len == 0 || self.dues[(self.head + self.len - 1) & (self.cap - 1)] <= deliver,
             "pipe pushes must be in time order"
         );
-        self.queue.push_back((deliver, item));
+        if self.len == self.cap {
+            self.grow();
+        }
+        let idx = (self.head + self.len) & (self.cap - 1);
+        if idx == self.items.len() {
+            // Fresh slot. The physical push index advances by exactly one
+            // per push (pops leave `head + len` unchanged, and the resets
+            // in `pop_ready`/`grow` only move it downward), so untouched
+            // slots are claimed strictly in order 0, 1, … — `idx` can
+            // never skip past `items.len()`. The capacity was reserved up
+            // front, so this push does not allocate.
+            self.items.push(item);
+            self.dues.push(deliver);
+        } else {
+            self.items[idx] = item;
+            self.dues[idx] = deliver;
+        }
+        self.len += 1;
+    }
+
+    /// Doubles the ring after linearizing it (head back to slot 0). Only
+    /// reachable when `len == cap`, which implies every slot is live and
+    /// both arrays are fully initialized.
+    fn grow(&mut self) {
+        debug_assert_eq!(self.items.len(), self.cap, "full ring must be fully initialized");
+        self.items.rotate_left(self.head);
+        self.dues.rotate_left(self.head);
+        self.head = 0;
+        self.cap *= 2;
+        self.items.reserve_exact(self.cap - self.items.len());
+        self.dues.reserve_exact(self.cap - self.dues.len());
     }
 
     /// Removes and returns the next item due at or before cycle `now`, if
     /// any. Loop with `while let Some(..) = pipe.pop_ready(now)` to drain
     /// without allocating.
     pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
-        if self.queue.front().is_some_and(|(t, _)| *t <= now.0) {
-            Some(self.queue.pop_front().expect("front checked").1)
-        } else {
-            None
+        if self.len == 0 || self.dues[self.head] > now.0 {
+            return None;
         }
+        let item = self.items[self.head];
+        self.head = (self.head + 1) & (self.cap - 1);
+        self.len -= 1;
+        if self.len == 0 {
+            // Empty ring: rewind to the already-initialized prefix so a
+            // long-idle pipe re-fills the same slots instead of touching
+            // fresh ones.
+            self.head = 0;
+        }
+        Some(item)
     }
 
     /// True when at least one item is due at or before cycle `now`.
     #[must_use]
     pub fn has_ready(&self, now: Cycle) -> bool {
-        self.queue.front().is_some_and(|(t, _)| *t <= now.0)
+        self.len > 0 && self.dues[self.head] <= now.0
     }
 
     /// Cycle at which the earliest in-flight item becomes deliverable, or
@@ -76,7 +164,11 @@ impl<T> Pipe<T> {
     /// polled.
     #[must_use]
     pub fn next_due(&self) -> Option<u64> {
-        self.queue.front().map(|(t, _)| *t)
+        if self.len > 0 {
+            Some(self.dues[self.head])
+        } else {
+            None
+        }
     }
 
     /// Distinct delivery cycles of the in-flight items, in ascending
@@ -85,8 +177,9 @@ impl<T> Pipe<T> {
     /// from pipe contents when handing a network between the serial and
     /// sharded schedulers (DESIGN.md §8).
     pub fn dues(&self) -> impl Iterator<Item = u64> + '_ {
+        let mask = self.cap - 1;
         let mut last = None;
-        self.queue.iter().map(|(t, _)| *t).filter(move |t| {
+        (0..self.len).map(move |k| self.dues[(self.head + k) & mask]).filter(move |t| {
             if last == Some(*t) {
                 false
             } else {
@@ -103,7 +196,7 @@ mod tests {
 
     /// Test helper: drains every ready item into a `Vec` via the
     /// non-allocating [`Pipe::pop_ready`] loop the hot path uses.
-    fn drain<T>(pipe: &mut Pipe<T>, now: Cycle) -> Vec<T> {
+    fn drain<T: Copy>(pipe: &mut Pipe<T>, now: Cycle) -> Vec<T> {
         let mut out = Vec::new();
         while let Some(item) = pipe.pop_ready(now) {
             out.push(item);
@@ -170,6 +263,55 @@ mod tests {
         pipe.push(Cycle(0), ());
         pipe.push(Cycle(1), ());
         assert_eq!(pipe.in_flight(), 2);
+    }
+
+    #[test]
+    fn ring_wraps_in_place_at_steady_state() {
+        // A rate-1 pipe pushed and drained every cycle recirculates through
+        // its fixed slots: many times the capacity passes through without
+        // the ring growing.
+        let mut pipe = Pipe::new(3);
+        let cap = pipe.capacity();
+        for t in 0..10 * cap as u64 {
+            pipe.push(Cycle(t), t);
+            if let Some(v) = pipe.pop_ready(Cycle(t)) {
+                assert_eq!(v + 3, t, "FIFO order across wrap-around");
+            }
+        }
+        assert_eq!(pipe.capacity(), cap, "steady-state traffic must not grow the ring");
+        assert_eq!(pipe.in_flight(), 3);
+    }
+
+    #[test]
+    fn overfilled_ring_grows_and_keeps_order() {
+        // An undrained pipe (consumer stalled) exceeds the sized capacity;
+        // the ring doubles and FIFO order survives the linearization.
+        let mut pipe = Pipe::with_rate(1, 1);
+        let cap = pipe.capacity();
+        // Wrap the head first so growth exercises the rotate path.
+        pipe.push(Cycle(0), 999);
+        let _ = pipe.pop_ready(Cycle(1));
+        let n = 3 * cap as u64;
+        for t in 0..n {
+            pipe.push(Cycle(t + 1), t);
+        }
+        assert!(pipe.capacity() > cap);
+        assert_eq!(drain(&mut pipe, Cycle(n + 2)), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_rate_sizes_for_burst_pushes() {
+        // `vcs` credits can enter a VIX credit pipe in one cycle; the ring
+        // must absorb `latency` cycles of such bursts without growing.
+        let mut pipe = Pipe::with_rate(2, 8);
+        let cap = pipe.capacity();
+        for t in 0..20u64 {
+            for k in 0..8u64 {
+                pipe.push(Cycle(t), (t, k));
+            }
+            while pipe.pop_ready(Cycle(t)).is_some() {}
+        }
+        assert_eq!(pipe.capacity(), cap, "sized bursts must not grow the ring");
     }
 
     #[test]

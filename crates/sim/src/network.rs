@@ -37,6 +37,44 @@ pub(crate) fn resolve_route(
     (out, lookahead, topology.port_dimension(out))
 }
 
+/// Precomputed [`resolve_route`] over the whole (static) topology: entry
+/// `router * nodes + dest` packs the three results into three bytes. Routing
+/// is deterministic and the topology never changes after build, so the hot
+/// per-flit lookahead rewrite becomes one table load instead of three
+/// virtual topology calls.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteTable {
+    nodes: usize,
+    /// `(out_port, lookahead_port, dimension)` per `(router, dest)` pair.
+    entries: Vec<(u8, u8, u8)>,
+}
+
+impl RouteTable {
+    fn build(topology: &dyn Topology) -> Self {
+        let nodes = topology.nodes();
+        let mut entries = Vec::with_capacity(topology.routers() * nodes);
+        for r in 0..topology.routers() {
+            for d in 0..nodes {
+                let (out, la, dim) = resolve_route(topology, RouterId(r), NodeId(d));
+                entries.push((
+                    u8::try_from(out.0).expect("port id fits a byte"),
+                    u8::try_from(la.0).expect("port id fits a byte"),
+                    u8::try_from(dim).expect("dimension fits a byte"),
+                ));
+            }
+        }
+        RouteTable { nodes, entries }
+    }
+
+    /// The table form of [`resolve_route`] — identical results by
+    /// construction.
+    #[inline]
+    pub(crate) fn resolve(&self, router: RouterId, dest: NodeId) -> (PortId, PortId, usize) {
+        let (out, la, dim) = self.entries[router.0 * self.nodes + dest.0];
+        (PortId(out as usize), PortId(la as usize), dim as usize)
+    }
+}
+
 /// A packet delivered to its destination terminal (tail flit ejected),
 /// as reported by [`NetworkSim::take_ejections`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +182,8 @@ impl GatingState {
 pub struct NetworkSim {
     pub(crate) cfg: SimConfig,
     pub(crate) topology: Box<dyn Topology>,
+    /// Precomputed routing table (see [`RouteTable`]).
+    pub(crate) routes: RouteTable,
     pub(crate) routers: Vec<Router>,
     /// `flit_pipes[r][p]` — link leaving router `r` through port `p`.
     pub(crate) flit_pipes: Vec<Vec<Option<Pipe<Flit>>>>,
@@ -209,6 +249,8 @@ impl NetworkSim {
                     RouterId(r),
                     router_cfg,
                     build_allocator(run_cfg.network.allocator, &router_cfg),
+                    // Build-time only: two radix-sized Vecs per router,
+                    // never cloned again after construction.
                     env.clone(),
                 )
             })
@@ -225,8 +267,15 @@ impl NetworkSim {
                     .collect()
             })
             .collect();
+        // A VIX router lifts the one-grant-per-input-port constraint, so a
+        // single input port can free up to `vcs` buffer slots in one cycle;
+        // size the credit rings for that burst rate.
         let credit_pipes = (0..topology.routers())
-            .map(|_| (0..radix).map(|_| Pipe::new(CREDIT_LATENCY)).collect())
+            .map(|_| {
+                (0..radix)
+                    .map(|_| Pipe::with_rate(CREDIT_LATENCY, router_cfg.vcs_per_port()))
+                    .collect()
+            })
             .collect();
         let credit_dests = (0..topology.routers())
             .map(|r| {
@@ -269,9 +318,11 @@ impl NetworkSim {
                 telemetry.register_histogram(&format!("router{r}.vc_occupancy"), &occupancy_bounds)
             })
             .collect();
+        let routes = RouteTable::build(topology.as_ref());
         Ok(NetworkSim {
             cfg: run_cfg,
             topology,
+            routes,
             routers,
             flit_pipes,
             credit_pipes,
@@ -319,6 +370,14 @@ impl NetworkSim {
         std::mem::take(&mut self.ejected)
     }
 
+    /// Like [`NetworkSim::take_ejections`], but appends into a
+    /// caller-owned buffer so the internal ejection list keeps its
+    /// capacity — a per-cycle drain loop that reuses one `Vec` performs no
+    /// heap allocation in steady state.
+    pub fn take_ejections_into(&mut self, out: &mut Vec<EjectedPacket>) {
+        out.append(&mut self.ejected);
+    }
+
     /// The simulation configuration (with the router port count resolved
     /// to the topology's radix).
     #[must_use]
@@ -342,7 +401,7 @@ impl NetworkSim {
     /// port there, the output port at the following router (lookahead),
     /// and the dimension of the first port.
     fn resolve_route(&self, router: RouterId, dest: NodeId) -> (PortId, PortId, usize) {
-        resolve_route(self.topology.as_ref(), router, dest)
+        self.routes.resolve(router, dest)
     }
 
     /// Runs one cycle of the whole network.
@@ -405,9 +464,9 @@ impl NetworkSim {
 
         // 2. Sources stream flits toward their routers.
         for n in 0..self.cfg.network.nodes {
-            let topo = self.topology.as_ref();
-            let router = topo.router_of(NodeId(n));
-            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            let router = self.topology.router_of(NodeId(n));
+            let routes = &self.routes;
+            let resolve = |dest: NodeId| routes.resolve(router, dest);
             if let Some(flit) = self.sources[n].try_send(now, resolve) {
                 self.inject_pipes[n].push(now, flit);
             }
@@ -423,9 +482,9 @@ impl NetworkSim {
                     self.telemetry.trace(TraceEvent {
                         router: router.0 as u32,
                         port: port.0 as u32,
-                        vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                        vc: flit.out_vc().map_or(NO_ID, |v| v.0 as u32),
                         packet: flit.packet.id.0,
-                        flit: flit.index as u32,
+                        flit: flit.index() as u32,
                         ..TraceEvent::at(now, TraceEventKind::Inject)
                     });
                 }
@@ -493,9 +552,9 @@ impl NetworkSim {
                         self.telemetry.trace(TraceEvent {
                             router: r as u32,
                             port: p.0 as u32,
-                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            vc: flit.out_vc().map_or(NO_ID, |v| v.0 as u32),
                             packet: flit.packet.id.0,
-                            flit: flit.index as u32,
+                            flit: flit.index() as u32,
                             ..TraceEvent::at(now, TraceEventKind::Eject)
                         });
                     }
@@ -516,15 +575,14 @@ impl NetworkSim {
                     let (down, _) =
                         self.topology.neighbor(RouterId(r), p).expect("route uses connected ports");
                     let (out_port, lookahead, _) = self.resolve_route(down, flit.packet.dest);
-                    flit.out_port = out_port;
-                    flit.lookahead_port = lookahead;
+                    flit.set_route(out_port, lookahead);
                     if self.telemetry.tracing() {
                         self.telemetry.trace(TraceEvent {
                             router: r as u32,
                             port: p.0 as u32,
-                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            vc: flit.out_vc().map_or(NO_ID, |v| v.0 as u32),
                             packet: flit.packet.id.0,
-                            flit: flit.index as u32,
+                            flit: flit.index() as u32,
                             ..TraceEvent::at(now, TraceEventKind::LinkTraversal)
                         });
                     }
@@ -600,9 +658,9 @@ impl NetworkSim {
         // 2. Sources stream flits toward their routers. A push schedules
         // the injection link's delivery one cycle out.
         for n in 0..self.cfg.network.nodes {
-            let topo = self.topology.as_ref();
-            let router = topo.router_of(NodeId(n));
-            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            let router = self.topology.router_of(NodeId(n));
+            let routes = &self.routes;
+            let resolve = |dest: NodeId| routes.resolve(router, dest);
             if let Some(flit) = self.sources[n].try_send(now, resolve) {
                 self.inject_pipes[n].push(now, flit);
                 let due = now.0 + 1;
@@ -632,9 +690,9 @@ impl NetworkSim {
                             self.telemetry.trace(TraceEvent {
                                 router: router.0 as u32,
                                 port: port.0 as u32,
-                                vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                                vc: flit.out_vc().map_or(NO_ID, |v| v.0 as u32),
                                 packet: flit.packet.id.0,
-                                flit: flit.index as u32,
+                                flit: flit.index() as u32,
                                 ..TraceEvent::at(now, TraceEventKind::Inject)
                             });
                         }
@@ -722,9 +780,9 @@ impl NetworkSim {
                         self.telemetry.trace(TraceEvent {
                             router: r as u32,
                             port: p.0 as u32,
-                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            vc: flit.out_vc().map_or(NO_ID, |v| v.0 as u32),
                             packet: flit.packet.id.0,
-                            flit: flit.index as u32,
+                            flit: flit.index() as u32,
                             ..TraceEvent::at(now, TraceEventKind::Eject)
                         });
                     }
@@ -743,15 +801,14 @@ impl NetworkSim {
                     let (down, _) =
                         self.topology.neighbor(RouterId(r), p).expect("route uses connected ports");
                     let (out_port, lookahead, _) = self.resolve_route(down, flit.packet.dest);
-                    flit.out_port = out_port;
-                    flit.lookahead_port = lookahead;
+                    flit.set_route(out_port, lookahead);
                     if self.telemetry.tracing() {
                         self.telemetry.trace(TraceEvent {
                             router: r as u32,
                             port: p.0 as u32,
-                            vc: flit.out_vc.map_or(NO_ID, |v| v.0 as u32),
+                            vc: flit.out_vc().map_or(NO_ID, |v| v.0 as u32),
                             packet: flit.packet.id.0,
-                            flit: flit.index as u32,
+                            flit: flit.index() as u32,
                             ..TraceEvent::at(now, TraceEventKind::LinkTraversal)
                         });
                     }
@@ -954,9 +1011,13 @@ impl NetworkSim {
     pub fn run_with_telemetry(mut self) -> (NetworkStats, TelemetrySink) {
         let total = self.cfg.warmup + self.cfg.measure + self.cfg.drain;
         self.run_cycles(total);
-        let mut stats = self.stats.clone();
-        stats.set_activity(self.aggregate_activity());
-        stats.set_matching(self.matching_summary());
+        // `self` is consumed: move the stats out instead of deep-copying
+        // the per-source latency sample vectors.
+        let activity = self.aggregate_activity();
+        let matching = self.matching_summary();
+        let mut stats = self.stats;
+        stats.set_activity(activity);
+        stats.set_matching(matching);
         (stats, self.telemetry)
     }
 

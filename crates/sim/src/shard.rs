@@ -58,7 +58,7 @@
 
 use crate::channel::Pipe;
 use crate::network::{
-    resolve_route, CreditDest, EjectedPacket, GatingState, NetworkSim, WakeEvent, WAKE_RING,
+    CreditDest, EjectedPacket, GatingState, NetworkSim, WakeEvent, WAKE_RING,
 };
 use crate::source::SourceQueue;
 use crate::stats::NetworkStats;
@@ -242,6 +242,8 @@ struct ShardWorker<'a> {
     cfg: SimConfig,
     plan: &'a ShardPlan,
     topology: &'a dyn Topology,
+    /// Shared precomputed routing table (read-only across shards).
+    routes: &'a crate::network::RouteTable,
     router_off: usize,
     node_off: usize,
     routers: &'a mut [Router],
@@ -436,9 +438,9 @@ impl ShardWorker<'_> {
 
         // 2. Sources stream flits toward their routers.
         for i in 0..self.sources.len() {
-            let topo = self.topology;
-            let router = topo.router_of(NodeId(self.node_off + i));
-            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            let router = self.topology.router_of(NodeId(self.node_off + i));
+            let routes = self.routes;
+            let resolve = |dest: NodeId| routes.resolve(router, dest);
             if let Some(flit) = self.sources[i].try_send(now, resolve) {
                 self.inject_pipes[i].push(now, flit);
             }
@@ -520,9 +522,9 @@ impl ShardWorker<'_> {
         // 2. Sources; a push schedules the injection link's delivery.
         for i in 0..self.sources.len() {
             let n = self.node_off + i;
-            let topo = self.topology;
-            let router = topo.router_of(NodeId(n));
-            let resolve = |dest: NodeId| resolve_route(topo, router, dest);
+            let router = self.topology.router_of(NodeId(n));
+            let routes = self.routes;
+            let resolve = |dest: NodeId| routes.resolve(router, dest);
             if let Some(flit) = self.sources[i].try_send(now, resolve) {
                 self.inject_pipes[i].push(now, flit);
                 let due = now.0 + 1;
@@ -655,9 +657,8 @@ impl ShardWorker<'_> {
                     .topology
                     .neighbor(RouterId(r), p)
                     .expect("route uses connected ports");
-                let (out_port, lookahead, _) = resolve_route(self.topology, down, flit.packet.dest);
-                flit.out_port = out_port;
-                flit.lookahead_port = lookahead;
+                let (out_port, lookahead, _) = self.routes.resolve(down, flit.packet.dest);
+                flit.set_route(out_port, lookahead);
                 self.flit_pipes[ri][p.0]
                     .as_mut()
                     .expect("connected port has a pipe")
@@ -828,6 +829,7 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
                 cfg: sim.cfg,
                 plan: &plan,
                 topology: sim.topology.as_ref(),
+                routes: &sim.routes,
                 router_off: plan.router_range(s).start,
                 node_off: plan.node_range(s).start,
                 routers,

@@ -20,6 +20,11 @@ pub struct SourceQueue {
     buffer_depth: usize,
     groups: usize,
     dimension_aware: bool,
+    /// Waiting packets. Deliberately a `VecDeque` rather than a ring slab:
+    /// open-loop injection (§4.1) makes this queue unbounded by design, it
+    /// is touched once per *packet* (not per flit), and the steady-state
+    /// operations are a `front()` peek and an amortised push — cold next
+    /// to the per-flit transport rings.
     queue: VecDeque<PacketDescriptor>,
     credits: Vec<usize>,
     /// In-progress packet: descriptor, next flit index, chosen VC.
@@ -41,7 +46,11 @@ impl SourceQueue {
             buffer_depth,
             groups,
             dimension_aware,
-            queue: VecDeque::new(),
+            // Seeded with enough slots that moderate-load runs (the
+            // zero-allocation gate measures at 0.08 packets/node/cycle)
+            // never regrow it; saturation runs may still expand it — the
+            // queue is unbounded by design.
+            queue: VecDeque::with_capacity(32),
             credits: vec![buffer_depth; vcs],
             current: None,
             offered: 0,
@@ -113,14 +122,7 @@ impl SourceQueue {
         }
         let (out_port, lookahead_port, _) = route(packet.dest);
         self.credits[vc.0] -= 1;
-        let flit = Flit {
-            packet,
-            index,
-            out_port,
-            lookahead_port,
-            out_vc: Some(vc),
-            injected_at: now,
-        };
+        let flit = Flit::new(packet, index, out_port, lookahead_port, Some(vc), now);
         if index + 1 == packet.len_flits {
             self.current = None;
         } else {
@@ -167,9 +169,9 @@ mod tests {
         src.enqueue(packet(3));
         for i in 0..3 {
             let f = src.try_send(Cycle(i as u64), fixed_route).expect("credit available");
-            assert_eq!(f.index, i);
-            assert_eq!(f.out_port, PortId(0));
-            assert_eq!(f.out_vc, Some(VcId(0)));
+            assert_eq!(f.index(), i);
+            assert_eq!(f.out_port(), PortId(0));
+            assert_eq!(f.out_vc(), Some(VcId(0)));
         }
         assert!(src.try_send(Cycle(3), fixed_route).is_none(), "queue drained");
         assert!(src.is_idle());
@@ -191,7 +193,7 @@ mod tests {
         let mut src = SourceQueue::new(NodeId(0), 3, 5, 1, false);
         src.enqueue(packet(3));
         let vcs: Vec<_> =
-            (0..3).map(|i| src.try_send(Cycle(i), fixed_route).unwrap().out_vc).collect();
+            (0..3).map(|i| src.try_send(Cycle(i), fixed_route).unwrap().out_vc()).collect();
         assert!(vcs.iter().all(|&v| v == vcs[0]), "wormhole: one VC per packet");
     }
 
@@ -202,10 +204,10 @@ mod tests {
         let mut src = SourceQueue::new(NodeId(0), 4, 5, 2, true);
         src.enqueue(packet(1));
         let f = src.try_send(Cycle(0), |_| (PortId(0), PortId(0), 1)).unwrap();
-        assert!(f.out_vc.unwrap().0 >= 2, "Y-bound packet must use sub-group 1");
+        assert!(f.out_vc().unwrap().0 >= 2, "Y-bound packet must use sub-group 1");
         src.enqueue(packet(1));
         let f = src.try_send(Cycle(1), |_| (PortId(0), PortId(0), 0)).unwrap();
-        assert!(f.out_vc.unwrap().0 < 2, "X-bound packet must use sub-group 0");
+        assert!(f.out_vc().unwrap().0 < 2, "X-bound packet must use sub-group 0");
     }
 
     #[test]
@@ -233,9 +235,9 @@ mod tests {
         let mut src = SourceQueue::new(NodeId(0), 2, 1, 1, false);
         src.enqueue(packet(1));
         let f0 = src.try_send(Cycle(0), fixed_route).unwrap();
-        assert_eq!(f0.out_vc, Some(VcId(0)));
+        assert_eq!(f0.out_vc(), Some(VcId(0)));
         src.enqueue(packet(1));
         let f1 = src.try_send(Cycle(1), fixed_route).unwrap();
-        assert_eq!(f1.out_vc, Some(VcId(1)), "second packet avoids the creditless VC");
+        assert_eq!(f1.out_vc(), Some(VcId(1)), "second packet avoids the creditless VC");
     }
 }

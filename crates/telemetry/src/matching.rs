@@ -168,6 +168,18 @@ impl MatchingStats {
         if offered == 0 {
             return;
         }
+        if offered == 1 {
+            // One request ⇒ one active virtual input and one requested
+            // output: the generic scans below would compute exactly
+            // `active_vi = 1` and `count_ones(out_union) = 1`.
+            let s = &mut self.summary;
+            s.cycles += 1;
+            s.requests += 1;
+            s.survivors += 1;
+            s.grants += grants.len() as u64;
+            s.match_bound += 1;
+            return;
+        }
         let bits = requests.bits();
         let groups = partition.groups();
         let group_size = partition.group_size();

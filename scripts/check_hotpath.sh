@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Hot-path perf-regression guard.
+#
+# Re-runs the hotpath benchmark and compares each row's fresh
+# cycles-per-second figure against the checked-in BENCH_hotpath.json;
+# any row more than 25 % slower than its recorded figure fails the run
+# (the comparison itself lives in the bench's `--check` mode, including
+# one noise retry per over-budget row). When the pre-ring-transport
+# BENCH_hotpath_baseline.json is present, the run also prints a one-line
+# speedup summary against it.
+#
+# Regenerate the recorded figures after an intentional perf change with:
+#   cargo bench -p vix-bench --bench hotpath
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -f BENCH_hotpath.json ]]; then
+    echo "BENCH_hotpath.json missing; record it first with" >&2
+    echo "  cargo bench -p vix-bench --bench hotpath" >&2
+    exit 1
+fi
+
+cargo bench -p vix-bench --bench hotpath -- --check

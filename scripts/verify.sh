@@ -60,6 +60,12 @@ scripts/check_alloc_kernels.sh
 echo "==> scripts/check_shardscaling.sh"
 scripts/check_shardscaling.sh
 
+# Hot-path perf guard: fresh steady-state cycles/sec must stay within
+# 25% of the recorded BENCH_hotpath.json rates; also prints the one-line
+# speedup summary vs the pre-ring-transport BENCH_hotpath_baseline.json.
+echo "==> scripts/check_hotpath.sh"
+scripts/check_hotpath.sh
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

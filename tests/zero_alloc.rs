@@ -103,6 +103,48 @@ fn steady_state_network_steps_stay_off_the_heap() {
 }
 
 #[test]
+fn ring_transport_recirculates_with_zero_allocations() {
+    // The strict form of the gate, proving the slab/ring transport is
+    // fully preallocated: with the ejection log drained into a reused
+    // buffer every cycle (`take_ejections_into` keeps its capacity), 1,000
+    // steady-state cycles — thousands of VC-slab pushes/pops and ring-pipe
+    // wrap-arounds — must perform exactly ZERO heap allocations. The run
+    // is seeded and deterministic, so the assertion cannot flake.
+    const WARMUP_CYCLES: usize = 500;
+    const MEASURED_CYCLES: usize = 1_000;
+    for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
+        let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, kind);
+        network.nodes = 64;
+        let cfg = SimConfig::new(network, 0.08)
+            .with_windows((WARMUP_CYCLES + MEASURED_CYCLES + 1) as u64, 1, 1)
+            .with_telemetry(TelemetrySettings::disabled());
+        let mut sim = NetworkSim::build(cfg).expect("valid config");
+
+        let mut ejected = Vec::new();
+        for _ in 0..WARMUP_CYCLES {
+            sim.step();
+            sim.take_ejections_into(&mut ejected);
+            ejected.clear();
+        }
+
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for _ in 0..MEASURED_CYCLES {
+            sim.step();
+            sim.take_ejections_into(&mut ejected);
+            ejected.clear();
+        }
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "{kind:?}: {} heap allocations in {MEASURED_CYCLES} steady-state cycles \
+             of an 8×8 mesh with per-cycle ejection drain (gate: exactly 0)",
+            after - before
+        );
+    }
+}
+
+#[test]
 fn disabled_telemetry_sink_adds_no_allocations() {
     // The zero-overhead claim, pinned: with the sink explicitly Disabled
     // the instrumented hot path (trace hooks in the router and network,
