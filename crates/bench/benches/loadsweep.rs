@@ -19,6 +19,7 @@
 use std::time::Instant;
 use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
 use vix_sim::NetworkSim;
+use vix_telemetry::json;
 
 /// 8×8 mesh.
 const NODES: usize = 64;
@@ -80,6 +81,54 @@ fn measure(kind: AllocatorKind, rate: f64, gating: bool, p: &BenchParams) -> f64
     per_cycle_ns[p.samples / 2]
 }
 
+/// Reads `(allocator, load) -> gated_cycles_per_sec` rows out of the
+/// checked-in `BENCH_loadsweep.json`.
+fn read_recorded(path: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    rows.iter()
+        .map(|v| {
+            let allocator = v
+                .get("allocator")
+                .and_then(|s| s.as_str())
+                .ok_or_else(|| format!("{path}: row without allocator"))?;
+            let load = v
+                .get("load")
+                .and_then(|s| s.as_str())
+                .ok_or_else(|| format!("{path}: row without load"))?;
+            let cps = v
+                .get("gated_cycles_per_sec")
+                .and_then(|n| n.as_f64())
+                .ok_or_else(|| format!("{path}: row without gated_cycles_per_sec"))?;
+            Ok((allocator.to_string(), load.to_string(), cps))
+        })
+        .collect()
+}
+
+/// One-line speedup summary of this run's gated rates against the
+/// checked-in `BENCH_loadsweep.json`, if present — printed before the
+/// file is overwritten so the trajectory is visible in the bench log.
+fn print_baseline_delta(results: &[SweepResult], path: &str) {
+    let Ok(recorded) = read_recorded(path) else {
+        return;
+    };
+    let mut deltas = Vec::new();
+    for r in results {
+        if let Some((_, _, base)) =
+            recorded.iter().find(|(a, l, _)| a == r.allocator && l == r.load_label)
+        {
+            deltas.push(format!("{}@{} {:.2}x", r.allocator, r.load_label, r.gated_cps / base));
+        }
+    }
+    if !deltas.is_empty() {
+        println!("loadsweep gated vs recorded: {}", deltas.join("  "));
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let p = if smoke { &SMOKE } else { &FULL };
@@ -113,6 +162,10 @@ fn main() {
             results.push(r);
         }
     }
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_loadsweep.json");
+    print_baseline_delta(&results, &path);
 
     if smoke {
         // CI smoke: correctness of the harness, not the perf targets —
@@ -153,8 +206,6 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_loadsweep.json");
     std::fs::write(&path, &json).expect("write BENCH_loadsweep.json");
     vix_telemetry::info!("wrote {path}");
 }

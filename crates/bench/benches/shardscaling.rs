@@ -22,9 +22,9 @@
 //! host actually has ≥4 cores to scale over.
 
 use std::time::Instant;
-use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TopologyKind};
+use vix_core::{AllocatorKind, NetworkConfig, SimConfig, TelemetrySettings, TopologyKind};
 use vix_sim::NetworkSim;
-use vix_telemetry::json;
+use vix_telemetry::{json, ENGINE_TRACK};
 
 /// 16×16 mesh — large enough that each of 8 shards still owns a
 /// multi-router slab and per-cycle work dwarfs the barrier cost.
@@ -114,12 +114,60 @@ fn run_matrix(p: &BenchParams) -> Vec<ShardResult> {
     results
 }
 
+/// Per-shard busy/barrier balance of one profiled run (engine
+/// self-profiling, DESIGN.md §7). Separate from the timed matrix so the
+/// `--check` budgets keep comparing profiler-off numbers.
+struct ShardProfile {
+    shards: usize,
+    /// Fraction of each shard's span time spent outside barrier waits.
+    busy_ratio: Vec<f64>,
+    /// `(max − min) / max` busy time across shards, in percent.
+    imbalance_pct: f64,
+}
+
+/// Runs the bench configuration once with profiling on and reads the
+/// per-shard busy/barrier split out of the phase breakdown.
+fn profile_run(shards: usize, p: &BenchParams) -> ShardProfile {
+    let mut net = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    net.nodes = NODES;
+    let cfg = SimConfig::new(net, RATE)
+        .with_windows(p.warmup_cycles + p.measured_cycles + 1, 1, 1)
+        .with_shards(shards)
+        .with_telemetry(TelemetrySettings::disabled().with_profiling(true));
+    let mut sim = NetworkSim::build(cfg).expect("valid config");
+    sim.run_cycles(p.warmup_cycles + p.measured_cycles);
+    let breakdown = sim.telemetry().profiler().expect("profiling on").breakdown();
+    let shard_tracks: Vec<_> =
+        breakdown.per_track.iter().filter(|t| t.track != ENGINE_TRACK).collect();
+    let busy_ratio = shard_tracks
+        .iter()
+        .map(|t| t.busy_ns as f64 / (t.busy_ns + t.barrier_ns).max(1) as f64)
+        .collect();
+    let max = shard_tracks.iter().map(|t| t.busy_ns).max().unwrap_or(0);
+    let min = shard_tracks.iter().map(|t| t.busy_ns).min().unwrap_or(0);
+    let imbalance_pct = if max > 0 { (max - min) as f64 / max as f64 * 100.0 } else { 0.0 };
+    ShardProfile { shards, busy_ratio, imbalance_pct }
+}
+
+fn print_profile(profile: &ShardProfile) {
+    let ratios = profile
+        .busy_ratio
+        .iter()
+        .map(|r| format!("{:.0}%", r * 100.0))
+        .collect::<Vec<_>>()
+        .join("/");
+    println!(
+        "shards={} profile: busy {ratios}  imbalance {:.1}%",
+        profile.shards, profile.imbalance_pct
+    );
+}
+
 fn workspace_json_path() -> String {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     format!("{root}/BENCH_shardscaling.json")
 }
 
-fn write_json(results: &[ShardResult], p: &BenchParams) {
+fn write_json(results: &[ShardResult], profile: &ShardProfile, p: &BenchParams) {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"shardscaling\",\n");
     out.push_str(&format!("  \"mesh_nodes\": {NODES},\n"));
@@ -140,7 +188,19 @@ fn write_json(results: &[ShardResult], p: &BenchParams) {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let ratios = profile
+        .busy_ratio
+        .iter()
+        .map(|r| format!("{r:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!(
+        "  \"profile\": {{\"shards\": {}, \"busy_ratio\": [{ratios}], \
+         \"imbalance_pct\": {:.1}}}\n",
+        profile.shards, profile.imbalance_pct
+    ));
+    out.push_str("}\n");
     let path = workspace_json_path();
     std::fs::write(&path, &out).expect("write BENCH_shardscaling.json");
     vix_telemetry::info!("wrote {path}");
@@ -219,12 +279,15 @@ fn main() {
         if smoke { ", smoke mode" } else { "" }
     );
     let results = run_matrix(p);
+    let profile = profile_run(4, p);
+    print_profile(&profile);
 
     if smoke && !check_mode {
         assert!(
             results.iter().all(|r| r.cycles_per_sec > 0.0),
             "benchmark produced a non-positive rate"
         );
+        assert_eq!(profile.busy_ratio.len(), 4, "profiled run must report every shard");
         vix_telemetry::info!("smoke mode: skipping BENCH_shardscaling.json");
         return;
     }
@@ -234,6 +297,6 @@ fn main() {
             std::process::exit(1);
         }
     } else {
-        write_json(&results, p);
+        write_json(&results, &profile, p);
     }
 }

@@ -367,25 +367,57 @@ pub struct TelemetrySettings {
     /// Capacity of the preallocated trace ring; once full, the oldest
     /// events are overwritten (and counted as dropped).
     pub trace_capacity: usize,
+    /// Record engine self-profiling phase spans (wall-clock timers around
+    /// the pipeline phases, traffic gen, stats merges, and shard barrier
+    /// waits). Unlike `tracing`/`metrics`, profiling observes only the
+    /// host clock — never simulation state — so it composes with the
+    /// sharded engine and cannot perturb results.
+    pub profiling: bool,
+    /// Capacity of the preallocated span ring per profiled track; once
+    /// full, the oldest spans are overwritten (and counted as dropped).
+    pub profile_span_capacity: usize,
+    /// Emit a health heartbeat snapshot (cycles/sec, active routers,
+    /// wake-calendar depth, buffered flits, per-shard busy/barrier split)
+    /// every this many cycles (`0` = never). Requires `profiling`.
+    pub heartbeat_every: u64,
+    /// Stream each heartbeat as a JSONL line on stderr the moment it is
+    /// sampled (live liveness signal for long runs), in addition to
+    /// retaining it for end-of-run export.
+    pub heartbeat_stream: bool,
 }
 
 impl TelemetrySettings {
     /// Default ring capacity when tracing is enabled (events, not bytes).
     pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
 
+    /// Default span-ring capacity when profiling is enabled (spans per
+    /// track, not bytes).
+    pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
     /// Everything off (the default).
     #[must_use]
     pub fn disabled() -> Self {
-        TelemetrySettings { tracing: false, metrics: false, trace_capacity: 0 }
+        TelemetrySettings {
+            tracing: false,
+            metrics: false,
+            trace_capacity: 0,
+            profiling: false,
+            profile_span_capacity: 0,
+            heartbeat_every: 0,
+            heartbeat_stream: false,
+        }
     }
 
     /// Tracing and metrics both on, with the default ring capacity.
+    /// Profiling stays off — it is an orthogonal, engine-side concern
+    /// enabled explicitly with [`TelemetrySettings::with_profiling`].
     #[must_use]
     pub fn enabled() -> Self {
         TelemetrySettings {
             tracing: true,
             metrics: true,
             trace_capacity: Self::DEFAULT_TRACE_CAPACITY,
+            ..Self::disabled()
         }
     }
 
@@ -411,6 +443,48 @@ impl TelemetrySettings {
     #[must_use]
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables engine self-profiling, keeping the span-ring
+    /// capacity (or setting the default if none was chosen yet).
+    ///
+    /// Profiling only reads the host's monotonic clock: it never touches
+    /// simulation state, so results stay bit-identical and — unlike a
+    /// recording trace/metrics sink — it does *not* force a multi-shard
+    /// run down to the serial engine.
+    #[must_use]
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        if on && self.profile_span_capacity == 0 {
+            self.profile_span_capacity = Self::DEFAULT_SPAN_CAPACITY;
+        }
+        self
+    }
+
+    /// Sets the per-track span ring capacity in spans.
+    #[must_use]
+    pub fn with_profile_span_capacity(mut self, capacity: usize) -> Self {
+        self.profile_span_capacity = capacity;
+        self
+    }
+
+    /// Emits a health heartbeat every `every` cycles (`0` = never) and
+    /// turns profiling on when `every` is non-zero.
+    #[must_use]
+    pub fn with_heartbeat(mut self, every: u64) -> Self {
+        self.heartbeat_every = every;
+        if every > 0 {
+            self = self.with_profiling(true);
+        }
+        self
+    }
+
+    /// Streams each heartbeat to stderr as it is sampled, in addition to
+    /// retaining it for end-of-run export.
+    #[must_use]
+    pub fn with_heartbeat_stream(mut self, on: bool) -> Self {
+        self.heartbeat_stream = on;
         self
     }
 }

@@ -207,6 +207,14 @@ impl Router {
         self.buffered == 0
     }
 
+    /// Flits currently buffered across all input VCs — the incremental
+    /// occupancy count behind [`Router::is_empty`], exposed for
+    /// aggregate VC-slab occupancy sampling (engine health heartbeats).
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        self.buffered
+    }
+
     /// True when stepping this router would be a provable no-op apart from
     /// the per-cycle bookkeeping that [`Router::note_idle_cycles`] can
     /// replay: every input VC FIFO is empty, so no RC/VA candidate, no

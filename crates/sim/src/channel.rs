@@ -300,6 +300,42 @@ mod tests {
     }
 
     #[test]
+    fn growth_with_interleaved_pops_preserves_order_and_dues() {
+        // The linearize-and-double path with a wrapped head and pops
+        // interleaved between growths: FIFO delivery order and the
+        // ascending `dues()` contract (the sharded engine rebuilds wake
+        // calendars from it, DESIGN.md §8) must survive every rotation.
+        let mut pipe = Pipe::new(2);
+        let cap = pipe.capacity();
+        let mut popped = Vec::new();
+        let mut t = 0u64;
+        // Fill to capacity, one value per cycle.
+        for _ in 0..cap {
+            pipe.push(Cycle(t), t);
+            t += 1;
+        }
+        // Advance the head mid-ring so the first growth must rotate.
+        popped.push(pipe.pop_ready(Cycle(t + 2)).expect("all items due by now"));
+        popped.push(pipe.pop_ready(Cycle(t + 2)).expect("all items due by now"));
+        // Push through two doublings, popping whenever the ring just
+        // crossed its old capacity so head motion interleaves with growth.
+        for _ in 0..3 * cap {
+            pipe.push(Cycle(t), t);
+            t += 1;
+            let dues: Vec<u64> = pipe.dues().collect();
+            assert!(dues.windows(2).all(|w| w[0] < w[1]), "dues must stay ascending: {dues:?}");
+            if pipe.in_flight() == cap + 1 {
+                popped.push(pipe.pop_ready(Cycle(t + 2)).expect("all items due by now"));
+            }
+        }
+        assert!(pipe.capacity() > cap, "the undrained ring must have grown");
+        while let Some(v) = pipe.pop_ready(Cycle(t + 2)) {
+            popped.push(v);
+        }
+        assert_eq!(popped, (0..t).collect::<Vec<_>>(), "FIFO order across rotations");
+    }
+
+    #[test]
     fn with_rate_sizes_for_burst_pushes() {
         // `vcs` credits can enter a VIX credit pipe in one cycle; the ring
         // must absorb `latency` cycles of such bursts without growing.

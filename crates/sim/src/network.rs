@@ -14,7 +14,7 @@ use vix_core::{
 };
 use vix_router::{Router, RouterEnv};
 use vix_telemetry::{
-    HistogramId, MatchingSummary, TelemetrySink, TraceEvent, TraceEventKind, NO_ID,
+    HistogramId, MatchingSummary, SpanKind, TelemetrySink, TraceEvent, TraceEventKind, NO_ID,
 };
 use vix_topology::{build_topology, Topology};
 use vix_traffic::{BernoulliInjector, TrafficPattern};
@@ -208,7 +208,7 @@ pub struct NetworkSim {
     pub(crate) gating: GatingState,
     /// Event/metric sink built from [`SimConfig::telemetry`]; disabled by
     /// default, in which case every hook below compiles to a cheap branch.
-    telemetry: TelemetrySink,
+    pub(crate) telemetry: TelemetrySink,
     /// Per-router VC-occupancy histogram ids (empty when metrics are off).
     vc_occupancy: Vec<HistogramId>,
 }
@@ -433,6 +433,30 @@ impl NetworkSim {
                 }
             }
         }
+        if self.telemetry.profiling() {
+            self.maybe_heartbeat();
+        }
+    }
+
+    /// Samples a serial-engine health heartbeat when the just-finished
+    /// cycle lands on the configured interval. (The sharded engine
+    /// samples from its coordinator instead — see `shard::run_sharded`.)
+    fn maybe_heartbeat(&mut self) {
+        let cycle = self.now.0;
+        let every = self.telemetry.profiler().map_or(0, vix_telemetry::Profiler::beat_every);
+        if every == 0 || cycle == 0 || !cycle.is_multiple_of(every) {
+            return;
+        }
+        let wake_depth: u64 = if self.cfg.activity_gating {
+            self.gating.calendar.iter().map(|slot| slot.len() as u64).sum()
+        } else {
+            0
+        };
+        let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+        let steps = self.gating.router_steps;
+        if let Some(p) = self.telemetry.profiler_mut() {
+            p.heartbeat(cycle, steps, wake_depth, buffered, &[]);
+        }
     }
 
     /// The ungated reference step: sweeps every node, link, and router.
@@ -440,6 +464,9 @@ impl NetworkSim {
         let now = self.now;
         let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
         let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
+        // Profiling lap chain: one clock read per phase boundary, zero
+        // reads (one branch per lap) when profiling is off.
+        let mut span = self.telemetry.span_start();
 
         // 1. Traffic generation (open loop; stops when the drain begins).
         if now.0 < warm_plus_measure {
@@ -462,6 +489,8 @@ impl NetworkSim {
             }
         }
 
+        span = self.telemetry.span_lap(SpanKind::TrafficGen, now.0, span);
+
         // 2. Sources stream flits toward their routers.
         for n in 0..self.cfg.network.nodes {
             let router = self.topology.router_of(NodeId(n));
@@ -471,6 +500,7 @@ impl NetworkSim {
                 self.inject_pipes[n].push(now, flit);
             }
         }
+        span = self.telemetry.span_lap(SpanKind::SourceInject, now.0, span);
 
         // 3. Deliver flits due this cycle (injection + inter-router links).
         for n in 0..self.cfg.network.nodes {
@@ -510,6 +540,7 @@ impl NetworkSim {
                 }
             }
         }
+        span = self.telemetry.span_lap(SpanKind::Deliver, now.0, span);
 
         // 4. Deliver credits due this cycle.
         for r in 0..self.routers.len() {
@@ -534,6 +565,7 @@ impl NetworkSim {
                 }
             }
         }
+        span = self.telemetry.span_lap(SpanKind::CreditDeliver, now.0, span);
 
         // 5. Clock every router; fan out its flits and credits. One
         // RouterOutput is reused across every router and every cycle.
@@ -605,6 +637,7 @@ impl NetworkSim {
             }
         }
         self.step_out = out;
+        self.telemetry.span_lap(SpanKind::RouterStep, now.0, span);
 
         self.now = now.plus(1);
     }
@@ -633,6 +666,10 @@ impl NetworkSim {
         let now = self.now;
         let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
         let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
+        // Profiling lap chain: one clock read per phase boundary, zero
+        // reads (one branch per lap) when profiling is off. The combined
+        // flit+credit calendar drain is recorded as one `Deliver` span.
+        let mut span = self.telemetry.span_start();
 
         // 1. Traffic generation — all nodes, every cycle (RNG bit-identity).
         if now.0 < warm_plus_measure {
@@ -655,6 +692,8 @@ impl NetworkSim {
             }
         }
 
+        span = self.telemetry.span_lap(SpanKind::TrafficGen, now.0, span);
+
         // 2. Sources stream flits toward their routers. A push schedules
         // the injection link's delivery one cycle out.
         for n in 0..self.cfg.network.nodes {
@@ -671,6 +710,7 @@ impl NetworkSim {
                 }
             }
         }
+        span = self.telemetry.span_lap(SpanKind::SourceInject, now.0, span);
 
         // 3 + 4. Deliver everything due this cycle. Distinct events touch
         // disjoint state (each pipe feeds one buffer; credits are counter
@@ -750,6 +790,7 @@ impl NetworkSim {
         }
         events.clear();
         self.gating.calendar[slot] = events;
+        span = self.telemetry.span_lap(SpanKind::Deliver, now.0, span);
 
         // 5. Step the active routers in ascending index order (stats
         // accumulation and ejection order must match the ungated sweep).
@@ -854,6 +895,7 @@ impl NetworkSim {
         self.gating.work = work;
         std::mem::swap(&mut self.gating.work, &mut self.gating.pending);
         self.step_out = out;
+        self.telemetry.span_lap(SpanKind::RouterStep, now.0, span);
 
         self.now = now.plus(1);
     }
@@ -985,8 +1027,17 @@ impl NetworkSim {
             if self.cfg.shards != 1
                 && (self.cfg.telemetry.tracing || self.cfg.telemetry.metrics)
             {
-                vix_telemetry::info!(
-                    "shards={} requested but telemetry recording is on; running serially",
+                // A loud warning, not an info line: the user explicitly
+                // asked for a multi-shard run and is silently getting a
+                // serial one. Trace-event order and per-cycle scheduler
+                // gauges are defined by the serial schedulers (DESIGN.md
+                // §8); engine self-profiling does NOT force this fallback.
+                vix_telemetry::warn!(
+                    "shards={} requested but flit tracing/metrics recording is on: \
+                     falling back to the serial engine (recording sinks are \
+                     serial-only, DESIGN.md §8); results are bit-identical, only \
+                     wall-clock differs. Engine profiling (--profile-out/--heartbeat) \
+                     does not force this fallback.",
                     self.cfg.shards,
                 );
             }

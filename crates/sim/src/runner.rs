@@ -215,6 +215,24 @@ pub fn run_sweep(
     replications: usize,
     jobs: usize,
 ) -> Result<Vec<SweepPoint>, ConfigError> {
+    run_sweep_with_profile(base, pattern, rates, replications, jobs).map(|(points, _)| points)
+}
+
+/// Like [`run_sweep`], but also returns the merged engine profile when
+/// `base.telemetry.profiling` is on: every point's profiler is absorbed
+/// into one, in deterministic work-item order, so the phase breakdown
+/// covers the whole sweep. `None` when profiling is off.
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`].
+pub fn run_sweep_with_profile(
+    base: SimConfig,
+    pattern: &TrafficPattern,
+    rates: &[f64],
+    replications: usize,
+    jobs: usize,
+) -> Result<(Vec<SweepPoint>, Option<Box<vix_telemetry::Profiler>>), ConfigError> {
     let items = expand_sweep(base.seed, rates, replications);
     vix_telemetry::info!(
         "sweep: {} rates x {} replications across {} workers",
@@ -230,10 +248,24 @@ pub fn run_sweep(
             job.seed,
         );
         let cfg = SimConfig { injection_rate: job.rate, ..base }.with_seed(job.seed);
-        NetworkSim::build_with_pattern(cfg, pattern.clone())
-            .map(|sim| SweepPoint { rate: job.rate, stats: sim.run() })
+        NetworkSim::build_with_pattern(cfg, pattern.clone()).map(|sim| {
+            let (stats, sink) = sim.run_with_telemetry();
+            (SweepPoint { rate: job.rate, stats }, sink.into_profiler())
+        })
     });
-    results.into_iter().collect()
+    let mut points = Vec::with_capacity(results.len());
+    let mut profile: Option<Box<vix_telemetry::Profiler>> = None;
+    for result in results {
+        let (point, prof) = result?;
+        points.push(point);
+        if let Some(p) = prof {
+            match &mut profile {
+                Some(merged) => merged.absorb(*p),
+                None => profile = Some(p),
+            }
+        }
+    }
+    Ok((points, profile))
 }
 
 #[cfg(test)]

@@ -68,7 +68,7 @@ use vix_core::{
     TelemetrySettings, VcId,
 };
 use vix_router::{Router, RouterOutput};
-use vix_telemetry::TelemetrySink;
+use vix_telemetry::{HealthBoard, Profiler, SpanKind, SpanStart, TelemetrySink};
 use vix_topology::Topology;
 
 /// A partition of the router graph into contiguous, balanced shards.
@@ -261,11 +261,57 @@ struct ShardWorker<'a> {
     /// Disabled sink: telemetry-recording runs never reach the sharded
     /// engine (see [`NetworkSim::effective_shards`]).
     sink: TelemetrySink,
+    /// This shard's engine self-profiler (its own flame track), sharing
+    /// the coordinator's epoch; `None` when profiling is off. Profiling
+    /// only reads the host clock, so — unlike the recording sink above —
+    /// it runs fine under the sharded engine.
+    prof: Option<Box<Profiler>>,
     recs: Vec<StatRecord>,
     ejects: Vec<EjectedPacket>,
 }
 
 impl ShardWorker<'_> {
+    /// Starts a profiling span chain (no clock read when profiling is
+    /// off).
+    #[inline]
+    fn sp_start(&self) -> SpanStart {
+        match &self.prof {
+            Some(p) => p.start(),
+            None => SpanStart::DISABLED,
+        }
+    }
+
+    /// Closes the span begun at `from` as `kind` for cycle `t` and
+    /// starts the next one at the same instant.
+    #[inline]
+    fn sp_lap(&mut self, kind: SpanKind, t: u64, from: SpanStart) -> SpanStart {
+        match &mut self.prof {
+            Some(p) => p.lap(kind, t, from),
+            None => SpanStart::DISABLED,
+        }
+    }
+
+    /// Publishes this shard's cumulative busy/barrier wall-clock to the
+    /// health board every cycle (two relaxed stores), plus the
+    /// heartbeat-cycle gauges (router steps, wake-calendar depth,
+    /// buffered flits) when cycle `t` closes a heartbeat interval. Runs
+    /// before the end-of-cycle barrier, which orders the stores ahead of
+    /// the coordinator's reads.
+    fn publish_health(&self, board: &HealthBoard, t: u64, beat_every: u64) {
+        let Some(p) = &self.prof else { return };
+        let (busy, barrier) = p.own_busy_barrier_ns();
+        board.publish_time(self.idx, busy, barrier);
+        if beat_every > 0 && (t + 1).is_multiple_of(beat_every) {
+            let wake: u64 = if self.cfg.activity_gating {
+                self.gating.calendar.iter().map(|slot| slot.len() as u64).sum()
+            } else {
+                0
+            };
+            let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+            board.publish_gauges(self.idx, self.gating.router_steps, wake, buffered);
+        }
+    }
+
     /// Rebuilds this shard's wake calendar from the contents of its own
     /// pipes. Every in-flight item's due cycle lies within `WAKE_RING`
     /// of `now`, so slots never alias. Boundary pipes are skipped — the
@@ -338,6 +384,9 @@ impl ShardWorker<'_> {
     ) {
         let now = Cycle(t);
         let gated = self.cfg.activity_gating;
+        // Profiling lap chain: staged/mailbox drains and the boundary
+        // scan are `Exchange`; the step phases lap themselves.
+        let mut span = self.sp_start();
 
         // 0. Packets the coordinator generated for this cycle (phase 1).
         for packet in staged.lock().expect("no panic while staging").drain(..) {
@@ -374,12 +423,10 @@ impl ShardWorker<'_> {
             }
         }
 
+        span = self.sp_lap(SpanKind::Exchange, t, span);
+
         // 2–5. The serial step restricted to this shard.
-        if gated {
-            self.step_gated(now);
-        } else {
-            self.step_ungated(now);
-        }
+        span = if gated { self.step_gated(now, span) } else { self.step_ungated(now, span) };
 
         // 6. Boundary scan: everything a cross-shard pipe will deliver
         // at `t + 1` is final now (this cycle's pushes are due ≥ t + 2,
@@ -389,6 +436,8 @@ impl ShardWorker<'_> {
             let mut slot = out_slot.lock().expect("coordinator not panicked");
             std::mem::swap(&mut slot.recs, &mut self.recs);
             std::mem::swap(&mut slot.ejects, &mut self.ejects);
+            drop(slot);
+            self.sp_lap(SpanKind::Exchange, t, span);
             return;
         }
         let next_parity = ((t + 1) % 2) as usize;
@@ -422,16 +471,19 @@ impl ShardWorker<'_> {
         // 7. Hand this cycle's records to the coordinator. The swap gets
         // back the vectors the coordinator drained last cycle, keeping
         // the steady state allocation-free.
-        let mut slot = out_slot.lock().expect("coordinator not panicked");
-        std::mem::swap(&mut slot.recs, &mut self.recs);
-        std::mem::swap(&mut slot.ejects, &mut self.ejects);
+        {
+            let mut slot = out_slot.lock().expect("coordinator not panicked");
+            std::mem::swap(&mut slot.recs, &mut self.recs);
+            std::mem::swap(&mut slot.ejects, &mut self.ejects);
+        }
+        self.sp_lap(SpanKind::Exchange, t, span);
     }
 
     /// Phases 2–5 of the ungated serial step over this shard's routers.
     /// Boundary pipes never have anything due mid-cycle (the boundary
     /// scan drained through `t` at the end of cycle `t − 1`), so the
     /// sweep naturally skips them.
-    fn step_ungated(&mut self, now: Cycle) {
+    fn step_ungated(&mut self, now: Cycle, mut span: SpanStart) -> SpanStart {
         let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
         let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
         let radix = self.topology.radix();
@@ -445,6 +497,7 @@ impl ShardWorker<'_> {
                 self.inject_pipes[i].push(now, flit);
             }
         }
+        span = self.sp_lap(SpanKind::SourceInject, now.0, span);
 
         // 3. Deliver flits due this cycle.
         for i in 0..self.inject_pipes.len() {
@@ -478,6 +531,7 @@ impl ShardWorker<'_> {
                 }
             }
         }
+        span = self.sp_lap(SpanKind::Deliver, now.0, span);
 
         // 4. Deliver credits due this cycle.
         for ri in 0..self.routers.len() {
@@ -502,6 +556,7 @@ impl ShardWorker<'_> {
                 }
             }
         }
+        span = self.sp_lap(SpanKind::CreditDeliver, now.0, span);
 
         // 5. Clock every router in the shard, ascending.
         let mut out = std::mem::take(&mut self.out);
@@ -512,10 +567,11 @@ impl ShardWorker<'_> {
             self.fan_out(r, now, in_window, &mut out, false);
         }
         self.out = out;
+        self.sp_lap(SpanKind::RouterStep, now.0, span)
     }
 
     /// Phases 2–5 of the activity-gated serial step over this shard.
-    fn step_gated(&mut self, now: Cycle) {
+    fn step_gated(&mut self, now: Cycle, mut span: SpanStart) -> SpanStart {
         let warm_plus_measure = self.cfg.warmup + self.cfg.measure;
         let in_window = now.0 >= self.cfg.warmup && now.0 < warm_plus_measure;
 
@@ -535,6 +591,7 @@ impl ShardWorker<'_> {
                 }
             }
         }
+        span = self.sp_lap(SpanKind::SourceInject, now.0, span);
 
         // 3 + 4. Drain this cycle's calendar slot (intra-shard events
         // only by construction; boundary traffic arrived via mailboxes).
@@ -597,6 +654,7 @@ impl ShardWorker<'_> {
         }
         events.clear();
         self.gating.calendar[slot] = events;
+        span = self.sp_lap(SpanKind::Deliver, now.0, span);
 
         // 5. Step the active routers in ascending order.
         let mut out = std::mem::take(&mut self.out);
@@ -626,6 +684,7 @@ impl ShardWorker<'_> {
         self.gating.work = work;
         std::mem::swap(&mut self.gating.work, &mut self.gating.pending);
         self.out = out;
+        self.sp_lap(SpanKind::RouterStep, now.0, span)
     }
 
     /// Fans one router's step outputs out to ejection records and link
@@ -789,6 +848,20 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
         }
     }
 
+    // Engine self-profiling: each worker gets its own span track (no
+    // sharing, no locks on the hot path); health gauges ride a lock-free
+    // atomic board the coordinator samples on the heartbeat interval.
+    let profiling = sim.telemetry.profiling();
+    let epoch = sim.telemetry.profiler().map(vix_telemetry::Profiler::epoch);
+    let span_cap = if profiling {
+        (sim.cfg.telemetry.profile_span_capacity / shards).max(1024)
+    } else {
+        0
+    };
+    let beat_every = sim.telemetry.profiler().map_or(0, vix_telemetry::Profiler::beat_every);
+    let board = profiling.then(|| HealthBoard::new(shards));
+    let steps_base = sim.gating.router_steps;
+
     // Split the network into per-shard mutable slices.
     let mut workers: Vec<ShardWorker> = Vec::with_capacity(shards);
     {
@@ -843,6 +916,8 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
                 gating,
                 out: RouterOutput::default(),
                 sink: TelemetrySink::new(TelemetrySettings::disabled()),
+                prof: epoch
+                    .map(|e| Box::new(Profiler::for_shard(s as u32, e, span_cap, 0, false))),
                 recs: Vec::new(),
                 ejects: Vec::new(),
             });
@@ -869,11 +944,19 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
         let mut handles = Vec::with_capacity(shards);
         for mut w in workers {
             let (barrier, mail, staged, outs) = (&barrier, &mail, &staged, &outs);
+            let board = &board;
             handles.push(scope.spawn(move || {
                 for t in start..end {
+                    let sp = w.sp_start();
                     barrier.wait();
+                    let _ = w.sp_lap(SpanKind::BarrierWait, t, sp);
                     w.run_cycle(t, t + 1 == end, mail, &staged[w.idx], &outs[w.idx]);
+                    if let Some(b) = board.as_ref() {
+                        w.publish_health(b, t, beat_every);
+                    }
+                    let sp = w.sp_start();
                     barrier.wait();
+                    w.sp_lap(SpanKind::BarrierWait, t, sp);
                 }
                 w
             }));
@@ -882,8 +965,10 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
         // run's single RNG, in the exact serial order, so the random
         // stream and packet-id sequence are shard-count-invariant.
         for t in start..end {
+            let mut csp = sim.telemetry.span_start();
             if t > start {
                 merge_cycle(&outs, &mut sim.stats, &mut sim.ejected);
+                csp = sim.telemetry.span_lap(SpanKind::StatsMerge, t, csp);
             }
             if t < warm_plus_measure {
                 let in_window = t >= warmup;
@@ -907,9 +992,27 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
                         }
                     }
                 }
+                csp = sim.telemetry.span_lap(SpanKind::TrafficGen, t, csp);
             }
             barrier.wait();
             barrier.wait();
+            sim.telemetry.span_lap(SpanKind::BarrierWait, t, csp);
+            if beat_every > 0 && (t + 1).is_multiple_of(beat_every) {
+                if let Some(b) = board.as_ref() {
+                    let busy = HealthBoard::read(&b.busy_ns);
+                    let barrier_ns = HealthBoard::read(&b.barrier_ns);
+                    let shard_cum: Vec<(u64, u64)> =
+                        busy.iter().zip(&barrier_ns).map(|(&b, &w)| (b, w)).collect();
+                    let steps =
+                        steps_base + HealthBoard::read(&b.router_steps).iter().sum::<u64>();
+                    let wake = HealthBoard::read(&b.wake_depth).iter().sum::<u64>();
+                    let buffered = HealthBoard::read(&b.buffered_flits).iter().sum::<u64>();
+                    sim.telemetry
+                        .profiler_mut()
+                        .expect("heartbeat interval implies profiling")
+                        .heartbeat(t + 1, steps, wake, buffered, &shard_cum);
+                }
+            }
         }
         merge_cycle(&outs, &mut sim.stats, &mut sim.ejected);
         handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
@@ -923,6 +1026,11 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
         .into_iter()
         .map(|w| {
             sim.gating.router_steps += w.gating.router_steps;
+            if let Some(p) = w.prof {
+                if let Some(engine) = sim.telemetry.profiler_mut() {
+                    engine.absorb(*p);
+                }
+            }
             (w.idx, w.gating.stepped_until, w.gating.work)
         })
         .collect();

@@ -42,6 +42,7 @@ pub struct LoadSweep {
     replications: usize,
     jobs: usize,
     points: Vec<SweepPoint>,
+    profile: Option<Box<vix_telemetry::Profiler>>,
 }
 
 impl LoadSweep {
@@ -60,6 +61,7 @@ impl LoadSweep {
             replications: 1,
             jobs: base.jobs,
             points: Vec::new(),
+            profile: None,
         }
     }
 
@@ -123,8 +125,15 @@ impl LoadSweep {
     /// Returns the first configuration error encountered (e.g. a rate
     /// exceeding the flit bandwidth).
     pub fn run(mut self) -> Result<LoadSweep, ConfigError> {
-        self.points =
-            runner::run_sweep(self.base, &self.pattern, &self.rates, self.replications, self.jobs)?;
+        let (points, profile) = runner::run_sweep_with_profile(
+            self.base,
+            &self.pattern,
+            &self.rates,
+            self.replications,
+            self.jobs,
+        )?;
+        self.points = points;
+        self.profile = profile;
         Ok(self)
     }
 
@@ -180,6 +189,17 @@ impl LoadSweep {
     #[must_use]
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
+    }
+
+    /// The engine profile merged across every point's simulation, when
+    /// the base configuration enabled
+    /// [`TelemetrySettings::profiling`](vix_core::TelemetrySettings) —
+    /// its [`breakdown`](vix_telemetry::Profiler::breakdown) shows where
+    /// the whole sweep spent its time. `None` when profiling is off or
+    /// the sweep has not run.
+    #[must_use]
+    pub fn profile(&self) -> Option<&vix_telemetry::Profiler> {
+        self.profile.as_deref()
     }
 
     /// Number of measured points.

@@ -2,7 +2,7 @@
 //!
 //! The simulator's steady-state hot path is allocation-free and
 //! bit-reproducible, so observability has to be *opt-in and free when
-//! off*. This crate provides four pieces, all designed around that
+//! off*. This crate provides five pieces, all designed around that
 //! constraint:
 //!
 //! * [`trace`] — a flit-lifecycle event tracer. Eight event kinds
@@ -20,6 +20,13 @@
 //!   issued, and the per-cycle matching upper bound.
 //! * [`log`] — a tiny leveled logger (`VIX_LOG=warn|info|debug`) so
 //!   benches and CI runs are quiet by default.
+//! * [`prof`] — engine self-profiling: monotonic-clock phase spans
+//!   ([`Profiler`], exported as per-shard Perfetto flame tracks) and
+//!   periodic [`SimHealth`] heartbeats (cycles/sec, active routers,
+//!   wake-calendar depth, VC-slab occupancy, per-shard busy/barrier
+//!   split). Profiling observes only the host clock — never simulation
+//!   state — so it is the one recording facility that composes with the
+//!   sharded engine.
 //!
 //! Everything funnels through a [`TelemetrySink`]: the simulator owns one
 //! sink, built from [`vix_core::config::TelemetrySettings`], and threads
@@ -52,11 +59,16 @@ pub mod json;
 pub mod log;
 pub mod matching;
 pub mod metrics;
+pub mod prof;
 pub mod sink;
 pub mod trace;
 
 pub use log::LogLevel;
 pub use matching::{MatchingStats, MatchingSummary};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use prof::{
+    HealthBoard, PhaseBreakdown, Profiler, ShardBeat, SimHealth, SpanKind, SpanRecord, SpanStart,
+    ENGINE_TRACK,
+};
 pub use sink::{TelemetrySink, WellKnownMetrics};
 pub use trace::{TraceEvent, TraceEventKind, TraceRing, NO_FLIT, NO_ID, NO_PACKET};

@@ -24,6 +24,7 @@
 //! or performs I/O until an exporter is invoked after the run.
 
 use crate::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+use crate::prof::{Profiler, SpanKind, SpanStart, ENGINE_TRACK};
 use crate::trace::{TraceEvent, TraceRing};
 use vix_core::config::TelemetrySettings;
 
@@ -52,6 +53,9 @@ pub struct TelemetrySink {
     metrics: bool,
     ring: TraceRing,
     registry: MetricsRegistry,
+    /// Engine self-profiler; `None` (no allocation, one branch per
+    /// hook) unless `settings.profiling` asked for it.
+    prof: Option<Box<Profiler>>,
     /// Pre-registered metric handles (all zero when metrics are off —
     /// every recording method is guarded, so the dummy IDs are inert).
     pub ids: WellKnownMetrics,
@@ -79,7 +83,22 @@ impl TelemetrySink {
         } else {
             WellKnownMetrics::default()
         };
-        TelemetrySink { tracing: settings.tracing, metrics: settings.metrics, ring, registry, ids }
+        let prof = settings.profiling.then(|| {
+            Box::new(Profiler::new(
+                ENGINE_TRACK,
+                settings.profile_span_capacity,
+                settings.heartbeat_every,
+                settings.heartbeat_stream,
+            ))
+        });
+        TelemetrySink {
+            tracing: settings.tracing,
+            metrics: settings.metrics,
+            ring,
+            registry,
+            prof,
+            ids,
+        }
     }
 
     /// The default sink: everything off, nothing allocated.
@@ -90,6 +109,7 @@ impl TelemetrySink {
             metrics: false,
             ring: TraceRing::disabled(),
             registry: MetricsRegistry::new(),
+            prof: None,
             ids: WellKnownMetrics::default(),
         }
     }
@@ -153,6 +173,55 @@ impl TelemetrySink {
         }
     }
 
+    /// True when the engine self-profiler is live.
+    #[inline]
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Starts a profiling span chain: the returned token is the first
+    /// phase's start. [`SpanStart::DISABLED`] (no clock read) when
+    /// profiling is off.
+    #[inline]
+    #[must_use]
+    pub fn span_start(&self) -> SpanStart {
+        match &self.prof {
+            Some(p) => p.start(),
+            None => SpanStart::DISABLED,
+        }
+    }
+
+    /// Closes the span begun at `from` as `kind` for `cycle` and starts
+    /// the next one at the same instant. One branch, no clock read,
+    /// when profiling is off.
+    #[inline]
+    pub fn span_lap(&mut self, kind: SpanKind, cycle: u64, from: SpanStart) -> SpanStart {
+        match &mut self.prof {
+            Some(p) => p.lap(kind, cycle, from),
+            None => SpanStart::DISABLED,
+        }
+    }
+
+    /// The engine self-profiler, when enabled.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    /// Mutable access to the engine self-profiler, when enabled
+    /// (heartbeat sampling, absorbing worker profilers).
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.prof.as_deref_mut()
+    }
+
+    /// Consumes the sink and hands back its profiler — for aggregating
+    /// phase breakdowns across a sweep's independent simulations.
+    #[must_use]
+    pub fn into_profiler(self) -> Option<Box<Profiler>> {
+        self.prof
+    }
+
     /// The recorded trace, for the exporters.
     #[must_use]
     pub fn trace_ring(&self) -> &TraceRing {
@@ -203,6 +272,23 @@ mod tests {
         assert_eq!(sink.trace_ring().len(), 1);
         assert_eq!(sink.registry().counter("stall.sa_no_credit"), Some(2));
         assert_eq!(sink.registry().histogram("router0.vc_occupancy").unwrap().1, 1);
+    }
+
+    #[test]
+    fn profiling_sink_laps_and_disabled_sink_does_not() {
+        let mut off = TelemetrySink::disabled();
+        assert!(!off.profiling());
+        let t = off.span_start();
+        let t = off.span_lap(SpanKind::RouterStep, 0, t);
+        assert!(t.0.is_none(), "disabled sink must never take the clock");
+        assert!(off.profiler().is_none());
+
+        let mut on = TelemetrySink::new(TelemetrySettings::disabled().with_profiling(true));
+        assert!(on.profiling() && !on.tracing() && !on.metrics_enabled());
+        let t = on.span_start();
+        on.span_lap(SpanKind::RouterStep, 0, t);
+        let b = on.profiler().unwrap().breakdown();
+        assert_eq!(b.totals[SpanKind::RouterStep as usize].count, 1);
     }
 
     #[test]

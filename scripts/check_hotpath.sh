@@ -5,9 +5,12 @@
 # cycles-per-second figure against the checked-in BENCH_hotpath.json;
 # any row more than 25 % slower than its recorded figure fails the run
 # (the comparison itself lives in the bench's `--check` mode, including
-# one noise retry per over-budget row). When the pre-ring-transport
-# BENCH_hotpath_baseline.json is present, the run also prints a one-line
-# speedup summary against it.
+# one noise retry per over-budget row). The same run measures the
+# engine self-profiler's overhead and prints it as a one-line
+# `profiler overhead:` summary (profiled vs plain ns/cycle per
+# allocator); `--check` fails if the delta exceeds the 5 % budget from
+# DESIGN.md §7. When the pre-ring-transport BENCH_hotpath_baseline.json
+# is present, the run also prints a one-line speedup summary against it.
 #
 # Regenerate the recorded figures after an intentional perf change with:
 #   cargo bench -p vix-bench --bench hotpath

@@ -46,6 +46,19 @@ cargo run --release --bin vixsim -- --allocator vix --rate 0.08 \
 test -s target/telemetry-smoke/trace.json
 test -s target/telemetry-smoke/metrics.json
 
+# Profiled smoke sim: a short sharded run with engine self-profiling on
+# must produce a Perfetto-loadable per-shard trace and a heartbeat JSONL
+# end to end (CI uploads both; schema pinned by tests/telemetry_schema.rs).
+echo "==> vixsim profiled smoke run (sharded)"
+mkdir -p target/profile-smoke
+cargo run --release --bin vixsim -- --allocator vix --nodes 256 \
+    --rate 0.05 --shards 4 --warmup 200 --measure 600 --drain 300 \
+    --heartbeat 200 \
+    --profile-out target/profile-smoke/profile.json \
+    --heartbeat-out target/profile-smoke/health.jsonl
+test -s target/profile-smoke/profile.json
+test -s target/profile-smoke/health.jsonl
+
 echo "==> cargo bench -p vix-bench --bench loadsweep -- --smoke"
 cargo bench -p vix-bench --bench loadsweep -- --smoke
 
@@ -61,8 +74,10 @@ echo "==> scripts/check_shardscaling.sh"
 scripts/check_shardscaling.sh
 
 # Hot-path perf guard: fresh steady-state cycles/sec must stay within
-# 25% of the recorded BENCH_hotpath.json rates; also prints the one-line
-# speedup summary vs the pre-ring-transport BENCH_hotpath_baseline.json.
+# 25% of the recorded BENCH_hotpath.json rates, and the engine
+# self-profiler's measured overhead must stay within its 5% budget;
+# also prints the one-line speedup summary vs the pre-ring-transport
+# BENCH_hotpath_baseline.json.
 echo "==> scripts/check_hotpath.sh"
 scripts/check_hotpath.sh
 

@@ -7,6 +7,7 @@
 //!        [--warmup N] [--measure N] [--drain N] [--seed S] [--jobs N]
 //!        [--shards N] [--no-speculation] [--no-dimension-aware] [--age-based-sa]
 //!        [--trace-out FILE] [--metrics-out FILE]
+//!        [--profile-out FILE] [--heartbeat N] [--heartbeat-out FILE]
 //! ```
 //!
 //! Example: `vixsim --allocator vix --rate 0.10 --pattern transpose`
@@ -16,6 +17,17 @@
 //! `chrome://tracing`), anything else line-delimited JSON. `--metrics-out`
 //! writes the metrics registry and the allocator matching-efficiency
 //! record as JSON; in sweep mode it holds the per-rate matching records.
+//!
+//! `--profile-out` turns on engine self-profiling (phase spans over the
+//! pipeline phases, stats merge, and shard barrier waits — DESIGN.md §7)
+//! and writes it out: `.json` = Chrome trace-event with one Perfetto
+//! track per shard, otherwise span JSON lines; in sweep mode it holds
+//! the merged phase-breakdown JSON. `--heartbeat N` samples a
+//! [`SimHealth`](vix::telemetry::SimHealth) snapshot every `N` cycles
+//! and streams it to stderr live; `--heartbeat-out` writes the snapshots
+//! as JSON lines instead (both imply profiling). Unlike `--trace-out`,
+//! profiling composes with `--shards`: that is where the per-shard
+//! busy/barrier balance comes from.
 
 use std::process::ExitCode;
 use vix::prelude::*;
@@ -43,6 +55,9 @@ struct Options {
     sweep_csv: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile_out: Option<String>,
+    heartbeat: u64,
+    heartbeat_out: Option<String>,
 }
 
 impl Default for Options {
@@ -69,6 +84,9 @@ impl Default for Options {
             sweep_csv: None,
             trace_out: None,
             metrics_out: None,
+            profile_out: None,
+            heartbeat: 0,
+            heartbeat_out: None,
         }
     }
 }
@@ -95,7 +113,16 @@ const USAGE: &str = "usage: vixsim [options]
   --trace-out <file>               record the flit-lifecycle trace (single
                                    run only): .json = Chrome trace-event
                                    (Perfetto), otherwise JSON lines
-  --metrics-out <file>             write metrics + matching efficiency JSON";
+  --metrics-out <file>             write metrics + matching efficiency JSON
+  --profile-out <file>             engine self-profile: .json = Chrome
+                                   trace-event with one track per shard
+                                   (Perfetto), otherwise span JSON lines;
+                                   sweep mode writes the phase-breakdown
+                                   JSON. Composes with --shards.
+  --heartbeat <cycles>             stream a SimHealth snapshot to stderr
+                                   every N cycles (implies profiling)
+  --heartbeat-out <file>           write heartbeat snapshots as JSON lines
+                                   (single run; default interval 1000)";
 
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opt = Options::default();
@@ -162,6 +189,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--sweep-csv" => opt.sweep_csv = Some(value()?.clone()),
             "--trace-out" => opt.trace_out = Some(value()?.clone()),
             "--metrics-out" => opt.metrics_out = Some(value()?.clone()),
+            "--profile-out" => opt.profile_out = Some(value()?.clone()),
+            "--heartbeat" => {
+                opt.heartbeat = value()?.parse().map_err(|e| format!("bad heartbeat: {e}"))?
+            }
+            "--heartbeat-out" => opt.heartbeat_out = Some(value()?.clone()),
             "--no-dimension-aware" => opt.dimension_aware = false,
             "--age-based-sa" => opt.age_based_sa = true,
             "--help" | "-h" => return Err(String::new()),
@@ -223,9 +255,23 @@ fn main() -> ExitCode {
         });
     let network =
         NetworkConfig { topology: opt.topology, nodes: opt.nodes, router, allocator: opt.allocator };
+    let profiling =
+        opt.profile_out.is_some() || opt.heartbeat > 0 || opt.heartbeat_out.is_some();
+    // --heartbeat-out without an explicit interval samples every 1000
+    // cycles; --heartbeat alone streams to stderr live.
+    let beat_every = if opt.heartbeat > 0 {
+        opt.heartbeat
+    } else if opt.heartbeat_out.is_some() {
+        1_000
+    } else {
+        0
+    };
     let telemetry = TelemetrySettings::disabled()
         .with_tracing(opt.trace_out.is_some())
-        .with_metrics(opt.metrics_out.is_some() && opt.sweep_csv.is_none());
+        .with_metrics(opt.metrics_out.is_some() && opt.sweep_csv.is_none())
+        .with_profiling(profiling)
+        .with_heartbeat(beat_every)
+        .with_heartbeat_stream(opt.heartbeat > 0);
     let cfg = SimConfig::new(network, opt.rate)
         .with_packet_len(opt.packet_len)
         .with_windows(opt.warmup, opt.measure, opt.drain)
@@ -237,6 +283,10 @@ fn main() -> ExitCode {
     if let Some(path) = &opt.sweep_csv {
         if opt.trace_out.is_some() {
             eprintln!("error: --trace-out records a single run; drop --sweep-csv");
+            return ExitCode::FAILURE;
+        }
+        if opt.heartbeat_out.is_some() {
+            eprintln!("error: --heartbeat-out records a single run; drop --sweep-csv");
             return ExitCode::FAILURE;
         }
         let sweep = match LoadSweep::new(cfg).with_pattern(opt.pattern.clone()).run() {
@@ -277,6 +327,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote per-rate matching metrics to {mpath}");
+        }
+        if let Some(prof) = sweep.profile() {
+            let breakdown = prof.breakdown();
+            if let Some(ppath) = &opt.profile_out {
+                if let Err(e) = std::fs::write(ppath, breakdown.to_json()) {
+                    eprintln!("error: writing {ppath}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote sweep phase breakdown to {ppath}");
+            }
+            print!("{}", breakdown.render());
         }
         println!(
             "wrote {} sweep points to {path} (saturation {:.4} pkt/node/cycle)",
@@ -339,6 +400,46 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote metrics to {path}");
+    }
+    if let Some(prof) = tel.profiler() {
+        if let Some(path) = &opt.profile_out {
+            let write = || -> std::io::Result<()> {
+                let file = std::fs::File::create(path)?;
+                let mut w = std::io::BufWriter::new(file);
+                if path.ends_with(".json") {
+                    prof.write_chrome_trace(&mut w)?;
+                } else {
+                    prof.write_spans_jsonl(&mut w)?;
+                }
+                std::io::Write::flush(&mut w)
+            };
+            if let Err(e) = write() {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote engine profile to {path}{}",
+                if prof.dropped_spans() > 0 {
+                    format!(" ({} oldest spans dropped by the ring)", prof.dropped_spans())
+                } else {
+                    String::new()
+                }
+            );
+        }
+        if let Some(path) = &opt.heartbeat_out {
+            let write = || -> std::io::Result<()> {
+                let file = std::fs::File::create(path)?;
+                let mut w = std::io::BufWriter::new(file);
+                prof.write_health_jsonl(&mut w)?;
+                std::io::Write::flush(&mut w)
+            };
+            if let Err(e) = write() {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} heartbeats to {path}", prof.heartbeats().len());
+        }
+        print!("{}", prof.breakdown().render());
     }
     println!("  offered   {:.4} pkt/node/cycle", stats.offered_packets_per_node_cycle());
     println!("  accepted  {:.4} pkt/node/cycle ({:.4} flits/node/cycle)",

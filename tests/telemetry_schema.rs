@@ -11,12 +11,16 @@
 //! The schema is a contract with external tooling (Perfetto, jq
 //! pipelines); this test pins it so a field rename or a sentinel leaking
 //! into the output is a test failure, not a downstream surprise.
+//!
+//! The second half pins the engine self-profiling exports the same way
+//! (DESIGN.md §7): span JSONL, heartbeat JSONL, the per-shard Chrome
+//! trace, and the contract that profiling never perturbs results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use vix::prelude::*;
 use vix::telemetry::json::{self, JsonValue};
-use vix::telemetry::{TraceEventKind, TraceRing};
+use vix::telemetry::{SpanKind, TraceEventKind, TraceRing};
 
 /// Builds and steps a 2×2 mesh for 200 cycles with tracing on, returning
 /// the sink.
@@ -160,4 +164,245 @@ fn chrome_trace_is_well_formed_with_monotone_tracks() {
     }
     assert!(instants > 0, "Chrome trace holds only metadata records");
     assert!(last_ts.keys().any(|&(pid, _)| pid > 0), "expected events from more than one router");
+}
+
+/// Builds and runs a 16×16 mesh across `shards` shards with profiling
+/// and a heartbeat every 100 cycles, returning the sink.
+fn profiled_sharded_run(shards: usize) -> TelemetrySink {
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    network.nodes = 256; // 16×16 mesh — the acceptance-criteria shape
+    let telemetry = TelemetrySettings::disabled().with_heartbeat(100);
+    let cfg = SimConfig::new(network, 0.05)
+        .with_windows(100, 150, 50)
+        .with_shards(shards)
+        .with_telemetry(telemetry);
+    let sim = NetworkSim::build(cfg).expect("valid config");
+    sim.run_with_telemetry().1
+}
+
+/// The pinned key set of one span JSONL line.
+const SPAN_KEYS: [&str; 5] = ["span", "track", "cycle", "start_ns", "dur_ns"];
+
+#[test]
+fn profile_span_jsonl_matches_documented_schema() {
+    let tel = profiled_sharded_run(1);
+    let prof = tel.profiler().expect("profiling was enabled");
+
+    let mut out = Vec::new();
+    prof.write_spans_jsonl(&mut out).expect("write to Vec cannot fail");
+    let text = String::from_utf8(out).expect("span JSONL output is UTF-8");
+    assert!(!text.is_empty(), "a profiled run must record spans");
+
+    let span_names: HashSet<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+    let mut seen: HashSet<String> = HashSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let value = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: invalid JSON ({e}): {line}", lineno + 1));
+        let members = value
+            .as_object()
+            .unwrap_or_else(|| panic!("line {}: not a JSON object: {line}", lineno + 1));
+        assert_eq!(
+            members.len(),
+            SPAN_KEYS.len(),
+            "line {}: key set drifted from the pinned schema: {line}",
+            lineno + 1
+        );
+        for key in SPAN_KEYS {
+            assert!(value.get(key).is_some(), "line {}: missing `{key}`: {line}", lineno + 1);
+        }
+        let span = value.get("span").and_then(JsonValue::as_str).expect("span is a string");
+        assert!(span_names.contains(span), "line {}: unknown span kind {span:?}", lineno + 1);
+        seen.insert(span.to_owned());
+        assert_eq!(
+            value.get("track").and_then(JsonValue::as_str),
+            Some("engine"),
+            "a serial run records only the engine track"
+        );
+        for key in ["cycle", "start_ns", "dur_ns"] {
+            assert!(
+                value.get(key).and_then(JsonValue::as_u64).is_some(),
+                "line {}: `{key}` must be an unsigned integer: {line}",
+                lineno + 1
+            );
+        }
+    }
+    for kind in [SpanKind::TrafficGen, SpanKind::SourceInject, SpanKind::RouterStep] {
+        assert!(seen.contains(kind.name()), "no {} span recorded (saw {seen:?})", kind.name());
+    }
+}
+
+/// The pinned key sets of one heartbeat JSONL line and its `shards`
+/// entries.
+const HEARTBEAT_KEYS: [&str; 10] = [
+    "cycle",
+    "wall_ns",
+    "interval_cycles",
+    "cycles_per_sec",
+    "router_steps",
+    "active_routers_avg",
+    "wake_depth",
+    "buffered_flits",
+    "imbalance_pct",
+    "shards",
+];
+const SHARD_BEAT_KEYS: [&str; 4] = ["shard", "busy_ns", "barrier_ns", "busy_ratio"];
+
+fn assert_heartbeat_schema(text: &str, expect_shards: usize) {
+    assert!(!text.is_empty(), "a heartbeat-enabled run must emit heartbeats");
+    for (lineno, line) in text.lines().enumerate() {
+        let value = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: invalid JSON ({e}): {line}", lineno + 1));
+        let members = value
+            .as_object()
+            .unwrap_or_else(|| panic!("line {}: not a JSON object: {line}", lineno + 1));
+        assert_eq!(
+            members.len(),
+            HEARTBEAT_KEYS.len(),
+            "line {}: key set drifted from the pinned schema: {line}",
+            lineno + 1
+        );
+        for key in HEARTBEAT_KEYS {
+            assert!(value.get(key).is_some(), "line {}: missing `{key}`: {line}", lineno + 1);
+        }
+        for key in ["cycle", "wall_ns", "interval_cycles", "router_steps", "wake_depth",
+            "buffered_flits"]
+        {
+            assert!(
+                value.get(key).and_then(JsonValue::as_u64).is_some(),
+                "line {}: `{key}` must be an unsigned integer: {line}",
+                lineno + 1
+            );
+        }
+        for key in ["cycles_per_sec", "active_routers_avg", "imbalance_pct"] {
+            assert!(
+                value.get(key).and_then(JsonValue::as_f64).is_some(),
+                "line {}: `{key}` must be a number: {line}",
+                lineno + 1
+            );
+        }
+        let shards =
+            value.get("shards").and_then(JsonValue::as_array).expect("shards is an array");
+        assert_eq!(shards.len(), expect_shards, "line {}: wrong shard count", lineno + 1);
+        for beat in shards {
+            let beat_members = beat.as_object().expect("shard beat is an object");
+            assert_eq!(
+                beat_members.len(),
+                SHARD_BEAT_KEYS.len(),
+                "line {}: shard-beat key set drifted: {line}",
+                lineno + 1
+            );
+            for key in SHARD_BEAT_KEYS {
+                assert!(
+                    beat.get(key).and_then(JsonValue::as_f64).is_some(),
+                    "line {}: shard beat missing numeric `{key}`: {line}",
+                    lineno + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn heartbeat_jsonl_matches_documented_schema_serial_and_sharded() {
+    // Serial: the engine publishes one synthetic shard beat per interval.
+    let tel = profiled_sharded_run(1);
+    let mut out = Vec::new();
+    tel.profiler()
+        .expect("profiling was enabled")
+        .write_health_jsonl(&mut out)
+        .expect("write to Vec cannot fail");
+    assert_heartbeat_schema(&String::from_utf8(out).expect("UTF-8"), 1);
+
+    // Sharded: one real beat per shard, sampled off the health board.
+    let tel = profiled_sharded_run(2);
+    let mut out = Vec::new();
+    tel.profiler()
+        .expect("profiling was enabled")
+        .write_health_jsonl(&mut out)
+        .expect("write to Vec cannot fail");
+    assert_heartbeat_schema(&String::from_utf8(out).expect("UTF-8"), 2);
+}
+
+#[test]
+fn profiled_sharded_chrome_trace_has_per_shard_tracks() {
+    let tel = profiled_sharded_run(2);
+    let prof = tel.profiler().expect("profiling was enabled");
+
+    let mut out = Vec::new();
+    prof.write_chrome_trace(&mut out).expect("write to Vec cannot fail");
+    let text = String::from_utf8(out).expect("Chrome trace output is UTF-8");
+
+    let doc = json::parse(&text).expect("Chrome trace must be well-formed JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("top-level `traceEvents` array");
+
+    let mut track_names: HashMap<u64, String> = HashMap::new();
+    let mut span_tids: HashSet<u64> = HashSet::new();
+    let mut counters = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).expect("every event has `ph`");
+        let tid = ev.get("tid").and_then(JsonValue::as_u64).expect("every event has `tid`");
+        match ph {
+            "M" => {
+                let name = ev.get("name").and_then(JsonValue::as_str).expect("metadata name");
+                if name == "thread_name" {
+                    let value = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(JsonValue::as_str)
+                        .expect("thread_name metadata carries args.name");
+                    track_names.insert(tid, value.to_owned());
+                }
+            }
+            "X" => {
+                // Complete event: needs ts + dur for Perfetto to lay the
+                // flame track out.
+                assert!(ev.get("ts").and_then(JsonValue::as_f64).is_some(), "X event has ts");
+                assert!(ev.get("dur").and_then(JsonValue::as_f64).is_some(), "X event has dur");
+                span_tids.insert(tid);
+            }
+            "C" => counters += 1,
+            other => panic!("unexpected phase {other:?} in profile trace"),
+        }
+    }
+    assert_eq!(track_names.get(&1).map(String::as_str), Some("shard0"));
+    assert_eq!(track_names.get(&2).map(String::as_str), Some("shard1"));
+    assert!(span_tids.contains(&1) && span_tids.contains(&2), "both shards must record spans");
+    assert!(span_tids.contains(&0), "the coordinator records the engine track");
+    assert!(counters > 0, "heartbeats must export counter tracks");
+}
+
+#[test]
+fn profiling_never_perturbs_results() {
+    let build = |profiling: bool, shards: usize| {
+        let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+        network.nodes = 64;
+        let telemetry = if profiling {
+            TelemetrySettings::disabled().with_heartbeat(50)
+        } else {
+            TelemetrySettings::disabled()
+        };
+        let cfg = SimConfig::new(network, 0.08)
+            .with_windows(100, 200, 100)
+            .with_shards(shards)
+            .with_telemetry(telemetry);
+        NetworkSim::build(cfg).expect("valid config").run()
+    };
+    // The profiler only reads the wall clock, so stats must stay
+    // bit-identical with it on — serial and sharded.
+    assert_eq!(build(false, 1), build(true, 1), "serial run perturbed by profiling");
+    assert_eq!(build(false, 4), build(true, 4), "sharded run perturbed by profiling");
+}
+
+#[test]
+fn disabled_profiling_records_nothing() {
+    let mut network = NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    network.nodes = 16;
+    let cfg = SimConfig::new(network, 0.05).with_windows(50, 100, 50);
+    let sim = NetworkSim::build(cfg).expect("valid config");
+    let (_, tel) = sim.run_with_telemetry();
+    assert!(!tel.profiling(), "profiling must default to off");
+    assert!(tel.profiler().is_none(), "no profiler may exist on a default run");
 }

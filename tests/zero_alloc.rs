@@ -152,9 +152,15 @@ fn disabled_telemetry_sink_adds_no_allocations() {
     // scheduler) must hold the exact same allocation gate as the
     // uninstrumented code did.
     for kind in [AllocatorKind::InputFirst, AllocatorKind::Vix] {
+        // `with_profiling(false)` keeps the engine self-profiler covered
+        // by the same gate: a disabled profiler is `None` — one branch
+        // per span hook, no clock reads, no allocation (DESIGN.md §7).
         let allocs = allocations_in_steady_state(
             kind,
-            TelemetrySettings::disabled().with_tracing(false).with_metrics(false),
+            TelemetrySettings::disabled()
+                .with_tracing(false)
+                .with_metrics(false)
+                .with_profiling(false),
         );
         assert!(
             allocs < 64,
