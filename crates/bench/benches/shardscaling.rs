@@ -123,6 +123,9 @@ struct ShardProfile {
     busy_ratio: Vec<f64>,
     /// `(max − min) / max` busy time across shards, in percent.
     imbalance_pct: f64,
+    /// `BarrierWait` share of all shard-track span time, in percent —
+    /// the number the one-barrier/pipelined protocol exists to shrink.
+    barrier_share_pct: f64,
 }
 
 /// Runs the bench configuration once with profiling on and reads the
@@ -146,7 +149,11 @@ fn profile_run(shards: usize, p: &BenchParams) -> ShardProfile {
     let max = shard_tracks.iter().map(|t| t.busy_ns).max().unwrap_or(0);
     let min = shard_tracks.iter().map(|t| t.busy_ns).min().unwrap_or(0);
     let imbalance_pct = if max > 0 { (max - min) as f64 / max as f64 * 100.0 } else { 0.0 };
-    ShardProfile { shards, busy_ratio, imbalance_pct }
+    let busy_total: u64 = shard_tracks.iter().map(|t| t.busy_ns).sum();
+    let barrier_total: u64 = shard_tracks.iter().map(|t| t.barrier_ns).sum();
+    let barrier_share_pct =
+        barrier_total as f64 / (busy_total + barrier_total).max(1) as f64 * 100.0;
+    ShardProfile { shards, busy_ratio, imbalance_pct, barrier_share_pct }
 }
 
 fn print_profile(profile: &ShardProfile) {
@@ -157,8 +164,8 @@ fn print_profile(profile: &ShardProfile) {
         .collect::<Vec<_>>()
         .join("/");
     println!(
-        "shards={} profile: busy {ratios}  imbalance {:.1}%",
-        profile.shards, profile.imbalance_pct
+        "shards={} profile: busy {ratios}  barrier share {:.1}%  imbalance {:.1}%",
+        profile.shards, profile.barrier_share_pct, profile.imbalance_pct
     );
 }
 
@@ -176,6 +183,10 @@ fn write_json(results: &[ShardResult], profile: &ShardProfile, p: &BenchParams) 
     out.push_str(&format!("  \"measured_cycles\": {},\n", p.measured_cycles));
     out.push_str(&format!("  \"samples\": {},\n", p.samples));
     out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    // Protocol tag: which sharded cycle protocol produced the figures
+    // (two futex barriers per cycle before PR 10, one pipelined spin
+    // barrier after), so recordings across the trajectory stay legible.
+    out.push_str("  \"protocol\": \"spin-barrier-pipelined\",\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -197,8 +208,8 @@ fn write_json(results: &[ShardResult], profile: &ShardProfile, p: &BenchParams) 
         .join(", ");
     out.push_str(&format!(
         "  \"profile\": {{\"shards\": {}, \"busy_ratio\": [{ratios}], \
-         \"imbalance_pct\": {:.1}}}\n",
-        profile.shards, profile.imbalance_pct
+         \"barrier_share_pct\": {:.1}, \"imbalance_pct\": {:.1}}}\n",
+        profile.shards, profile.barrier_share_pct, profile.imbalance_pct
     ));
     out.push_str("}\n");
     let path = workspace_json_path();

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod barrier;
 mod channel;
 mod network;
 pub mod runner;
@@ -45,6 +46,7 @@ mod source;
 mod stats;
 mod sweep;
 
+pub use barrier::{BarrierPoisoned, SpinBarrier, SpinWaiter};
 pub use channel::Pipe;
 pub use network::{EjectedPacket, NetworkSim};
 pub use shard::ShardPlan;

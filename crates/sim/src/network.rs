@@ -209,6 +209,10 @@ pub struct NetworkSim {
     /// Event/metric sink built from [`SimConfig::telemetry`]; disabled by
     /// default, in which case every hook below compiles to a cheap branch.
     pub(crate) telemetry: TelemetrySink,
+    /// Per-router cost weights for the sharded engine's partition
+    /// ([`ShardPlan::weighted`](crate::ShardPlan::weighted)); `None` means
+    /// the uniform equal split. Set via [`NetworkSim::set_shard_weights`].
+    pub(crate) shard_weights: Option<Vec<u64>>,
     /// Per-router VC-occupancy histogram ids (empty when metrics are off).
     vc_occupancy: Vec<HistogramId>,
 }
@@ -340,6 +344,7 @@ impl NetworkSim {
             gating,
             telemetry,
             vc_occupancy,
+            shard_weights: None,
         })
     }
 
@@ -993,13 +998,58 @@ impl NetworkSim {
         self.telemetry
     }
 
+    /// Sets per-router cost weights for the sharded engine's partition:
+    /// the next sharded [`NetworkSim::run_cycles`] uses
+    /// [`ShardPlan::weighted`](crate::ShardPlan::weighted) over these
+    /// instead of the uniform equal split. Weights are relative (only
+    /// ratios matter) — e.g. per-router utilization from a prior run, or
+    /// a prior run's per-shard busy ratios spread over each shard's
+    /// routers (`vixsim --shard-weights`).
+    ///
+    /// Any contiguous partition is bit-identical to serial, so this is
+    /// purely a load-balance knob; results never change.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one weight per router and every
+    /// weight is finite, non-negative, and at least one is positive.
+    pub fn set_shard_weights(&mut self, weights: &[f64]) {
+        assert_eq!(
+            weights.len(),
+            self.routers.len(),
+            "need exactly one shard weight per router"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "shard weights must be finite and non-negative"
+        );
+        let max = weights.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 0.0, "at least one shard weight must be positive");
+        // Fixed-point scale: the heaviest router costs 65536, everything
+        // else proportional, floors clamped to 1 so no router is free.
+        self.shard_weights = Some(
+            weights
+                .iter()
+                .map(|w| ((w / max * 65536.0).round() as u64).max(1))
+                .collect(),
+        );
+    }
+
+    /// Clears weights set by [`NetworkSim::set_shard_weights`], restoring
+    /// the uniform equal-split partition.
+    pub fn clear_shard_weights(&mut self) {
+        self.shard_weights = None;
+    }
+
     /// Resolves [`SimConfig::shards`] to the worker count a
-    /// [`NetworkSim::run_cycles`] call will actually use: `0` becomes
-    /// [`std::thread::available_parallelism`], the result is clamped to
-    /// the router count (a shard must own at least one router), and runs
-    /// with telemetry recording enabled (tracing or metrics) fall back to
-    /// `1` — trace-event order and per-cycle scheduler gauges are defined
-    /// by the serial schedulers.
+    /// [`NetworkSim::run_cycles`] call will actually use: `0` (auto)
+    /// becomes [`std::thread::available_parallelism`] capped so that each
+    /// shard owns at least [`MIN_AUTO_ROUTERS`](Self::MIN_AUTO_ROUTERS)
+    /// routers (tiny shards are barrier-dominated), any explicit count is
+    /// clamped to the router count (a shard must own at least one
+    /// router), and runs with telemetry recording enabled (tracing or
+    /// metrics) fall back to `1` — trace-event order and per-cycle
+    /// scheduler gauges are defined by the serial schedulers.
     #[must_use]
     pub fn effective_shards(&self) -> usize {
         if self.cfg.shards == 1
@@ -1008,8 +1058,20 @@ impl NetworkSim {
         {
             return 1;
         }
-        crate::runner::resolve_jobs(self.cfg.shards).clamp(1, self.routers.len())
+        let requested = if self.cfg.shards == 0 {
+            let cap = (self.routers.len() / Self::MIN_AUTO_ROUTERS).max(1);
+            crate::runner::resolve_jobs(0).min(cap)
+        } else {
+            self.cfg.shards
+        };
+        requested.clamp(1, self.routers.len())
     }
+
+    /// Minimum routers per shard the `--shards auto` heuristic will
+    /// accept: below this, per-cycle work is too small to amortize even a
+    /// spin barrier and extra shards slow the run down. Explicit shard
+    /// counts are not constrained (parity tests drive 1-router shards).
+    pub const MIN_AUTO_ROUTERS: usize = 4;
 
     /// Advances the simulation by `cycles` cycles, using the sharded
     /// parallel engine when [`NetworkSim::effective_shards`] resolves to

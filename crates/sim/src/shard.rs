@@ -2,33 +2,54 @@
 //!
 //! [`LoadSweep`](crate::LoadSweep) parallelises *across* simulations; this
 //! module parallelises *within* one. The router graph is partitioned into
-//! contiguous shards ([`ShardPlan`]), each owned by one worker thread of a
-//! [`std::thread::scope`] pool, and the workers advance in lockstep one
-//! cycle at a time. Cross-shard traffic rides the ≥ 2-cycle link latency
-//! as conservative lookahead: everything a boundary pipe will deliver at
-//! cycle `t + 1` is already in flight (and final) by the end of cycle `t`,
-//! so a single end-of-cycle exchange per neighbour pair is enough and no
-//! rollback is ever needed.
+//! contiguous shards ([`ShardPlan`] — equal-sized by default, or weighted
+//! by per-router cost via [`ShardPlan::weighted`]), each owned by one
+//! worker thread of a [`std::thread::scope`] pool, and the workers advance
+//! in lockstep one cycle at a time. Cross-shard traffic rides the
+//! ≥ 2-cycle link latency as conservative lookahead: everything a boundary
+//! pipe will deliver at cycle `t + 1` is already in flight (and final) by
+//! the end of cycle `t`, so a single end-of-cycle exchange per neighbour
+//! pair is enough and no rollback is ever needed.
 //!
 //! # Cycle protocol
 //!
-//! Per simulated cycle `t`, separated by two [`std::sync::Barrier`] waits:
+//! **One barrier per cycle** (a [`SpinBarrier`] over `shards + 1`
+//! participants), with the coordinator pipelined one cycle ahead of the
+//! workers. While the workers execute cycle `t`, the coordinator — the
+//! run's sole RNG and stats owner — concurrently:
 //!
-//! 1. **Coordinator** (the calling thread): merge cycle `t − 1`'s
-//!    ejection records shard-by-shard in ascending shard order (which *is*
-//!    ascending router order, so statistics accumulate in exactly the
-//!    serial order), then run phase 1 traffic generation for cycle `t`
-//!    with the run's single RNG, staging each new packet to its source's
-//!    shard. — *barrier* —
-//! 2. **Workers**: drain staged packets and inbound cross-shard
-//!    mailboxes, execute the shard-local copy of the serial step (gated
-//!    or ungated, phases 2–5), then pop every boundary pipe up to
-//!    `t + 1` into the destination shard's mailbox for the next cycle.
-//!    — *barrier* —
+//! 1. merges cycle `t − 1`'s ejection records shard-by-shard in ascending
+//!    shard order (which *is* ascending router order, so statistics
+//!    accumulate in exactly the serial order), and
+//! 2. runs phase 1 traffic generation for cycle `t + 1` in serial node
+//!    order, batching each shard's packets into a coordinator-owned
+//!    staging buffer that is swapped into the shared slot with **one**
+//!    lock acquisition per shard per cycle.
 //!
-//! Mailboxes are double-buffered by cycle parity, so a worker drains
-//! cycle-`t` deliveries while its neighbours fill cycle-`t + 1` ones
-//! without contending on the same `Mutex`.
+//! Then everybody meets at the single end-of-cycle barrier and the next
+//! cycle begins. The lookahead is safe because the inputs of cycle `t`
+//! were fully staged before `t` started: cycle `start`'s packets are
+//! generated before the workers are spawned, and cycle `t + 1`'s are
+//! final at the barrier that closes `t` — a worker never observes a
+//! staging buffer mid-write.
+//!
+//! Workers, per cycle `t`: drain staged packets and inbound cross-shard
+//! mailboxes, execute the shard-local copy of the serial step (gated or
+//! ungated, phases 2–5), then pop every boundary pipe up to `t + 1` into
+//! the destination shard's mailbox for the next cycle, and publish the
+//! cycle's ejection records. — *barrier* —
+//!
+//! Mailboxes, staging slots, and record slots are all double-buffered by
+//! cycle parity, so the side that fills a cycle-`t + 1` buffer never
+//! contends with the side draining the cycle-`t` one: every `Mutex` in
+//! the protocol is uncontended by construction and acquired at most once
+//! per shard per cycle.
+//!
+//! A panicking participant (worker or coordinator) poisons the barrier
+//! through a `PoisonOnPanic` guard instead of leaving everyone else
+//! blocked; survivors observe the poison at their next wait, unwind, and
+//! the original panic propagates out of `run_sharded` as a clean
+//! re-thrown join failure.
 //!
 //! # Determinism
 //!
@@ -56,20 +77,23 @@
 //! rebuilt from pipe contents ([`Pipe::dues`]), so a simulation can move
 //! freely between the serial and sharded schedulers mid-run.
 
+use crate::barrier::{PoisonOnPanic, SpinBarrier, SpinWaiter};
 use crate::channel::Pipe;
 use crate::network::{
     CreditDest, EjectedPacket, GatingState, NetworkSim, WakeEvent, WAKE_RING,
 };
 use crate::source::SourceQueue;
 use crate::stats::NetworkStats;
-use std::sync::{Barrier, Mutex};
+use std::sync::Mutex;
 use vix_core::{
     Cycle, Flit, NodeId, PacketDescriptor, PacketId, PortId, RouterId, SimConfig,
     TelemetrySettings, VcId,
 };
+use vix_rng::rngs::StdRng;
 use vix_router::{Router, RouterOutput};
 use vix_telemetry::{HealthBoard, Profiler, SpanKind, SpanStart, TelemetrySink};
 use vix_topology::Topology;
+use vix_traffic::{BernoulliInjector, TrafficPattern};
 
 /// A partition of the router graph into contiguous, balanced shards.
 ///
@@ -99,7 +123,6 @@ impl ShardPlan {
     #[must_use]
     pub fn new(topology: &dyn Topology, shards: usize) -> Self {
         let routers = topology.routers();
-        let nodes = topology.nodes();
         assert!(shards >= 1 && shards <= routers, "shards must be in 1..={routers}");
         let base = routers / shards;
         let extra = routers % shards;
@@ -110,6 +133,69 @@ impl ShardPlan {
             at += base + usize::from(s < extra);
             router_start.push(at);
         }
+        ShardPlan::from_router_starts(topology, router_start)
+    }
+
+    /// Partitions `topology` into `shards` contiguous router ranges whose
+    /// per-shard **weight** sums are as even as a contiguous split allows:
+    /// each cut is placed where adding the next router would overshoot the
+    /// remaining-weight-per-remaining-shard target by more than stopping
+    /// short undershoots it. With uniform weights this reduces to the
+    /// equal split of [`ShardPlan::new`] (sizes differ by at most one).
+    ///
+    /// `weights[r]` is the relative cost of stepping router `r` — e.g. a
+    /// prior run's per-shard busy ratios or per-router utilization spread
+    /// over the routers (see `vixsim --shard-weights`). Zero weights are
+    /// treated as 1 so every shard stays non-empty.
+    ///
+    /// Any contiguous partition is bit-identical to serial (the merge
+    /// order is still ascending router order), so the weighting is purely
+    /// a load-balance knob — `tests/shard_parity.rs` pins this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the router count, or if
+    /// `weights.len()` differs from the router count, or on a non-monotone
+    /// node→router attachment (as [`ShardPlan::new`]).
+    #[must_use]
+    pub fn weighted(topology: &dyn Topology, shards: usize, weights: &[u64]) -> Self {
+        let routers = topology.routers();
+        assert!(shards >= 1 && shards <= routers, "shards must be in 1..={routers}");
+        assert_eq!(weights.len(), routers, "need exactly one weight per router");
+        let w = |r: usize| u128::from(weights[r].max(1));
+        let mut rem_w: u128 = (0..routers).map(w).sum();
+        let mut router_start = Vec::with_capacity(shards + 1);
+        router_start.push(0);
+        let mut at = 0usize;
+        for s in 0..shards - 1 {
+            let rem_shards = (shards - s) as u128;
+            // Every shard still to come needs at least one router.
+            let max_take = routers - at - (shards - s - 1);
+            let mut acc: u128 = 0;
+            let mut take = 0usize;
+            while take < max_take {
+                let next = w(at + take);
+                // Stop once acc + next/2 exceeds rem_w / rem_shards,
+                // i.e. once adding `next` moves further past the target
+                // than stopping short stays below it (integer form).
+                if take >= 1 && (2 * acc + next) * rem_shards > 2 * rem_w {
+                    break;
+                }
+                acc += next;
+                take += 1;
+            }
+            at += take;
+            rem_w -= acc;
+            router_start.push(at);
+        }
+        router_start.push(routers);
+        ShardPlan::from_router_starts(topology, router_start)
+    }
+
+    /// Finishes a plan from router fenceposts: derives the node
+    /// fenceposts and checks the node→router attachment is monotone.
+    fn from_router_starts(topology: &dyn Topology, router_start: Vec<usize>) -> Self {
+        let nodes = topology.nodes();
         let node_start: Vec<usize> = router_start
             .iter()
             .map(|&r| {
@@ -368,7 +454,11 @@ impl ShardWorker<'_> {
         }
     }
 
-    /// Executes this shard's part of cycle `t` (between the two barriers).
+    /// Executes this shard's part of cycle `t` (the window between two
+    /// end-of-cycle barriers). `staged` and `out_slot` are the cycle-`t`
+    /// parity slots: the coordinator filled `staged` before cycle `t`
+    /// began (one cycle ahead) and will drain `out_slot` during cycle
+    /// `t + 1`, so neither lock is ever contended.
     /// `last` marks the final cycle of the sharded stretch: its boundary
     /// scan is skipped so cycle-`t + 1` deliveries stay in their pipes —
     /// there is no cycle `t + 1` in this run to drain the mailboxes, and
@@ -767,6 +857,58 @@ fn merge_cycle(outs: &[Mutex<CycleOut>], stats: &mut NetworkStats, ejected: &mut
     }
 }
 
+/// Phase 1 traffic generation for cycle `u`, run by the coordinator one
+/// cycle ahead of the workers. Draws from the run's single RNG in serial
+/// node order — so the random stream, packet-id sequence, and
+/// offered-packet count are exactly what the serial `step()` for cycle
+/// `u` would produce — batching each shard's packets into a
+/// coordinator-owned buffer that is then swapped into the shared staging
+/// slot with one lock acquisition per (non-idle) shard.
+///
+/// The caller guarantees `u < warmup + measure` (generation stops with
+/// the serial schedule) and that slot `staged[...]` was drained by its
+/// worker two cycles ago, so the swap hands back an empty vector and the
+/// steady state stays allocation-free.
+#[allow(clippy::too_many_arguments)]
+fn generate_cycle(
+    u: u64,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+    injector: &BernoulliInjector,
+    pattern: &TrafficPattern,
+    rng: &mut StdRng,
+    next_packet: &mut u64,
+    stats: &mut NetworkStats,
+    gen_bufs: &mut [Vec<PacketDescriptor>],
+    staged: &[Mutex<Vec<PacketDescriptor>>],
+) {
+    let nodes_total = cfg.network.nodes;
+    let in_window = u >= cfg.warmup;
+    for n in 0..nodes_total {
+        if injector.fires(rng) {
+            let dest = pattern.pick_dest(NodeId(n), nodes_total, rng);
+            let packet = PacketDescriptor::new(
+                PacketId(*next_packet),
+                NodeId(n),
+                dest,
+                cfg.packet_len,
+                Cycle(u),
+            );
+            *next_packet += 1;
+            gen_bufs[plan.shard_of_node(n)].push(packet);
+            if in_window {
+                stats.record_offered(1);
+            }
+        }
+    }
+    for (buf, slot) in gen_bufs.iter_mut().zip(staged) {
+        if buf.is_empty() {
+            continue;
+        }
+        std::mem::swap(&mut *slot.lock().expect("worker not panicked"), buf);
+    }
+}
+
 /// Advances `sim` by `cycles` cycles across `shards` worker threads,
 /// bit-identically to `cycles` serial [`NetworkSim::step`] calls.
 ///
@@ -778,7 +920,19 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
     }
     let start = sim.now.0;
     let end = start + cycles;
-    let plan = ShardPlan::new(sim.topology.as_ref(), shards);
+    let plan = match sim.shard_weights.as_deref() {
+        Some(weights) => ShardPlan::weighted(sim.topology.as_ref(), shards, weights),
+        None => ShardPlan::new(sim.topology.as_ref(), shards),
+    };
+    // Test-only fault hook: `VIX_SHARD_PANIC_AT=cycle:shard` makes that
+    // worker panic at the top of that cycle, exercising the barrier
+    // poisoning path end-to-end (tests/shard_panic.rs).
+    let panic_inject: Option<(u64, usize)> = std::env::var("VIX_SHARD_PANIC_AT")
+        .ok()
+        .and_then(|spec| {
+            let (t, s) = spec.split_once(':')?;
+            Some((t.parse().ok()?, s.parse().ok()?))
+        });
     let radix = sim.topology.radix();
     let routers_total = sim.routers.len();
     let nodes_total = sim.cfg.network.nodes;
@@ -932,13 +1086,39 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
         }
     }
 
-    let staged: Vec<Mutex<Vec<PacketDescriptor>>> =
-        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
-    let outs: Vec<Mutex<CycleOut>> = (0..shards).map(|_| Mutex::new(CycleOut::default())).collect();
-    let barrier = Barrier::new(shards + 1);
+    // Staging and record slots are double-buffered by cycle parity, like
+    // the mailboxes: the coordinator fills `staged[(t + 1) % 2]` and
+    // drains `outs[(t - 1) % 2]` while the workers touch only the `t % 2`
+    // slots, so every lock is uncontended and taken once per cycle.
+    let staged: [Vec<Mutex<Vec<PacketDescriptor>>>; 2] = [
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+    ];
+    let outs: [Vec<Mutex<CycleOut>>; 2] = [
+        (0..shards).map(|_| Mutex::new(CycleOut::default())).collect(),
+        (0..shards).map(|_| Mutex::new(CycleOut::default())).collect(),
+    ];
+    let mut gen_bufs: Vec<Vec<PacketDescriptor>> = vec![Vec::new(); shards];
+    let barrier = SpinBarrier::new(shards + 1);
     let warm_plus_measure = sim.cfg.warmup + sim.cfg.measure;
-    let warmup = sim.cfg.warmup;
-    let packet_len = sim.cfg.packet_len;
+
+    // Pipeline fill: cycle `start`'s packets are staged before the
+    // workers exist (spawning publishes them), so the in-loop generation
+    // can run one cycle ahead from the very first barrier.
+    if start < warm_plus_measure {
+        generate_cycle(
+            start,
+            &sim.cfg,
+            &plan,
+            &sim.injector,
+            &sim.pattern,
+            &mut sim.rng,
+            &mut sim.next_packet,
+            &mut sim.stats,
+            &mut gen_bufs,
+            &staged[(start % 2) as usize],
+        );
+    }
 
     let finished: Vec<ShardWorker> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards);
@@ -946,56 +1126,69 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
             let (barrier, mail, staged, outs) = (&barrier, &mail, &staged, &outs);
             let board = &board;
             handles.push(scope.spawn(move || {
+                // A panic anywhere in the cycle body poisons the barrier
+                // on unwind, releasing the coordinator and the other
+                // shards instead of deadlocking them.
+                let _poison = PoisonOnPanic(barrier);
+                let mut waiter = SpinWaiter::new();
                 for t in start..end {
-                    let sp = w.sp_start();
-                    barrier.wait();
-                    let _ = w.sp_lap(SpanKind::BarrierWait, t, sp);
-                    w.run_cycle(t, t + 1 == end, mail, &staged[w.idx], &outs[w.idx]);
+                    if panic_inject == Some((t, w.idx)) {
+                        panic!(
+                            "injected shard panic (VIX_SHARD_PANIC_AT) at cycle {t} shard {}",
+                            w.idx
+                        );
+                    }
+                    let parity = (t % 2) as usize;
+                    w.run_cycle(t, t + 1 == end, mail, &staged[parity][w.idx], &outs[parity][w.idx]);
                     if let Some(b) = board.as_ref() {
                         w.publish_health(b, t, beat_every);
                     }
                     let sp = w.sp_start();
-                    barrier.wait();
+                    if barrier.wait(&mut waiter).is_err() {
+                        break;
+                    }
                     w.sp_lap(SpanKind::BarrierWait, t, sp);
                 }
                 w
             }));
         }
-        // Coordinator: the stats/RNG owner. Phase 1 runs here with the
-        // run's single RNG, in the exact serial order, so the random
-        // stream and packet-id sequence are shard-count-invariant.
+        // Coordinator: the stats/RNG owner, pipelined one cycle ahead.
+        // While the workers execute cycle `t` it merges cycle `t − 1`'s
+        // records and generates cycle `t + 1`'s traffic with the run's
+        // single RNG in exact serial order, so the random stream and
+        // packet-id sequence are shard-count-invariant.
+        let _poison = PoisonOnPanic(&barrier);
+        let mut waiter = SpinWaiter::new();
+        let mut poisoned = false;
         for t in start..end {
             let mut csp = sim.telemetry.span_start();
             if t > start {
-                merge_cycle(&outs, &mut sim.stats, &mut sim.ejected);
+                merge_cycle(&outs[((t - 1) % 2) as usize], &mut sim.stats, &mut sim.ejected);
                 csp = sim.telemetry.span_lap(SpanKind::StatsMerge, t, csp);
             }
-            if t < warm_plus_measure {
-                let in_window = t >= warmup;
-                for n in 0..nodes_total {
-                    if sim.injector.fires(&mut sim.rng) {
-                        let dest = sim.pattern.pick_dest(NodeId(n), nodes_total, &mut sim.rng);
-                        let packet = PacketDescriptor::new(
-                            PacketId(sim.next_packet),
-                            NodeId(n),
-                            dest,
-                            packet_len,
-                            Cycle(t),
-                        );
-                        sim.next_packet += 1;
-                        staged[plan.shard_of_node(n)]
-                            .lock()
-                            .expect("worker not panicked")
-                            .push(packet);
-                        if in_window {
-                            sim.stats.record_offered(1);
-                        }
-                    }
-                }
+            // Stage cycle `t + 1`. Generation stops at the serial
+            // schedule's horizon (`warmup + measure`) and at the end of
+            // this sharded stretch — cycle `end`'s draws belong to
+            // whichever engine steps cycle `end`.
+            if t + 1 < end && t + 1 < warm_plus_measure {
+                generate_cycle(
+                    t + 1,
+                    &sim.cfg,
+                    &plan,
+                    &sim.injector,
+                    &sim.pattern,
+                    &mut sim.rng,
+                    &mut sim.next_packet,
+                    &mut sim.stats,
+                    &mut gen_bufs,
+                    &staged[((t + 1) % 2) as usize],
+                );
                 csp = sim.telemetry.span_lap(SpanKind::TrafficGen, t, csp);
             }
-            barrier.wait();
-            barrier.wait();
+            if barrier.wait(&mut waiter).is_err() {
+                poisoned = true;
+                break;
+            }
             sim.telemetry.span_lap(SpanKind::BarrierWait, t, csp);
             if beat_every > 0 && (t + 1).is_multiple_of(beat_every) {
                 if let Some(b) = board.as_ref() {
@@ -1014,8 +1207,25 @@ pub(crate) fn run_sharded(sim: &mut NetworkSim, cycles: u64, shards: usize) {
                 }
             }
         }
-        merge_cycle(&outs, &mut sim.stats, &mut sim.ejected);
-        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        if !poisoned {
+            merge_cycle(&outs[((end - 1) % 2) as usize], &mut sim.stats, &mut sim.ejected);
+        }
+        let mut finished = Vec::with_capacity(shards);
+        for h in handles {
+            match h.join() {
+                Ok(w) => finished.push(w),
+                // Re-throw the worker's panic on the coordinator thread;
+                // the barrier is already poisoned, so the remaining
+                // workers have unwound (or will at their next wait) and
+                // the scope can close.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        assert!(
+            !poisoned,
+            "shard barrier poisoned but every worker joined cleanly"
+        );
+        finished
     });
 
     // Reassemble a serial-scheduler view of the world so `step()` (or a
@@ -1134,5 +1344,70 @@ mod tests {
     fn plan_rejects_more_shards_than_routers() {
         let topo = build_topology(TopologyKind::Mesh, 16).unwrap();
         let _ = ShardPlan::new(topo.as_ref(), 17);
+    }
+
+    #[test]
+    fn weighted_plan_with_uniform_weights_stays_balanced() {
+        let topo = build_topology(TopologyKind::Mesh, 64).unwrap();
+        for shards in [1, 2, 3, 4, 7, 8, 64] {
+            let plan = ShardPlan::weighted(topo.as_ref(), shards, &[1; 64]);
+            assert_eq!(plan.shards(), shards);
+            let mut next = 0;
+            for s in 0..shards {
+                let range = plan.router_range(s);
+                assert_eq!(range.start, next);
+                next = range.end;
+                let size = range.len();
+                assert!(
+                    size == 64 / shards || size == 64 / shards + 1,
+                    "shards={shards}: shard {s} owns {size} routers"
+                );
+            }
+            assert_eq!(next, 64);
+        }
+    }
+
+    #[test]
+    fn weighted_plan_moves_cuts_toward_heavy_routers() {
+        let topo = build_topology(TopologyKind::Mesh, 64).unwrap();
+        // Routers 0..8 cost 8×: a 2-way split should give the heavy
+        // prefix far fewer routers than the uniform 32/32.
+        let mut weights = [1u64; 64];
+        for w in &mut weights[..8] {
+            *w = 8;
+        }
+        let plan = ShardPlan::weighted(topo.as_ref(), 2, &weights);
+        let first = plan.router_range(0).len();
+        assert!(first < 20, "heavy prefix took {first} routers, expected < 20");
+        // Shard weights should be near-even: total 64 + 8*7 = 120.
+        let sum = |r: std::ops::Range<usize>| r.map(|i| weights[i]).sum::<u64>();
+        let (a, b) = (sum(plan.router_range(0)), sum(plan.router_range(1)));
+        assert!(a.abs_diff(b) <= 8, "weight split {a}/{b} too lopsided");
+    }
+
+    #[test]
+    fn weighted_plan_clamps_zero_weights_and_keeps_shards_nonempty() {
+        let topo = build_topology(TopologyKind::Mesh, 64).unwrap();
+        // All-zero weights degrade to the uniform split, not to empty
+        // shards or a division by zero.
+        let plan = ShardPlan::weighted(topo.as_ref(), 8, &[0; 64]);
+        for s in 0..8 {
+            assert_eq!(plan.router_range(s).len(), 8);
+        }
+        // One extreme outlier: everyone else still gets ≥ 1 router.
+        let mut weights = [0u64; 64];
+        weights[0] = u64::MAX / 2;
+        let plan = ShardPlan::weighted(topo.as_ref(), 8, &weights);
+        for s in 0..8 {
+            assert!(!plan.router_range(s).is_empty(), "shard {s} empty");
+        }
+        assert_eq!(plan.router_range(0).len(), 1, "outlier router should sit alone");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per router")]
+    fn weighted_plan_rejects_wrong_weight_count() {
+        let topo = build_topology(TopologyKind::Mesh, 64).unwrap();
+        let _ = ShardPlan::weighted(topo.as_ref(), 4, &[1; 63]);
     }
 }

@@ -53,9 +53,10 @@ pub const ENGINE_TRACK: u32 = u32::MAX;
 /// (flits), `CreditDeliver`, and `RouterStep`. Gated cycles fold flit
 /// and credit delivery into one wake-calendar drain, recorded as
 /// `Deliver`. Sharded runs additionally record `Exchange` (staged
-/// packets, cross-shard mailboxes, boundary scan) and `BarrierWait` on
-/// every worker, plus `TrafficGen`/`StatsMerge`/`BarrierWait` on the
-/// coordinator track.
+/// packets, cross-shard mailboxes, boundary scan) and one `BarrierWait`
+/// per cycle on every worker (the single end-of-cycle spin barrier),
+/// plus `TrafficGen` (pipelined one cycle ahead), `StatsMerge`, and
+/// `BarrierWait` on the coordinator track.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum SpanKind {
@@ -77,7 +78,9 @@ pub enum SpanKind {
     /// Coordinator: merging a finished cycle's worker outputs into the
     /// run statistics.
     StatsMerge = 6,
-    /// Time spent blocked on a cycle barrier (worker and coordinator).
+    /// Time spent at the end-of-cycle barrier (worker and coordinator):
+    /// spinning/yielding for stragglers. The share of wall-clock spent
+    /// here is the shard engine's synchronization + imbalance cost.
     BarrierWait = 7,
 }
 
@@ -277,7 +280,7 @@ pub fn track_name(track: u32) -> String {
 }
 
 /// One shard's slice of a [`SimHealth`] heartbeat: wall-clock spent
-/// working vs blocked on the cycle barriers during the sampling
+/// working vs waiting at the end-of-cycle barrier during the sampling
 /// interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardBeat {

@@ -9,6 +9,12 @@
 # smaller hosts that floor is physically unreachable and is skipped with
 # a note (the comparison itself lives in the bench's `--check` mode).
 #
+# The recorded profile section carries `barrier_share_pct` — the share
+# of worker span time spent at the single end-of-cycle spin barrier
+# (DESIGN.md §8's pipelined protocol). A regression that reintroduces
+# coordinator work on the critical path shows up there before it shows
+# up in wall clock, so eyeball that figure when regenerating.
+#
 # Regenerate the recorded figures after an intentional perf change with:
 #   cargo bench -p vix-bench --bench shardscaling
 set -euo pipefail

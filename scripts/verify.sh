@@ -29,6 +29,13 @@ cargo test -q --release --test gating_parity --test zero_alloc
 echo "==> cargo test -q --release --test shard_parity --test determinism"
 cargo test -q --release --test shard_parity --test determinism
 
+# Barrier/panic contract: the sense-reversing spin barrier must survive
+# tens of thousands of reuses and oversubscription, and a worker panic
+# must poison the barrier and propagate as a clean join failure instead
+# of deadlocking the coordinator. Re-run by name for the same reason.
+echo "==> cargo test -q --release --test spin_barrier --test shard_panic"
+cargo test -q --release --test spin_barrier --test shard_panic
+
 # Telemetry contract: the exporter schema is a compatibility surface for
 # external tooling (Perfetto, jq pipelines); run the schema test by name
 # so a drift failure points straight at the contract.

@@ -5,7 +5,8 @@
 //!        [--nodes N] [--rate R] [--packet-len N] [--vcs V] [--virtual-inputs K]
 //!        [--pattern uniform|transpose|bitcomp|bitrev|shuffle|neighbor]
 //!        [--warmup N] [--measure N] [--drain N] [--seed S] [--jobs N]
-//!        [--shards N] [--no-speculation] [--no-dimension-aware] [--age-based-sa]
+//!        [--shards N|auto] [--shard-weights FILE]
+//!        [--no-speculation] [--no-dimension-aware] [--age-based-sa]
 //!        [--trace-out FILE] [--metrics-out FILE]
 //!        [--profile-out FILE] [--heartbeat N] [--heartbeat-out FILE]
 //! ```
@@ -28,6 +29,15 @@
 //! as JSON lines instead (both imply profiling). Unlike `--trace-out`,
 //! profiling composes with `--shards`: that is where the per-shard
 //! busy/barrier balance comes from.
+//!
+//! `--shards auto` picks the shard count from the host's available
+//! parallelism (capped so each shard owns enough routers to amortize the
+//! cycle barrier). `--shard-weights FILE` reads one relative cost per
+//! router (whitespace-separated floats, `#` comments) and cuts the
+//! contiguous shard partition so per-shard weight — not router count —
+//! is balanced; feed it per-router utilization or a prior run's profiler
+//! busy ratios. Both are pure performance knobs: results are
+//! bit-identical for every shard count and weighting (DESIGN.md §8).
 
 use std::process::ExitCode;
 use vix::prelude::*;
@@ -52,6 +62,7 @@ struct Options {
     dimension_aware: bool,
     age_based_sa: bool,
     five_stage: bool,
+    shard_weights: Option<String>,
     sweep_csv: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -81,6 +92,7 @@ impl Default for Options {
             dimension_aware: true,
             age_based_sa: false,
             five_stage: false,
+            shard_weights: None,
             sweep_csv: None,
             trace_out: None,
             metrics_out: None,
@@ -105,9 +117,15 @@ const USAGE: &str = "usage: vixsim [options]
   --seed <n>
   --jobs <n>                       sweep worker threads; 0 = all cores
                                    (default 0; results identical for any value)
-  --shards <n>                     worker threads inside each simulation;
-                                   0 = all cores (default 1; results
-                                   identical for any value — DESIGN.md §8)
+  --shards <n|auto>                worker threads inside each simulation;
+                                   auto (= 0) picks from the host's cores
+                                   (default 1; results identical for any
+                                   value — DESIGN.md §8)
+  --shard-weights <file>           per-router cost weights for the shard
+                                   partition, one float per router
+                                   (whitespace-separated, # comments);
+                                   single run only. Pure load-balance
+                                   knob: results never change
   --no-speculation  --no-dimension-aware  --age-based-sa  --five-stage
   --sweep-csv <file>               run a 10-point rate sweep, write CSV
   --trace-out <file>               record the flit-lifecycle trace (single
@@ -183,7 +201,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--drain" => opt.drain = value()?.parse().map_err(|e| format!("bad drain: {e}"))?,
             "--seed" => opt.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
             "--jobs" => opt.jobs = value()?.parse().map_err(|e| format!("bad jobs: {e}"))?,
-            "--shards" => opt.shards = value()?.parse().map_err(|e| format!("bad shards: {e}"))?,
+            "--shards" => {
+                opt.shards = match value()?.as_str() {
+                    "auto" => 0,
+                    n => n.parse().map_err(|e| format!("bad shards: {e}"))?,
+                }
+            }
+            "--shard-weights" => opt.shard_weights = Some(value()?.clone()),
             "--no-speculation" => opt.speculation = false,
             "--five-stage" => opt.five_stage = true,
             "--sweep-csv" => opt.sweep_csv = Some(value()?.clone()),
@@ -235,11 +259,56 @@ fn main() -> ExitCode {
     // Derive the router radix from an actual topology instance so
     // `--nodes` works for any valid terminal count, not just the paper's
     // 64 (the fbfly radix grows with the mesh side).
-    let radix = match vix::topology::build_topology(opt.topology, opt.nodes) {
-        Ok(t) => t.radix(),
+    let (radix, routers) = match vix::topology::build_topology(opt.topology, opt.nodes) {
+        Ok(t) => (t.radix(), t.routers()),
         Err(e) => {
             eprintln!("error: invalid configuration: {e}");
             return ExitCode::FAILURE;
+        }
+    };
+    // Per-router cost weights for the sharded engine's partition: one
+    // finite non-negative float per router, `#`-comments allowed.
+    let shard_weights: Option<Vec<f64>> = match &opt.shard_weights {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut weights = Vec::with_capacity(routers);
+            for token in text
+                .lines()
+                .map(|l| l.split('#').next().unwrap_or(""))
+                .flat_map(str::split_whitespace)
+            {
+                match token.parse::<f64>() {
+                    Ok(w) if w.is_finite() && w >= 0.0 => weights.push(w),
+                    _ => {
+                        eprintln!(
+                            "error: {path}: bad weight {token:?} (need a finite float ≥ 0)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if weights.len() != routers {
+                eprintln!(
+                    "error: {path}: {} weights for {routers} routers \
+                     ({:?} with {} nodes)",
+                    weights.len(),
+                    opt.topology,
+                    opt.nodes
+                );
+                return ExitCode::FAILURE;
+            }
+            if weights.iter().all(|&w| w == 0.0) {
+                eprintln!("error: {path}: at least one weight must be positive");
+                return ExitCode::FAILURE;
+            }
+            Some(weights)
         }
     };
     let router = vix::RouterConfig::paper_default(radix)
@@ -283,6 +352,10 @@ fn main() -> ExitCode {
     if let Some(path) = &opt.sweep_csv {
         if opt.trace_out.is_some() {
             eprintln!("error: --trace-out records a single run; drop --sweep-csv");
+            return ExitCode::FAILURE;
+        }
+        if shard_weights.is_some() {
+            eprintln!("error: --shard-weights shapes a single run; drop --sweep-csv");
             return ExitCode::FAILURE;
         }
         if opt.heartbeat_out.is_some() {
@@ -347,13 +420,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let sim = match NetworkSim::build_with_pattern(cfg, opt.pattern.clone()) {
+    let mut sim = match NetworkSim::build_with_pattern(cfg, opt.pattern.clone()) {
         Ok(sim) => sim,
         Err(e) => {
             eprintln!("error: invalid configuration: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(weights) = &shard_weights {
+        sim.set_shard_weights(weights);
+    }
     vix::telemetry::info!(
         "vixsim: {:?} / {} / {} traffic @ {} pkt/cycle/node, {} VCs, {} virtual input(s)",
         opt.topology,

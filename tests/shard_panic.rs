@@ -1,0 +1,64 @@
+//! A shard worker that panics mid-cycle must not deadlock the run.
+//!
+//! Before the spin-barrier rewrite, a panicking worker simply never
+//! arrived at the cycle barrier and the coordinator (plus every other
+//! shard) blocked in `Barrier::wait` forever. The sense-reversing
+//! [`vix::sim::SpinBarrier`] is poisoned from a panic guard instead, so
+//! survivors unwind and the original panic propagates out of
+//! `run_cycles` as a clean re-thrown join failure.
+//!
+//! The panic is injected with the test-only `VIX_SHARD_PANIC_AT`
+//! environment variable (`cycle:shard`, read once per sharded stretch).
+//! This file is its own integration-test binary — and therefore its own
+//! process — because the variable is process-global; keeping it out of
+//! the other suites' processes means it cannot perturb them even though
+//! the Rust test harness runs tests concurrently.
+
+use vix::prelude::*;
+
+fn config() -> SimConfig {
+    let mut network =
+        NetworkConfig::paper_default(TopologyKind::Mesh, AllocatorKind::Vix);
+    network.nodes = 16;
+    SimConfig::new(network, 0.08)
+        .with_windows(100, 400, 100)
+        .with_seed(0xBAD)
+        .with_shards(4)
+}
+
+/// One test, not two: the injection variable is process-global, so the
+/// panic phase and the clean-reuse phase must run sequentially.
+#[test]
+fn worker_panic_propagates_instead_of_deadlocking() {
+    // Worker 2 dies at cycle 50, mid-stretch: the coordinator is
+    // pipelined one cycle ahead and the other three shards are spinning
+    // at the cycle barrier when the poison lands.
+    std::env::set_var("VIX_SHARD_PANIC_AT", "50:2");
+    let result = std::panic::catch_unwind(|| {
+        let mut sim = NetworkSim::build(config()).unwrap();
+        sim.run_cycles(200);
+    });
+    std::env::remove_var("VIX_SHARD_PANIC_AT");
+    let payload = result.expect_err("injected worker panic must propagate");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+    assert!(
+        msg.contains("injected shard panic"),
+        "propagated panic should be the worker's own payload, got: {msg}"
+    );
+
+    // Same process, after the variable is gone: the engine must be
+    // fully reusable (each stretch builds a fresh barrier, so the
+    // poison cannot leak into later runs) and still bit-identical.
+    let mut sim = NetworkSim::build(config()).unwrap();
+    sim.run_cycles(200);
+    let mut serial = NetworkSim::build(config().with_shards(1)).unwrap();
+    serial.run_cycles(200);
+    assert_eq!(
+        sim.stats(),
+        serial.stats(),
+        "sharded run after a panic test must still be bit-identical"
+    );
+}

@@ -51,7 +51,16 @@ fn fnv1a(h: &mut u64, word: u64) {
 /// Runs the full protocol plus an ejection-trace hash folded over
 /// chunked `run_cycles` calls, exercising serial↔sharded hand-off.
 fn trace_and_stats(cfg: SimConfig) -> (u64, NetworkStats) {
+    trace_and_stats_weighted(cfg, None)
+}
+
+/// As [`trace_and_stats`], with optional per-router cost weights for the
+/// sharded partition.
+fn trace_and_stats_weighted(cfg: SimConfig, weights: Option<&[f64]>) -> (u64, NetworkStats) {
     let mut sim = NetworkSim::build(cfg).expect("paper-default configs are valid");
+    if let Some(w) = weights {
+        sim.set_shard_weights(w);
+    }
     let total = cfg.warmup + cfg.measure + cfg.drain;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut at = 0;
@@ -158,6 +167,35 @@ fn degenerate_shard_counts_clamp_and_stay_identical() {
     assert!(auto.effective_shards() >= 1);
     assert!(auto.effective_shards() <= 16);
     assert_eq!(auto.run(), serial);
+}
+
+#[test]
+fn weighted_shard_plans_stay_bit_identical() {
+    // Any contiguous partition merges in ascending router order, so
+    // skewing the cut points (the `--shard-weights` load-balance knob)
+    // must never change a single bit of the results — including across
+    // serial↔sharded hand-offs and for cut layouts that leave some
+    // shard a single router.
+    let (serial_hash, serial) = trace_and_stats(config(AllocatorKind::Vix, true));
+    let heavy_front: Vec<f64> = (0..16).map(|r| if r < 4 { 50.0 } else { 1.0 }).collect();
+    let heavy_back: Vec<f64> = (0..16).map(|r| if r >= 12 { 9.0 } else { 0.25 }).collect();
+    let sawtooth: Vec<f64> = (0..16).map(|r| f64::from(1 + (r * 7) % 5)).collect();
+    for weights in [&heavy_front, &heavy_back, &sawtooth] {
+        for (shards, gating) in [(2, true), (4, true), (4, false), (8, true)] {
+            let (hash, stats) = trace_and_stats_weighted(
+                config(AllocatorKind::Vix, gating).with_shards(shards),
+                Some(weights),
+            );
+            assert_eq!(
+                hash, serial_hash,
+                "weights={weights:?} shards={shards} gating={gating}: trace diverged"
+            );
+            assert_eq!(
+                stats, serial,
+                "weights={weights:?} shards={shards} gating={gating}: stats diverged"
+            );
+        }
+    }
 }
 
 #[test]
